@@ -1,0 +1,33 @@
+// Fig. 4: specialization points of the application, system features of
+// the target node, and the automatic intersection presented to the user.
+#include "bench/bench_util.hpp"
+#include "spec/intersect.hpp"
+#include "spec/system.hpp"
+
+int main() {
+  using namespace xaas;
+  bench::print_header("Figure 4",
+                      "specialization points x system features intersection");
+
+  apps::MinimdOptions options;
+  options.module_count = 2;
+  options.gpu_module_count = 1;
+  const Application app = apps::make_minimd(options);
+  const auto points = app.ground_truth();
+
+  std::printf("\n(a) Specialization points of %s:\n%s\n",
+              app.name.c_str(), points.to_json().dump(2).c_str());
+
+  const auto system = spec::discover_system(vm::node("ault23"));
+  std::printf("\n(b) System features of ault23:\n%s\n",
+              system.to_json().dump(2).c_str());
+
+  const auto common_spec = spec::intersect(points, system);
+  std::printf("\n(c) Common specialization points:\n%s\n",
+              common_spec.to_json().dump(2).c_str());
+
+  std::printf("\nRecommended selection: GPU=%s, SIMD=%s\n",
+              common_spec.best_gpu_backend().name.c_str(),
+              common_spec.best_simd_level().name.c_str());
+  return 0;
+}

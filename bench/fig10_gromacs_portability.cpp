@@ -1,0 +1,149 @@
+// Fig. 10: performance portability of the GROMACS proxy between systems —
+// naive/native builds, Spack default/optimized, and the XaaS source
+// container, on Ault23 (x86+V100), Aurora (x86+Intel Max), and
+// Clariden (GH200). UEABS-like tests A and B, I/O excluded.
+#include "bench/bench_util.hpp"
+
+namespace xaas {
+namespace {
+
+struct Variant {
+  std::string label;
+  SourceDeployOptions options;
+  int threads = 16;
+  bool use_auto_deploy = false;  // XaaS flow: discovery + intersection
+};
+
+Application the_app() {
+  apps::MinimdOptions options;
+  options.module_count = 8;
+  options.gpu_module_count = 2;
+  return apps::make_minimd(options);
+}
+
+void run_system(const char* node_name, isa::Arch arch,
+                const std::vector<Variant>& variants,
+                const apps::MdWorkloadParams& test_a,
+                const apps::MdWorkloadParams& test_b, double scale_a,
+                double scale_b) {
+  const Application app = the_app();
+  const container::Image image = build_source_image(app, arch);
+  common::Table table({"Build", "Test A (s)", "Test B (s)"});
+  for (const auto& variant : variants) {
+    const DeployedApp deployed = deploy_source_container(
+        image, app, vm::node(node_name), variant.options);
+    if (!deployed.ok) {
+      table.add_row({variant.label, "failed: " + deployed.error, ""});
+      continue;
+    }
+    const double a = bench::timed_run(
+        deployed, apps::minimd_workload(test_a), variant.threads, scale_a);
+    const double b = bench::timed_run(
+        deployed, apps::minimd_workload(test_b), variant.threads, scale_b);
+    table.add_row({variant.label, common::Table::num(a, 1),
+                   common::Table::num(b, 1)});
+  }
+  std::printf("\n%s:\n%s", node_name, table.to_string().c_str());
+}
+
+SourceDeployOptions manual(std::map<std::string, std::string> selections) {
+  SourceDeployOptions o;
+  o.auto_specialize = false;
+  o.selections = std::move(selections);
+  return o;
+}
+
+}  // namespace
+}  // namespace xaas
+
+int main() {
+  using namespace xaas;
+  bench::print_header("Figure 10",
+                      "GROMACS-proxy performance portability across systems");
+
+  const apps::MdWorkloadParams test_a{2000, 48, 30, 4000};
+  const apps::MdWorkloadParams test_b{3000, 48, 30, 6000};
+  // Paper workloads: A = 20000 atoms x 1000 steps, B = 30000 x 3000.
+  const double scale_a = bench::kMdWorkCalibration * (20000.0 * 1000.0) /
+                         (test_a.atoms * test_a.steps);
+  const double scale_b = bench::kMdWorkCalibration * (30000.0 * 3000.0) /
+                         (test_b.atoms * test_b.steps);
+
+  // Ault23: naive = default cmake command -> no GPU even with the CUDA
+  // module loaded (the paper's finding); native = manual build with GPU
+  // but default -march (SSE2); Spack default = GPU + fftw3/OpenBLAS with
+  // a multithreading issue; Spack+MKL and XaaS specialize fully.
+  run_system(
+      "ault23", isa::Arch::X86_64,
+      {
+          {"NaiveBuild",
+           manual({{"MD_GPU", "OFF"}, {"MD_SIMD", "AVX_512"}, {"MD_FFT", "mkl"}}),
+           16},
+          {"NativeBuild",
+           manual({{"MD_GPU", "CUDA"}, {"MD_SIMD", "SSE2"}, {"MD_FFT", "mkl"}}),
+           16},
+          {"Spack",
+           manual({{"MD_GPU", "CUDA"}, {"MD_SIMD", "AVX_512"},
+                   {"MD_FFT", "fftw3"}, {"MD_BLAS", "openblas"}}),
+           10},
+          {"SpackOptimized",
+           manual({{"MD_GPU", "CUDA"}, {"MD_SIMD", "AVX_512"}, {"MD_FFT", "mkl"},
+                   {"MD_BLAS", "mkl"}}),
+           16},
+          {"XaaS Source", SourceDeployOptions{}, 16},
+      },
+      test_a, test_b, scale_a, scale_b);
+
+  // Aurora: the default XaaS source build misses the Intel-Max-only
+  // compile-time definition (documented, not in the build config) and
+  // falls back to CPU; the manual fix enables SYCL (§6.3.1).
+  run_system(
+      "aurora", isa::Arch::X86_64,
+      {
+          {"SpecializedContainer",
+           manual({{"MD_GPU", "SYCL"}, {"MD_SIMD", "AVX_512"}, {"MD_FFT", "mkl"}}),
+           16},
+          {"XaaS Source+Fix",
+           manual({{"MD_GPU", "SYCL"}, {"MD_SIMD", "AVX_512"}, {"MD_FFT", "mkl"}}),
+           16},
+          {"XaaS Source (no GPU define)",
+           manual({{"MD_GPU", "OFF"}, {"MD_SIMD", "AVX_512"}, {"MD_FFT", "mkl"}}),
+           16},
+          {"Module (MPI build)",
+           manual({{"MD_GPU", "SYCL"}, {"MD_SIMD", "AVX_512"}, {"MD_FFT", "mkl"},
+                   {"MD_MPI", "ON"}}),
+           12},
+      },
+      test_a, test_b, scale_a, scale_b);
+
+  // Clariden (GH200, ARM): same ladder with NEON/SVE.
+  run_system(
+      "clariden", isa::Arch::AArch64,
+      {
+          {"NaiveBuild",
+           manual({{"MD_GPU", "OFF"}, {"MD_SIMD", "ARM_SVE"},
+                   {"MD_FFT", "fftw3"}}),
+           16},
+          {"NativeBuild",
+           manual({{"MD_GPU", "CUDA"}, {"MD_SIMD", "ARM_NEON_ASIMD"},
+                   {"MD_FFT", "fftw3"}}),
+           16},
+          {"Spack",
+           manual({{"MD_GPU", "CUDA"}, {"MD_SIMD", "ARM_SVE"},
+                   {"MD_FFT", "fftw3"}, {"MD_BLAS", "openblas"}}),
+           10},
+          {"SpackOptimized",
+           manual({{"MD_GPU", "CUDA"}, {"MD_SIMD", "ARM_SVE"},
+                   {"MD_FFT", "fftw3"}, {"MD_BLAS", "openblas"}}),
+           16},
+          {"XaaS Source", SourceDeployOptions{}, 16},
+      },
+      test_a, test_b, scale_a, scale_b);
+
+  std::printf(
+      "\nPaper shape: naive builds (no GPU) are several times slower; the\n"
+      "XaaS source container matches the best manual/Spack-optimized "
+      "build;\nthe un-fixed Aurora deployment is CPU-only and ~2-3x "
+      "slower.\n");
+  return 0;
+}

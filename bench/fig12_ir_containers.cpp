@@ -1,0 +1,172 @@
+// Fig. 12: IR containers on CPU (tests A/B across vectorization levels,
+// vs portable and specialized containers) and on GPU (V100/A100, Docker
+// portable container vs XaaS IR container), with the I/O component shown
+// separately as in the paper.
+#include "bench/bench_util.hpp"
+
+namespace xaas {
+namespace {
+
+Application the_app() {
+  apps::MinimdOptions options;
+  options.module_count = 8;
+  options.gpu_module_count = 2;
+  return apps::make_minimd(options);
+}
+
+double source_build_time(const Application& app,
+                         const container::Image& source_image,
+                         const char* node_name,
+                         std::map<std::string, std::string> selections,
+                         const apps::MdWorkloadParams& params, int threads,
+                         double scale) {
+  SourceDeployOptions options;
+  options.auto_specialize = false;
+  options.selections = std::move(selections);
+  const DeployedApp deployed =
+      deploy_source_container(source_image, app, vm::node(node_name), options);
+  if (!deployed.ok) {
+    std::printf("  [%s deploy failed: %s]\n", node_name,
+                deployed.error.c_str());
+    return -1;
+  }
+  return bench::timed_run(deployed, apps::minimd_workload(params), threads,
+                          scale);
+}
+
+}  // namespace
+}  // namespace xaas
+
+int main() {
+  using namespace xaas;
+  bench::print_header("Figure 12", "IR containers on CPU and GPU");
+
+  const Application app = the_app();
+  const container::Image source_image =
+      build_source_image(app, isa::Arch::X86_64);
+
+  // ---- CPU (ault01-04 model: Xeon Gold 6154, no GPU) -------------------
+  IrBuildOptions build_options;
+  build_options.points = {{"MD_SIMD",
+                           {"SSE4.1", "AVX2_128", "AVX_256", "AVX2_256",
+                            "AVX_512"}}};
+  const auto build = build_ir_container(app, isa::Arch::X86_64, build_options);
+  if (!build.ok) {
+    std::printf("IR build failed: %s\n", build.error.c_str());
+    return 1;
+  }
+
+  const auto cpu_sweep = [&](const char* title,
+                             const apps::MdWorkloadParams& params, int threads,
+                             double scale) {
+    common::Table table({"Deployment", "Execution Time (s)"});
+    // Portable container: prebuilt for the weakest common ISA.
+    table.add_row({"Portable (SSE4.1 container)",
+                   common::Table::num(
+                       source_build_time(app, source_image, "ault01",
+                                         {{"MD_GPU", "OFF"},
+                                          {"MD_SIMD", "SSE4.1"},
+                                          {"MD_FFT", "fftw3"}},
+                                         params, threads, scale),
+                       1)});
+    for (const char* simd :
+         {"SSE4.1", "AVX2_128", "AVX_256", "AVX2_256", "AVX_512"}) {
+      IrDeployOptions deploy_options;
+      deploy_options.selections = {{"MD_SIMD", simd}};
+      const DeployedApp deployed =
+          deploy_ir_container(build.image, vm::node("ault01"), deploy_options);
+      if (!deployed.ok) {
+        table.add_row({simd, "failed"});
+        continue;
+      }
+      const double t = bench::timed_run(
+          deployed, apps::minimd_workload(params), threads, scale);
+      table.add_row({std::string("XaaS IR @ ") + simd,
+                     common::Table::num(t, 1)});
+    }
+    table.add_row({"Specialized (native AVX_512 build)",
+                   common::Table::num(
+                       source_build_time(app, source_image, "ault01",
+                                         {{"MD_GPU", "OFF"},
+                                          {"MD_SIMD", "AVX_512"},
+                                          {"MD_FFT", "fftw3"}},
+                                         params, threads, scale),
+                       1)});
+    std::printf("\n%s\n%s", title, table.to_string().c_str());
+  };
+
+  const apps::MdWorkloadParams test_a{2000, 48, 30, 4000};
+  const apps::MdWorkloadParams test_b{3000, 48, 30, 6000};
+  cpu_sweep("CPU, Test A, 1 core, 200 steps (ault01 model):", test_a, 1,
+            bench::kMdWorkCalibration * (20000.0 * 200.0) / (test_a.atoms * test_a.steps));
+  cpu_sweep("CPU, Test B, 36 cores, 200 steps:", test_b, 36,
+            bench::kMdWorkCalibration * (30000.0 * 200.0) / (test_b.atoms * test_b.steps));
+
+  // ---- GPU (V100 on ault23, A100 on ault25) ----------------------------
+  IrBuildOptions gpu_build_options;
+  gpu_build_options.points = {
+      {"MD_SIMD", {"SSE2", "AVX2_256", "AVX_512"}},
+      {"MD_GPU", {"CUDA"}}};
+  const auto gpu_build =
+      build_ir_container(app, isa::Arch::X86_64, gpu_build_options);
+  if (!gpu_build.ok) {
+    std::printf("GPU IR build failed: %s\n", gpu_build.error.c_str());
+    return 1;
+  }
+
+  const double io_a = 1.6;  // modeled I/O component, reported separately
+  const double io_b = 2.4;
+  common::Table gpu_table({"Node", "Deployment", "Test A (s)", "Test B (s)",
+                           "I/O A/B (s)"});
+  for (const auto& [node_name, best_simd] :
+       std::vector<std::pair<const char*, const char*>>{
+           {"ault23", "AVX_512"}, {"ault25", "AVX2_256"}}) {
+    // Docker: portable CUDA container — CPU parts built for the SSE2
+    // baseline so one image runs on every x86 node.
+    const double docker_a = source_build_time(
+        app, source_image, node_name,
+        {{"MD_GPU", "CUDA"}, {"MD_SIMD", "SSE2"}, {"MD_FFT", "fftw3"}}, test_a,
+        16, bench::kMdWorkCalibration * (20000.0 * 200.0) / (test_a.atoms * test_a.steps));
+    const double docker_b = source_build_time(
+        app, source_image, node_name,
+        {{"MD_GPU", "CUDA"}, {"MD_SIMD", "SSE2"}, {"MD_FFT", "fftw3"}}, test_b,
+        16, bench::kMdWorkCalibration * (30000.0 * 100.0) / (test_b.atoms * test_b.steps));
+    gpu_table.add_row({node_name, "Docker (portable CUDA)",
+                       common::Table::num(docker_a + io_a, 1),
+                       common::Table::num(docker_b + io_b, 1),
+                       common::Table::num(io_a, 1) + "/" +
+                           common::Table::num(io_b, 1)});
+
+    IrDeployOptions deploy_options;
+    deploy_options.selections = {{"MD_SIMD", best_simd}, {"MD_GPU", "CUDA"}};
+    const DeployedApp deployed = deploy_ir_container(
+        gpu_build.image, vm::node(node_name), deploy_options);
+    if (!deployed.ok) {
+      gpu_table.add_row({node_name, "XaaS IR", "failed", deployed.error, ""});
+      continue;
+    }
+    const double a = bench::timed_run(
+        deployed, apps::minimd_workload(test_a), 16,
+        bench::kMdWorkCalibration * (20000.0 * 200.0) / (test_a.atoms * test_a.steps));
+    const double b = bench::timed_run(
+        deployed, apps::minimd_workload(test_b), 16,
+        bench::kMdWorkCalibration * (30000.0 * 100.0) / (test_b.atoms * test_b.steps));
+    // XaaS IR deployment re-assembles layers at deploy time: slightly
+    // higher I/O on test B (paper: "a slight increase in I/O time").
+    gpu_table.add_row({node_name, std::string("XaaS IR @ ") + best_simd,
+                       common::Table::num(a + io_a, 1),
+                       common::Table::num(b + io_b * 1.1, 1),
+                       common::Table::num(io_a, 1) + "/" +
+                           common::Table::num(io_b * 1.1, 1)});
+  }
+  std::printf("\nGPU, V100 (ault23) and A100 (ault25):\n%s",
+              gpu_table.to_string().c_str());
+
+  std::printf(
+      "\nPaper shape: specializing the IR container improves CPU time up "
+      "to ~2x\nover the performance-oblivious (portable) container and "
+      "matches the\nspecialized native build; on GPU the IR container "
+      "matches the\nspecialized CUDA container, beating the portable "
+      "Docker image.\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// google-benchmark microbenchmarks of the toolchain itself: hashing,
+// preprocessing, parsing, IR round-trip, vectorization, VM execution, and
+// the full IR-container build — the costs a deployment pays on the target
+// system (cold pull = container build, §4.1).
+#include <benchmark/benchmark.h>
+
+#include "apps/minilulesh.hpp"
+#include "apps/minimd.hpp"
+#include "common/sha256.hpp"
+#include "minicc/driver.hpp"
+#include "minicc/vectorizer.hpp"
+#include "vm/executor.hpp"
+#include "vm/program.hpp"
+#include "xaas/ir_pipeline.hpp"
+
+namespace {
+
+using namespace xaas;
+
+void BM_Sha256(benchmark::State& state) {
+  const std::string data(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(common::sha256_hex(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(1024)->Arg(64 * 1024);
+
+const char* kKernel = R"(
+double dot(double* a, double* b, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; i++) { acc += a[i] * b[i]; }
+  return acc;
+}
+)";
+
+void BM_Preprocess(benchmark::State& state) {
+  minicc::PreprocessOptions options;
+  options.define("X=1");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(minicc::preprocess_source(kKernel, options));
+  }
+}
+BENCHMARK(BM_Preprocess);
+
+void BM_CompileToIr(benchmark::State& state) {
+  common::Vfs vfs;
+  vfs.write("k.c", kKernel);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(minicc::compile_to_ir(vfs, "k.c", {}));
+  }
+}
+BENCHMARK(BM_CompileToIr);
+
+void BM_IrRoundTrip(benchmark::State& state) {
+  common::Vfs vfs;
+  vfs.write("k.c", kKernel);
+  const auto compiled = minicc::compile_to_ir(vfs, "k.c", {});
+  const std::string text = minicc::ir::print(compiled.module);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(minicc::ir::parse_ir(text));
+  }
+}
+BENCHMARK(BM_IrRoundTrip);
+
+void BM_Vectorize(benchmark::State& state) {
+  common::Vfs vfs;
+  vfs.write("k.c", kKernel);
+  const auto compiled = minicc::compile_to_ir(vfs, "k.c", {});
+  for (auto _ : state) {
+    auto module = compiled.module;
+    benchmark::DoNotOptimize(
+        minicc::vectorize_module(module, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_Vectorize)->Arg(2)->Arg(8);
+
+void BM_ExecutorDot(benchmark::State& state) {
+  common::Vfs vfs;
+  vfs.write("k.c", kKernel);
+  minicc::TargetSpec target;
+  target.visa = isa::VectorIsa::AVX_512;
+  const auto compiled = minicc::compile_to_target(vfs, "k.c", {}, target);
+  std::vector<minicc::MachineModule> modules{compiled.machine};
+  const vm::Program program = vm::Program::link(std::move(modules));
+  const vm::Executor exec(program, vm::node("devbox"));
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    vm::Workload w;
+    w.entry = "dot";
+    w.f64_buffers["a"] = std::vector<double>(n, 1.5);
+    w.f64_buffers["b"] = std::vector<double>(n, 2.0);
+    w.args = {vm::Workload::Arg::buf_f64("a"), vm::Workload::Arg::buf_f64("b"),
+              vm::Workload::Arg::i64(static_cast<long long>(n))};
+    benchmark::DoNotOptimize(exec.run(w));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ExecutorDot)->Arg(1024)->Arg(16384);
+
+void BM_IrContainerBuildLulesh(benchmark::State& state) {
+  const Application app = apps::make_minilulesh();
+  IrBuildOptions options;
+  options.points = {{"LULESH_MPI", {"OFF", "ON"}},
+                    {"LULESH_OPENMP", {"OFF", "ON"}}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        build_ir_container(app, isa::Arch::X86_64, options));
+  }
+}
+BENCHMARK(BM_IrContainerBuildLulesh);
+
+void BM_IrContainerBuildMinimd(benchmark::State& state) {
+  apps::MinimdOptions app_options;
+  app_options.module_count = static_cast<int>(state.range(0));
+  app_options.gpu_module_count = 4;
+  const Application app = apps::make_minimd(app_options);
+  IrBuildOptions options;
+  options.points = {{"MD_SIMD", {"SSE4.1", "AVX_512"}}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        build_ir_container(app, isa::Arch::X86_64, options));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          2 * (state.range(0) + 11));
+}
+BENCHMARK(BM_IrContainerBuildMinimd)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

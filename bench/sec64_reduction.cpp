@@ -1,0 +1,71 @@
+// §6.4 "Configurability and System Dependency": translation-unit ->
+// IR-file reduction for three configuration families of the GROMACS
+// proxy at full scale (~1742 TUs per configuration, as in the paper):
+//   (1) five ISA targets:        8710 TUs -> ~2695 IRs (69% reduction)
+//   (2) 2 x vectorization + CUDA: 7052 TUs -> ~2694 IRs (76%)
+//   (3) OpenMP x MPI:             6976 TUs -> ~2333 IRs (66.4%)
+// plus the diagnostic percentages (flag incompatibility before
+// normalization, preprocessing-distinct share, tuning-only share).
+#include "bench/bench_util.hpp"
+
+namespace xaas {
+namespace {
+
+void family(const Application& app, const char* label,
+            const IrBuildOptions& options, common::Table& table) {
+  const auto build = build_ir_container(app, isa::Arch::X86_64, options);
+  if (!build.ok) {
+    std::printf("%s failed: %s\n", label, build.error.c_str());
+    return;
+  }
+  const auto& s = build.stats;
+  table.add_row({label, std::to_string(s.configurations),
+                 std::to_string(s.total_tus),
+                 std::to_string(s.unique_irs),
+                 common::Table::num(s.reduction_pct, 1) + "%",
+                 common::Table::num(s.flag_incompatible_pct, 1) + "%",
+                 common::Table::num(s.preproc_distinct_pct, 1) + "%",
+                 common::Table::num(s.tuning_only_pct, 1) + "%",
+                 std::to_string(s.openmp_merged),
+                 std::to_string(s.system_dependent)});
+}
+
+}  // namespace
+}  // namespace xaas
+
+int main() {
+  using namespace xaas;
+  bench::print_header("Section 6.4",
+                      "IR dedup statistics at paper scale (~1742 TUs/config)");
+
+  apps::MinimdOptions app_options;
+  app_options.module_count = 1731;  // 6 core + 2 lib + 1731 modules + 3 tools
+  app_options.gpu_module_count = 41;
+  const Application app = apps::make_minimd(app_options);
+
+  common::Table table({"Family", "Configs", "TUs", "Unique IRs", "Reduction",
+                       "Flag-incompat", "Preproc-distinct", "Tuning-only",
+                       "OpenMP merges", "Sys-dep TUs"});
+
+  IrBuildOptions vectorization;
+  vectorization.points = {
+      {"MD_SIMD", {"SSE4.1", "AVX2_128", "AVX_256", "AVX2_256", "AVX_512"}}};
+  family(app, "5 ISA targets", vectorization, table);
+
+  IrBuildOptions cuda;
+  cuda.points = {{"MD_SIMD", {"AVX2_256", "AVX_512"}},
+                 {"MD_GPU", {"OFF", "CUDA"}}};
+  family(app, "2 ISAs x CUDA", cuda, table);
+
+  IrBuildOptions parallel;
+  parallel.points = {{"MD_OPENMP", {"OFF", "ON"}}, {"MD_MPI", {"OFF", "ON"}}};
+  family(app, "OpenMP x MPI", parallel, table);
+
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nPaper: 8710 -> 2695 (69%%); 7052 -> 2694 (76%%); 6976 -> 2333 "
+      "(66.4%%);\n~96%% raw flag incompatibility (build-dir headers), "
+      "~14.3%% of surplus TUs\npreprocessing-distinct, ~95%% of identical "
+      "targets differing only in CPU\ntuning.\n");
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Table 2: levels of code portability and their implementations.
+#include "bench/bench_util.hpp"
+#include "xaas/portability.hpp"
+
+int main() {
+  using namespace xaas;
+  bench::print_header("Table 2", "levels of code portability");
+  common::Table table({"Level", "Technology", "Description",
+                       "Portability Approach", "Dependency Integration"});
+  for (const auto& row : portability_table()) {
+    table.add_row({std::string(to_string(row.level)), row.technology,
+                   row.description, row.approach, row.integration});
+  }
+  std::printf("%s\n%s\n", table.to_string().c_str(),
+              xaas_positioning().c_str());
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Table 4: performance and cost of LLMs parsing the GROMACS-proxy build
+// configuration — 10 runs per model, F1/precision/recall min/med/max,
+// token counts, latency, and estimated cost. Followed by the §6.2
+// generalization study on the llama.cpp proxy (no in-context examples,
+// with and without normalization).
+#include "apps/minillama.hpp"
+#include "bench/bench_util.hpp"
+#include "discovery/llm.hpp"
+#include "discovery/metrics.hpp"
+
+namespace xaas {
+namespace {
+
+using apps::timing_stats;
+using common::Table;
+
+void evaluate(const Application& app, bool in_context, bool normalized,
+              const char* title) {
+  const auto truth = app.ground_truth();
+  Table table({"Model", "Tokens", "Tokens Out", "Time (s)", "Cost ($)",
+               "F1 min/med/max", "P min/med/max", "R min/med/max"});
+  for (const auto& model : discovery::model_zoo()) {
+    std::vector<double> f1s, precisions, recalls, latencies, out_tokens,
+        costs;
+    long long tokens_in = 0;
+    common::Rng rng(0xB0B5 + std::hash<std::string>{}(model.name) % 1000);
+    for (int run = 0; run < 10; ++run) {
+      const auto result = discovery::run_extraction(
+          model, app.script, app.build_script_text, in_context, rng);
+      const auto metrics =
+          discovery::score(truth, result.output, normalized);
+      f1s.push_back(metrics.f1);
+      precisions.push_back(metrics.precision);
+      recalls.push_back(metrics.recall);
+      latencies.push_back(result.latency_s);
+      out_tokens.push_back(result.tokens_out);
+      costs.push_back(result.cost_usd);
+      tokens_in = result.tokens_in;
+    }
+    const auto f1 = discovery::min_med_max(f1s);
+    const auto p = discovery::min_med_max(precisions);
+    const auto r = discovery::min_med_max(recalls);
+    const auto lat = timing_stats(latencies);
+    const auto out = timing_stats(out_tokens);
+    const auto cost = timing_stats(costs);
+    const auto fmt3 = [](const discovery::MinMedMax& m) {
+      return Table::num(m.min, 3) + "/" + Table::num(m.median, 3) + "/" +
+             Table::num(m.max, 3);
+    };
+    table.add_row({model.name, std::to_string(tokens_in) + " ± 0",
+                   Table::pm(out.mean, out.dev, 1),
+                   Table::pm(lat.mean, lat.dev, 2),
+                   Table::num(cost.mean, 3), fmt3(f1), fmt3(p), fmt3(r)});
+  }
+  std::printf("\n%s\n%s", title, table.to_string().c_str());
+}
+
+}  // namespace
+}  // namespace xaas
+
+int main() {
+  using namespace xaas;
+  bench::print_header("Table 4",
+                      "LLM specialization discovery (simulated model zoo)");
+
+  apps::MinimdOptions options;
+  options.module_count = 40;
+  options.gpu_module_count = 8;
+  const Application minimd = apps::make_minimd(options);
+  evaluate(minimd, /*in_context=*/true, /*normalized=*/false,
+           "GROMACS proxy (minimd), in-context examples, raw matching:");
+
+  const Application minillama = apps::make_minillama();
+  evaluate(minillama, /*in_context=*/false, /*normalized=*/false,
+           "\nGeneralization (llama.cpp proxy, no examples), raw matching:");
+  evaluate(minillama, /*in_context=*/false, /*normalized=*/true,
+           "\nGeneralization, normalized matching (hyphen/underscore, -D "
+           "prefix):");
+
+  std::printf(
+      "\nPaper shape: gemini-flash-2 leads (F1 med ~0.98); claude-3-5 "
+      "models drop\noptions (recall ~0.54); o3-mini/gpt-4o are "
+      "inconsistent across runs;\nnormalization lifts the no-example "
+      "llama.cpp scores.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Scenario: ship ONE source container of the molecular-dynamics app and
+// deploy it on three very different systems — Skylake+V100, GH200, and
+// Aurora — letting system discovery + specialization intersection pick
+// CUDA/SYCL backends, SIMD levels, and math libraries per system (Fig. 6).
+#include <cstdio>
+
+#include "apps/minimd.hpp"
+#include "xaas/source_container.hpp"
+
+int main() {
+  using namespace xaas;
+
+  apps::MinimdOptions options;
+  options.module_count = 8;
+  options.gpu_module_count = 2;
+  const Application app = apps::make_minimd(options);
+
+  const container::Image x86_image = build_source_image(app, isa::Arch::X86_64);
+  const container::Image arm_image = build_source_image(app, isa::Arch::AArch64);
+  std::printf("source images: x86 %s, arm %s\n",
+              x86_image.digest().substr(0, 19).c_str(),
+              arm_image.digest().substr(0, 19).c_str());
+
+  for (const auto& [node_name, image] :
+       std::vector<std::pair<const char*, const container::Image*>>{
+           {"ault23", &x86_image},
+           {"aurora", &x86_image},
+           {"clariden", &arm_image}}) {
+    const DeployedApp deployed =
+        deploy_source_container(*image, app, vm::node(node_name));
+    if (!deployed.ok) {
+      std::printf("%s: deployment failed: %s\n", node_name,
+                  deployed.error.c_str());
+      continue;
+    }
+    std::printf("\n%s:\n", node_name);
+    for (const auto& line : deployed.log) std::printf("  %s\n", line.c_str());
+    std::printf("  => GPU=%s SIMD=%s FFT=%s, target %s\n",
+                deployed.configuration.option_values.at("MD_GPU").c_str(),
+                deployed.configuration.option_values.at("MD_SIMD").c_str(),
+                deployed.configuration.option_values.at("MD_FFT").c_str(),
+                deployed.target.to_string().c_str());
+
+    vm::Workload workload = apps::minimd_workload({1000, 32, 10, 2000});
+    const auto result = deployed.run(workload, 16);
+    if (result.ok) {
+      std::printf("  ran: %.3f ms modeled (gpu cycles: %.2e)\n",
+                  result.elapsed_seconds * 1e3, result.cycles_gpu);
+    } else {
+      std::printf("  run failed: %s\n", result.error.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+#include "apps/catalog.hpp"
+
+namespace xaas::apps {
+
+const std::vector<HpcApplication>& hpc_application_catalog() {
+  static const std::vector<HpcApplication> catalog = {
+      {"Molecular Dynamics", "GROMACS", "Architecture-specific FFT",
+       "OpenCL, CUDA, SYCL, HIP", "OpenMP, MPI", "Automatic, many ISAs",
+       "BLAS/LAPACK, FFT (many)"},
+      {"Hydrodynamics", "LULESH", "-", "-", "OpenMP, MPI", "-", "-"},
+      {"Electronic Structure", "Quantum Espresso", "Compiler adaptations",
+       "CUDA, OpenACC", "OpenMP, MPI", "-",
+       "BLAS/LAPACK, ELPA, ScaLAPACK, FFT (many)"},
+      {"Lattice QCD", "MILC", "Compiler adaptations", "CUDA, HIP, SYCL",
+       "OpenMP, MPI", "Compiler flags, many ISAs (Intel, AMD, PowerPC)",
+       "LAPACK, PRIMME, FFTW, QUDA"},
+      {"Lattice QCD", "OpenQCD", "Optimized for x86 CPUs", "-", "OpenMP, MPI",
+       "Assembly (SSE, AVX, FMA3)", "-"},
+      {"Particle-in-Cell", "VPIC / VPIC 2.0", "Kokkos portability", "CUDA",
+       "OpenMP, MPI", "OpenMP and V4 library (many ISAs)", "-"},
+      {"Cloud Physics", "CloudSC", "System-specific toolchains",
+       "CUDA, SYCL, HIP, OpenACC", "OpenMP, MPI", "-", "Atlas"},
+      {"Weather & Climate", "ICON", "System-specific toolchains",
+       "CUDA, HIP, OpenACC", "OpenMP, MPI", "System-specific compiler flags",
+       "BLAS/LAPACK"},
+      {"LLM Inference", "llama.cpp", "Optimization flags",
+       "Eight, including CUDA, HIP, SYCL", "OpenMP, pthreads",
+       "Intrinsics (AVX, AVX2, AVX512, AMX, NEON, ...)",
+       "BLAS (OpenBLAS, MKL, BLIS)"},
+  };
+  return catalog;
+}
+
+}  // namespace xaas::apps

@@ -1,0 +1,23 @@
+// Table 1: specialization points of representative HPC applications and
+// benchmarks — the survey data motivating XaaS's design (§2.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xaas::apps {
+
+struct HpcApplication {
+  std::string domain;
+  std::string name;
+  std::string architecture_specialization;
+  std::string gpu_acceleration;
+  std::string parallelism;
+  std::string vectorization;
+  std::string performance_libraries;
+};
+
+/// The nine applications surveyed in Table 1.
+const std::vector<HpcApplication>& hpc_application_catalog();
+
+}  // namespace xaas::apps

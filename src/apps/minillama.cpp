@@ -1,0 +1,252 @@
+#include "apps/minillama.hpp"
+
+#include "buildsys/script.hpp"
+
+namespace xaas::apps {
+
+namespace {
+
+const char* kHeader = R"(
+#define LL_Q4_SCALE 0.0625
+#if defined(LL_SIMD_AVX_512)
+#define LL_SIMD_WIDTH 8
+#elif defined(LL_SIMD_AVX2_256)
+#define LL_SIMD_WIDTH 4
+#elif defined(LL_SIMD_None)
+#define LL_SIMD_WIDTH 1
+#else
+#define LL_SIMD_WIDTH 2
+#endif
+double mm_q4(double* w, double* act, double* out, int d);
+double mm_gpu(double* w, double* act, double* out, int d);
+double attention(double* out, double* scores, int d);
+)";
+
+const char* kMain = R"(
+#include "include/ll.h"
+double mm_forward(double* w, double* act, double* out, int d) {
+#if defined(LL_GPU_CUDA) || defined(LL_GPU_HIP) || defined(LL_GPU_SYCL)
+  return mm_gpu(w, act, out, d);
+#else
+  return mm_q4(w, act, out, d);
+#endif
+}
+
+double app_main(double* w, double* act, double* out, double* scores,
+                int d, int pp, int tg) {
+  double checksum = 0.0;
+  for (int t = 0; t < pp; t++) {
+    checksum = checksum + mm_forward(w, act, out, d);
+  }
+  for (int t = 0; t < tg; t++) {
+    checksum = checksum + mm_forward(w, act, out, d);
+    checksum = checksum + attention(out, scores, d);
+  }
+  return checksum;
+}
+)";
+
+// Q4 matmul: the reference path dequantizes with floor() and divisions
+// (never vectorized); the tuned path is a clean fused dequant-FMA loop
+// the deployment-time vectorizer widens, like ggml's per-ISA intrinsics.
+const char* kMatmul = R"(
+#include "include/ll.h"
+#ifdef LL_SIMD_None
+double mm_q4(double* w, double* act, double* out, int d) {
+  double checksum = 0.0;
+#pragma omp parallel for reduction(+:checksum)
+  for (int r = 0; r < d; r++) {
+    double acc = 0.0;
+    int lo = r * d;
+    for (int c = 0; c < d; c++) {
+      double q = w[lo + c];
+      double block = floor(q * 0.25);
+      double dq = (q - block * 4.0) * LL_Q4_SCALE - 0.5;
+      double scale = 1.0 / (1.0 + block * 0.0);
+      acc += dq * scale * act[c];
+    }
+    out[r] = acc;
+    checksum += acc;
+  }
+  return checksum;
+}
+#else
+double mm_q4(double* w, double* act, double* out, int d) {
+  double checksum = 0.0;
+#pragma omp parallel for reduction(+:checksum)
+  for (int r = 0; r < d; r++) {
+    double acc = 0.0;
+    int lo = r * d;
+    for (int c = 0; c < d; c++) {
+      double dq = w[lo + c] * LL_Q4_SCALE - 0.5;
+      acc += dq * act[c];
+    }
+    out[r] = acc;
+    checksum += acc;
+  }
+  return checksum;
+}
+#endif
+)";
+
+// Attention softmax: exp() has no vector form on our targets, so this
+// stays scalar on every build — the Amdahl component of tg latency.
+const char* kAttention = R"(
+#include "include/ll.h"
+double attention(double* out, double* scores, int d) {
+  double m = out[0];
+  for (int i = 0; i < d; i++) {
+    m = fmax(m, out[i]);
+  }
+  double z = 0.0;
+  for (int i = 0; i < d; i++) {
+    double e = exp((out[i] - m) * 0.125);
+    scores[i] = e;
+    z += e;
+  }
+  for (int i = 0; i < d; i++) {
+    scores[i] = scores[i] / z;
+  }
+  return z;
+}
+)";
+
+std::string gpu_source(const std::string& backend, const char* extra) {
+  return std::string("#include \"include/ll.h\"\n#pragma xaas gpu_kernel\n"
+                     "double ll_mm_kernel_") +
+         backend + R"((double* w, double* act, double* out, int d) {
+  double checksum = 0.0;
+  for (int r = 0; r < d; r++) {
+    double acc = 0.0;
+    int lo = r * d;
+    for (int c = 0; c < d; c++) {
+      double dq = w[lo + c] * LL_Q4_SCALE - 0.5;
+      acc += dq * act[c];
+)" + std::string(extra) + R"(    }
+    out[r] = acc;
+    checksum += acc;
+  }
+  return checksum;
+}
+
+double mm_gpu(double* w, double* act, double* out, int d) {
+  return ll_mm_kernel_)" + backend + R"((w, act, out, d);
+}
+)";
+}
+
+const char* kScript = R"(
+project(minillama)
+build_system(cmake 3.14)
+minimum_compiler(gcc 9.0)
+minimum_compiler(clang 14.0)
+minimum_compiler(icpx 2023.0)
+architecture(x86_64)
+architecture(aarch64)
+
+option_multichoice(LL_SIMD "CPU SIMD level" AVX2_256 None SSE4.1 AVX2_256 AVX_512 ARM_NEON_ASIMD)
+simd_option(LL_SIMD)
+category(LL_SIMD simd)
+
+option_multichoice(LL_GPU "GPU backend" OFF OFF CUDA HIP SYCL)
+category(LL_GPU gpu)
+
+option_bool(LL_OPENMP "OpenMP threading" ON)
+category(LL_OPENMP parallel)
+
+option_multichoice(LL_BLAS "BLAS for prompt processing" none none openblas mkl)
+category(LL_BLAS blas)
+
+# ggml-style performance toggles (over 20 in the real project, §6.2).
+option_bool(LL_KQUANTS "k-quant formats" ON)
+option_bool(LL_FLASH_ATTN "fused flash attention" OFF)
+option_bool(LL_FMA "use FMA intrinsics" ON)
+option_bool(LL_F16C "F16C conversions" ON)
+option_bool(LL_AVX_VNNI "AVX-VNNI dot products" OFF)
+option_bool(LL_LTO "link-time optimization" OFF)
+option_bool(LL_NATIVE "-march=native tuning" OFF)
+option_bool(LL_ACCELERATE "Apple Accelerate framework" OFF)
+category(LL_KQUANTS optimization)
+category(LL_FLASH_ATTN optimization)
+category(LL_FMA optimization)
+category(LL_F16C optimization)
+category(LL_AVX_VNNI optimization)
+category(LL_LTO optimization)
+category(LL_NATIVE optimization)
+category(LL_ACCELERATE optimization)
+
+add_target(llama)
+target_sources(llama src/main.c src/matmul_q4.c src/attention.c)
+include_dir(llama .)
+
+if(LL_OPENMP)
+  add_flag(-fopenmp)
+endif()
+if(LL_KQUANTS)
+  add_define(LL_KQUANTS)
+endif()
+
+if(LL_GPU STREQUAL CUDA)
+  require_dependency(cuda 12.0)
+  target_sources(llama src/gpu_cuda.c)
+endif()
+if(LL_GPU STREQUAL HIP)
+  require_dependency(rocm 5.4)
+  target_sources(llama src/gpu_hip.c)
+endif()
+if(LL_GPU STREQUAL SYCL)
+  require_dependency(sycl 2023.0)
+  target_sources(llama src/gpu_sycl.c)
+endif()
+
+if(LL_BLAS STREQUAL openblas)
+  require_dependency(openblas 0.3)
+  link_library(openblas)
+endif()
+if(LL_BLAS STREQUAL mkl)
+  require_dependency(mkl 2021)
+  link_library(mkl)
+endif()
+)";
+
+}  // namespace
+
+Application make_minillama() {
+  Application app;
+  app.name = "minillama";
+  app.entry_point = "app_main";
+  app.source_tree.write("include/ll.h", kHeader);
+  app.source_tree.write("src/main.c", kMain);
+  app.source_tree.write("src/matmul_q4.c", kMatmul);
+  app.source_tree.write("src/attention.c", kAttention);
+  app.source_tree.write("src/gpu_cuda.c", gpu_source("cuda", ""));
+  app.source_tree.write("src/gpu_hip.c", gpu_source("hip", ""));
+  app.source_tree.write(
+      "src/gpu_sycl.c",
+      gpu_source("sycl", "      acc = acc * 1.0 + 0.0 * dq;\n"));
+  app.build_script_text = kScript;
+  app.script = buildsys::parse_script(kScript).script;
+  return app;
+}
+
+vm::Workload minillama_workload(const LlamaWorkloadParams& params) {
+  vm::Workload w;
+  w.entry = "app_main";
+  const auto d = static_cast<std::size_t>(params.d_model);
+  std::vector<double> weights(d * d);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = static_cast<double>((i * 2654435761ULL) % 16);  // Q4 codes
+  }
+  w.f64_buffers["w"] = std::move(weights);
+  w.f64_buffers["act"] = std::vector<double>(d, 0.25);
+  w.f64_buffers["out"] = std::vector<double>(d, 0.0);
+  w.f64_buffers["scores"] = std::vector<double>(d, 0.0);
+  using Arg = vm::Workload::Arg;
+  w.args = {Arg::buf_f64("w"),   Arg::buf_f64("act"),
+            Arg::buf_f64("out"), Arg::buf_f64("scores"),
+            Arg::i64(params.d_model), Arg::i64(params.prompt_tokens),
+            Arg::i64(params.gen_tokens)};
+  return w;
+}
+
+}  // namespace xaas::apps

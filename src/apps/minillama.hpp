@@ -1,0 +1,27 @@
+// minillama: an LLM-inference mini-app standing in for llama.cpp
+// (Table 1 last row, §6.3.2): quantized matrix multiplication and
+// attention kernels, multiple GPU backends, SIMD levels down to reference
+// kernels, and a pile of ggml-style optimization toggles that make its
+// build script the harder specialization-discovery target of §6.2's
+// generalization study.
+#pragma once
+
+#include "vm/executor.hpp"
+#include "xaas/application.hpp"
+
+namespace xaas::apps {
+
+Application make_minillama();
+
+/// The paper's llama.cpp benchmark: prompt processing of `pp` tokens and
+/// generation of `tg` tokens on a model of hidden dimension `d`
+/// (llama-bench pp512/tg128 proxy).
+struct LlamaWorkloadParams {
+  int d_model = 256;
+  int prompt_tokens = 8;
+  int gen_tokens = 4;
+};
+
+vm::Workload minillama_workload(const LlamaWorkloadParams& params);
+
+}  // namespace xaas::apps

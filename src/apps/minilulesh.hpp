@@ -1,0 +1,19 @@
+// minilulesh: a 5-file shock-hydrodynamics mini-app standing in for
+// LULESH [paper ref 1]. Its two specialization points (MPI, OpenMP)
+// reproduce the paper's worked example (§4.3): four build configurations,
+// 5 source files each -> 20 translation units, reduced to 14 IR files by
+// preprocessing + AST OpenMP detection.
+#pragma once
+
+#include "vm/executor.hpp"
+#include "xaas/application.hpp"
+
+namespace xaas::apps {
+
+Application make_minilulesh();
+
+/// Sedov-like 1D blast workload: `elements` zones advanced `steps`
+/// iterations. Entry returns total energy (for correctness checks).
+vm::Workload minilulesh_workload(int elements, int steps);
+
+}  // namespace xaas::apps

@@ -1,0 +1,29 @@
+#include "apps/workloads.hpp"
+
+#include <cmath>
+
+namespace xaas::apps {
+
+TimingBreakdown extrapolate(const vm::RunResult& result, double scale,
+                            double io_seconds) {
+  TimingBreakdown t;
+  t.compute_seconds = result.elapsed_seconds * scale;
+  t.io_seconds = io_seconds;
+  return t;
+}
+
+Stats timing_stats(const std::vector<double>& seconds) {
+  Stats s;
+  if (seconds.empty()) return s;
+  double sum = 0.0;
+  for (double v : seconds) sum += v;
+  s.mean = sum / static_cast<double>(seconds.size());
+  double var = 0.0;
+  for (double v : seconds) var += (v - s.mean) * (v - s.mean);
+  s.dev = seconds.size() > 1
+              ? std::sqrt(var / static_cast<double>(seconds.size() - 1))
+              : 0.0;
+  return s;
+}
+
+}  // namespace xaas::apps

@@ -1,0 +1,29 @@
+// Helpers shared by the benchmark harness: extrapolate simulated
+// measurements from scaled-down workloads to the paper's full workload
+// sizes, and attach the I/O-time component GROMACS reports separately
+// (Figs. 2/10/12 exclude or stack I/O explicitly).
+#pragma once
+
+#include "vm/executor.hpp"
+
+namespace xaas::apps {
+
+struct TimingBreakdown {
+  double compute_seconds = 0.0;
+  double io_seconds = 0.0;
+  double total() const { return compute_seconds + io_seconds; }
+};
+
+/// Scale a simulated run to the paper's workload size. `scale` is the
+/// ratio full/simulated in total work (atoms*steps or tokens).
+TimingBreakdown extrapolate(const vm::RunResult& result, double scale,
+                            double io_seconds = 0.0);
+
+/// Mean and standard deviation over repeated timings.
+struct Stats {
+  double mean = 0.0;
+  double dev = 0.0;
+};
+Stats timing_stats(const std::vector<double>& seconds);
+
+}  // namespace xaas::apps

@@ -1,0 +1,263 @@
+#include "buildsys/configure.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+#include "isa/isa.hpp"
+
+namespace xaas::buildsys {
+
+using common::join;
+using common::replace_all;
+
+std::string CompileCommand::args_string() const {
+  return join(args, " ");
+}
+
+std::string Configuration::id() const {
+  std::vector<std::string> parts;
+  for (const auto& [name, value] : option_values) {
+    parts.push_back(name + "=" + value);
+  }
+  return join(parts, ",");
+}
+
+namespace {
+
+bool is_truthy(const std::string& v) {
+  return v != "OFF" && v != "0" && v != "FALSE" && v != "NO" && !v.empty();
+}
+
+bool condition_holds(const Condition& cond,
+                     const std::map<std::string, std::string>& values) {
+  const auto it = values.find(cond.option);
+  const std::string value = it == values.end() ? "" : it->second;
+  switch (cond.kind) {
+    case Condition::Kind::Truthy: return is_truthy(value);
+    case Condition::Kind::NotTruthy: return !is_truthy(value);
+    case Condition::Kind::Equals: return value == cond.value;
+    case Condition::Kind::NotEquals: return value != cond.value;
+  }
+  return false;
+}
+
+bool all_conditions_hold(const Directive& d,
+                         const std::map<std::string, std::string>& values) {
+  return std::all_of(d.conditions.begin(), d.conditions.end(),
+                     [&](const Condition& c) { return condition_holds(c, values); });
+}
+
+// Version strings compare numerically component-wise ("12.4" >= "12.1").
+bool version_at_least(const std::string& have, const std::string& need) {
+  const auto ha = common::split(have, '.');
+  const auto na = common::split(need, '.');
+  for (std::size_t i = 0; i < std::max(ha.size(), na.size()); ++i) {
+    const int h = i < ha.size() ? std::atoi(ha[i].c_str()) : 0;
+    const int n = i < na.size() ? std::atoi(na[i].c_str()) : 0;
+    if (h != n) return h > n;
+  }
+  return true;
+}
+
+ResolvedTarget* find_target(Configuration& config, const std::string& name) {
+  for (auto& t : config.targets) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Configuration configure(const BuildScript& script,
+                        const std::map<std::string, std::string>& values,
+                        const Environment& env) {
+  Configuration config;
+  config.environment = env;
+
+  // Resolve option values: defaults overridden by the assignment.
+  for (const auto& opt : script.options) {
+    config.option_values[opt.name] = opt.default_value;
+  }
+  for (const auto& [name, value] : values) {
+    const OptionDef* opt = script.find_option(name);
+    if (!opt) {
+      config.error = "unknown option: " + name;
+      return config;
+    }
+    if (opt->multichoice) {
+      if (std::find(opt->choices.begin(), opt->choices.end(), value) ==
+          opt->choices.end()) {
+        config.error = "invalid value '" + value + "' for option " + name;
+        return config;
+      }
+    } else if (value != "ON" && value != "OFF") {
+      config.error = "bool option " + name + " must be ON or OFF";
+      return config;
+    }
+    config.option_values[name] = value;
+  }
+
+  for (const auto& d : script.directives) {
+    if (!all_conditions_hold(d, config.option_values)) continue;
+    switch (d.kind) {
+      case Directive::Kind::AddDefine:
+        config.global_defines.push_back(d.args.at(0));
+        break;
+      case Directive::Kind::AddFlag:
+        config.global_flags.push_back(d.args.at(0));
+        break;
+      case Directive::Kind::RequireDependency: {
+        const std::string& name = d.args.at(0);
+        const std::string min_version = d.args.size() > 1 ? d.args[1] : "";
+        config.dependencies.emplace_back(name, min_version);
+        const auto it = env.dependencies.find(name);
+        if (it == env.dependencies.end()) {
+          config.error = "missing dependency: " + name;
+          return config;
+        }
+        if (!min_version.empty() && !version_at_least(it->second, min_version)) {
+          config.error = "dependency " + name + " version " + it->second +
+                         " < required " + min_version;
+          return config;
+        }
+        break;
+      }
+      case Directive::Kind::LinkLibrary:
+        config.link_libraries.push_back(d.args.at(0));
+        break;
+      case Directive::Kind::InternalLibrary:
+        config.internal_libraries.push_back(d.args.at(0));
+        break;
+      case Directive::Kind::AddTarget:
+        config.targets.push_back(ResolvedTarget{d.args.at(0), {}, {}, {}});
+        break;
+      case Directive::Kind::TargetSources: {
+        ResolvedTarget* t = find_target(config, d.args.at(0));
+        if (!t) {
+          config.error = "target_sources for unknown target " + d.args.at(0);
+          return config;
+        }
+        t->sources.insert(t->sources.end(), d.args.begin() + 1, d.args.end());
+        break;
+      }
+      case Directive::Kind::TargetSourcesGlob: {
+        ResolvedTarget* t = find_target(config, d.args.at(0));
+        if (!t) {
+          config.error =
+              "target_sources_glob for unknown target " + d.args.at(0);
+          return config;
+        }
+        t->source_globs.push_back(d.args.at(1));
+        break;
+      }
+      case Directive::Kind::TargetDefine: {
+        ResolvedTarget* t = find_target(config, d.args.at(0));
+        if (!t) {
+          config.error = "target_define for unknown target " + d.args.at(0);
+          return config;
+        }
+        t->defines.push_back(d.args.at(1));
+        break;
+      }
+      case Directive::Kind::IncludeDir: {
+        ResolvedTarget* t = find_target(config, d.args.at(0));
+        if (!t) {
+          config.error = "include_dir for unknown target " + d.args.at(0);
+          return config;
+        }
+        t->include_dirs.push_back(d.args.at(1));
+        break;
+      }
+      case Directive::Kind::IncludeBuildDir: {
+        ResolvedTarget* t = find_target(config, d.args.at(0));
+        if (!t) {
+          config.error = "include_build_dir for unknown target " + d.args.at(0);
+          return config;
+        }
+        t->include_dirs.push_back(env.build_dir + "/include");
+        break;
+      }
+      case Directive::Kind::GpuSources: {
+        // gpu_sources(TARGET BACKEND PATH...): only when some option equals
+        // BACKEND — by convention guarded with if() in scripts; here the
+        // conditions already gated us, so just append.
+        ResolvedTarget* t = find_target(config, d.args.at(0));
+        if (!t) {
+          config.error = "gpu_sources for unknown target " + d.args.at(0);
+          return config;
+        }
+        t->sources.insert(t->sources.end(), d.args.begin() + 2, d.args.end());
+        break;
+      }
+    }
+  }
+
+  // Defines derived from option values:
+  //  - every multichoice contributes <NAME>_<VALUE> (dots -> underscores),
+  //  - the SIMD option additionally contributes the -m<ISA> tuning flag,
+  //    which the XaaS vectorization pass later strips and defers (§4.3).
+  for (const auto& opt : script.options) {
+    const std::string value = config.option_values[opt.name];
+    if (!opt.multichoice) continue;
+    if (opt.is_simd) {
+      config.global_defines.push_back(
+          opt.name + "_" + replace_all(replace_all(value, ".", "_"), "-", "_"));
+      if (value != "None" && isa::vector_isa_from_string(value)) {
+        config.global_flags.push_back("-m" + value);
+      }
+    } else if (is_truthy(value)) {
+      config.global_defines.push_back(
+          opt.name + "_" + replace_all(replace_all(value, ".", "_"), "-", "_"));
+    }
+  }
+
+  config.ok = true;
+  return config;
+}
+
+std::vector<CompileCommand> Configuration::compile_commands(
+    const common::Vfs& source_tree) const {
+  std::vector<CompileCommand> commands;
+  for (const auto& target : targets) {
+    std::vector<std::string> sources = target.sources;
+    for (const auto& pattern : target.source_globs) {
+      for (auto& match : source_tree.glob(pattern)) {
+        sources.push_back(std::move(match));
+      }
+    }
+    for (const auto& src : sources) {
+      if (!source_tree.exists(src)) continue;  // conditional files may be absent
+      CompileCommand cmd;
+      cmd.target = target.name;
+      cmd.source = src;
+      for (const auto& d : global_defines) cmd.args.push_back("-D" + d);
+      for (const auto& d : target.defines) cmd.args.push_back("-D" + d);
+      for (const auto& inc : target.include_dirs) cmd.args.push_back("-I" + inc);
+      for (const auto& f : global_flags) cmd.args.push_back(f);
+      commands.push_back(std::move(cmd));
+    }
+  }
+  return commands;
+}
+
+std::vector<std::map<std::string, std::string>> expand_configurations(
+    const BuildScript& script,
+    const std::map<std::string, std::vector<std::string>>& points) {
+  std::vector<std::map<std::string, std::string>> result;
+  result.push_back({});
+  for (const auto& [name, choices] : points) {
+    (void)script;
+    std::vector<std::map<std::string, std::string>> next;
+    for (const auto& partial : result) {
+      for (const auto& choice : choices) {
+        auto assignment = partial;
+        assignment[name] = choice;
+        next.push_back(std::move(assignment));
+      }
+    }
+    result = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace xaas::buildsys

@@ -1,0 +1,81 @@
+// Configurator: evaluate a build script under a concrete option
+// assignment and environment, producing resolved targets and the
+// compile-command database the IR pipeline consumes (§4.3
+// "Configuration": "we obtain the list of all compilation steps and
+// associated compilation flags ... without analyzing the internal
+// structure of each build system").
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "buildsys/script.hpp"
+#include "common/vfs.hpp"
+
+namespace xaas::buildsys {
+
+/// The environment a configuration runs in: where the build directory
+/// lives, which dependencies are installed, which compiler is used.
+struct Environment {
+  /// Build directory path. Distinct per configuration for host builds;
+  /// the XaaS pipeline containerizes builds so this is always the same
+  /// path, removing spurious flag differences (§4.3).
+  std::string build_dir = "/build";
+  /// name -> version of available dependencies (e.g. {"cuda","12.1"}).
+  std::map<std::string, std::string> dependencies;
+  std::string compiler = "clang";
+  std::string compiler_version = "19.0";
+};
+
+/// One entry of the compile-commands database.
+struct CompileCommand {
+  std::string target;
+  std::string source;            // path within the application Vfs
+  std::vector<std::string> args; // canonical flag list (-D/-I/-O/-m/...)
+
+  std::string args_string() const;
+};
+
+struct ResolvedTarget {
+  std::string name;
+  std::vector<std::string> sources;
+  std::vector<std::string> source_globs;  // expanded against the source tree
+  std::vector<std::string> defines;
+  std::vector<std::string> include_dirs;
+};
+
+struct Configuration {
+  bool ok = false;
+  std::string error;
+
+  std::map<std::string, std::string> option_values;
+  std::vector<std::string> global_defines;
+  std::vector<std::string> global_flags;
+  std::vector<std::string> link_libraries;
+  std::vector<std::pair<std::string, std::string>> dependencies;  // name, min ver
+  std::vector<std::string> internal_libraries;
+  std::vector<ResolvedTarget> targets;
+  Environment environment;
+
+  /// Stable identifier of the option assignment, e.g. "MD_MPI=ON,MD_SIMD=AVX_512".
+  std::string id() const;
+
+  /// The full compile-command database for this configuration.
+  std::vector<CompileCommand> compile_commands(const common::Vfs& source_tree) const;
+};
+
+/// Evaluate the script. Unknown option names or invalid choice values are
+/// errors; unmet dependencies are reported in `error`.
+Configuration configure(const BuildScript& script,
+                        const std::map<std::string, std::string>& values,
+                        const Environment& env);
+
+/// Cartesian product of the given specialization points (option name ->
+/// list of values to expand); every other option keeps its default.
+/// LULESH with {MPI, OpenMP} yields four configurations (§4.3).
+std::vector<std::map<std::string, std::string>> expand_configurations(
+    const BuildScript& script,
+    const std::map<std::string, std::vector<std::string>>& points);
+
+}  // namespace xaas::buildsys

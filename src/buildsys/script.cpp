@@ -1,0 +1,242 @@
+#include "buildsys/script.hpp"
+
+#include "common/strings.hpp"
+
+namespace xaas::buildsys {
+
+using common::split;
+using common::split_ws;
+using common::starts_with;
+using common::trim;
+
+const OptionDef* BuildScript::find_option(const std::string& name) const {
+  for (const auto& opt : options) {
+    if (opt.name == name) return &opt;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Split "cmd(arg1 arg2 "quoted arg" arg3)" into command and args.
+// Quoted arguments may contain spaces.
+bool split_command(const std::string& line, std::string& cmd,
+                   std::vector<std::string>& args, std::string& error) {
+  const auto open = line.find('(');
+  const auto close = line.rfind(')');
+  if (open == std::string::npos || close == std::string::npos ||
+      close < open) {
+    error = "malformed command: " + line;
+    return false;
+  }
+  cmd = std::string(trim(line.substr(0, open)));
+  const std::string inner = line.substr(open + 1, close - open - 1);
+  std::string current;
+  bool in_quotes = false;
+  for (char c : inner) {
+    if (c == '"') {
+      if (in_quotes) {
+        args.push_back(current);  // may be empty
+        current.clear();
+      }
+      in_quotes = !in_quotes;
+    } else if (!in_quotes && (c == ' ' || c == '\t')) {
+      if (!current.empty()) {
+        args.push_back(current);
+        current.clear();
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (in_quotes) {
+    error = "unterminated quote: " + line;
+    return false;
+  }
+  if (!current.empty()) args.push_back(current);
+  return true;
+}
+
+std::optional<Condition> parse_condition(const std::vector<std::string>& args,
+                                         std::string& error) {
+  Condition cond;
+  if (args.size() == 1) {
+    cond.kind = Condition::Kind::Truthy;
+    cond.option = args[0];
+    return cond;
+  }
+  if (args.size() == 2 && args[0] == "NOT") {
+    cond.kind = Condition::Kind::NotTruthy;
+    cond.option = args[1];
+    return cond;
+  }
+  if (args.size() == 3 && args[1] == "STREQUAL") {
+    cond.kind = Condition::Kind::Equals;
+    cond.option = args[0];
+    cond.value = args[2];
+    return cond;
+  }
+  if (args.size() == 4 && args[0] == "NOT" && args[2] == "STREQUAL") {
+    cond.kind = Condition::Kind::NotEquals;
+    cond.option = args[1];
+    cond.value = args[3];
+    return cond;
+  }
+  error = "unsupported condition";
+  return std::nullopt;
+}
+
+}  // namespace
+
+ParseScriptResult parse_script(const std::string& text) {
+  ParseScriptResult result;
+  BuildScript& script = result.script;
+
+  struct Frame {
+    Condition condition;
+    bool in_else = false;
+  };
+  std::vector<Frame> stack;
+
+  const auto active_conditions = [&stack]() {
+    std::vector<Condition> conditions;
+    for (const auto& frame : stack) {
+      Condition c = frame.condition;
+      if (frame.in_else) {
+        // Negate for the else branch.
+        switch (c.kind) {
+          case Condition::Kind::Truthy: c.kind = Condition::Kind::NotTruthy; break;
+          case Condition::Kind::NotTruthy: c.kind = Condition::Kind::Truthy; break;
+          case Condition::Kind::Equals: c.kind = Condition::Kind::NotEquals; break;
+          case Condition::Kind::NotEquals: c.kind = Condition::Kind::Equals; break;
+        }
+      }
+      conditions.push_back(std::move(c));
+    }
+    return conditions;
+  };
+
+  const auto fail = [&](const std::string& msg, std::size_t line_no) {
+    result.error =
+        "script error at line " + std::to_string(line_no + 1) + ": " + msg;
+    result.ok = false;
+    return result;
+  };
+
+  const auto lines = split(text, '\n');
+  for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+    const std::string_view raw = trim(lines[ln]);
+    if (raw.empty() || raw[0] == '#') continue;
+
+    std::string cmd;
+    std::vector<std::string> args;
+    std::string error;
+    if (!split_command(std::string(raw), cmd, args, error)) {
+      return fail(error, ln);
+    }
+
+    const auto require_args = [&](std::size_t n) {
+      return args.size() >= n;
+    };
+
+    if (cmd == "project") {
+      if (!require_args(1)) return fail("project needs a name", ln);
+      script.project = args[0];
+    } else if (cmd == "build_system") {
+      if (!require_args(2)) return fail("build_system(TYPE VER)", ln);
+      script.build_system_type = args[0];
+      script.build_system_min_version = args[1];
+    } else if (cmd == "minimum_compiler") {
+      if (!require_args(2)) return fail("minimum_compiler(NAME VER)", ln);
+      script.compilers.emplace_back(args[0], args[1]);
+    } else if (cmd == "architecture") {
+      if (!require_args(1)) return fail("architecture(ARCH)", ln);
+      script.architectures.push_back(args[0]);
+    } else if (cmd == "option_bool") {
+      if (!require_args(3)) return fail("option_bool(NAME \"desc\" DEF)", ln);
+      OptionDef opt;
+      opt.name = args[0];
+      opt.description = args[1];
+      opt.default_value = args[2];
+      script.options.push_back(std::move(opt));
+    } else if (cmd == "option_multichoice") {
+      if (!require_args(4)) {
+        return fail("option_multichoice(NAME \"desc\" DEFAULT CHOICES...)", ln);
+      }
+      OptionDef opt;
+      opt.name = args[0];
+      opt.description = args[1];
+      opt.multichoice = true;
+      opt.default_value = args[2];
+      opt.choices.assign(args.begin() + 3, args.end());
+      script.options.push_back(std::move(opt));
+    } else if (cmd == "category") {
+      if (!require_args(2)) return fail("category(NAME CAT)", ln);
+      bool found = false;
+      for (auto& opt : script.options) {
+        if (opt.name == args[0]) {
+          opt.category = args[1];
+          found = true;
+        }
+      }
+      if (!found) return fail("category() for unknown option " + args[0], ln);
+    } else if (cmd == "simd_option") {
+      if (!require_args(1)) return fail("simd_option(NAME)", ln);
+      bool found = false;
+      for (auto& opt : script.options) {
+        if (opt.name == args[0]) {
+          opt.is_simd = true;
+          found = true;
+        }
+      }
+      if (!found) return fail("simd_option() for unknown option", ln);
+    } else if (cmd == "if") {
+      std::string cond_error;
+      const auto cond = parse_condition(args, cond_error);
+      if (!cond) return fail(cond_error, ln);
+      stack.push_back({*cond, false});
+    } else if (cmd == "else") {
+      if (stack.empty()) return fail("else() without if()", ln);
+      if (stack.back().in_else) return fail("duplicate else()", ln);
+      stack.back().in_else = true;
+    } else if (cmd == "endif") {
+      if (stack.empty()) return fail("endif() without if()", ln);
+      stack.pop_back();
+    } else {
+      // Effectful directives.
+      static const std::map<std::string, Directive::Kind> kDirectives = {
+          {"add_define", Directive::Kind::AddDefine},
+          {"add_flag", Directive::Kind::AddFlag},
+          {"require_dependency", Directive::Kind::RequireDependency},
+          {"link_library", Directive::Kind::LinkLibrary},
+          {"add_target", Directive::Kind::AddTarget},
+          {"target_sources", Directive::Kind::TargetSources},
+          {"target_sources_glob", Directive::Kind::TargetSourcesGlob},
+          {"target_define", Directive::Kind::TargetDefine},
+          {"include_dir", Directive::Kind::IncludeDir},
+          {"include_build_dir", Directive::Kind::IncludeBuildDir},
+          {"gpu_sources", Directive::Kind::GpuSources},
+          {"internal_library", Directive::Kind::InternalLibrary},
+      };
+      const auto it = kDirectives.find(cmd);
+      if (it == kDirectives.end()) {
+        return fail("unknown command: " + cmd, ln);
+      }
+      Directive d;
+      d.kind = it->second;
+      d.args = args;
+      d.conditions = active_conditions();
+      script.directives.push_back(std::move(d));
+    }
+  }
+  if (!stack.empty()) {
+    return fail("unterminated if()", lines.size() - 1);
+  }
+  if (script.project.empty()) {
+    return fail("missing project()", 0);
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace xaas::buildsys

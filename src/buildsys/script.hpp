@@ -1,0 +1,100 @@
+// Build-script language ("xbuild"): a declarative, line-oriented stand-in
+// for CMake that our synthetic HPC applications ship.
+//
+// The paper's pipeline treats build systems behaviorally — it never
+// interprets CMake, only the compile-command databases builds produce
+// (§4.2). We still need real build scripts because (a) the configurator
+// evaluates them to generate per-configuration compile commands and
+// (b) specialization discovery (ground truth + simulated LLMs) parses
+// them, exactly like the paper's LLM parses CMakeLists.txt.
+//
+// Grammar (one command per line, '#' comments):
+//   project(NAME)
+//   build_system(TYPE MIN_VERSION)
+//   minimum_compiler(NAME VERSION)
+//   architecture(ARCH)
+//   option_bool(NAME "description" ON|OFF)
+//   option_multichoice(NAME "description" DEFAULT CHOICE...)
+//   category(NAME CATEGORY)        # schema category for discovery
+//   simd_option(NAME)              # marks the vectorization multichoice
+//   internal_library(NAME FLAG)    # library built in-tree when selected
+//   if(COND) / else() / endif()    # COND: X | NOT X | X STREQUAL v
+//   add_define(DEF[=VAL])
+//   add_flag(FLAG)
+//   require_dependency(NAME MIN_VERSION)
+//   link_library(NAME)
+//   add_target(NAME)
+//   target_sources(TARGET PATH...)
+//   target_sources_glob(TARGET PATTERN)
+//   target_define(TARGET DEF[=VAL])
+//   include_dir(TARGET DIR)
+//   include_build_dir(TARGET)      # -I<builddir>/include (generated headers)
+//   gpu_sources(TARGET BACKEND PATH...)  # sources only built for a backend
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace xaas::buildsys {
+
+struct OptionDef {
+  std::string name;
+  std::string description;
+  bool multichoice = false;
+  std::string default_value;          // "ON"/"OFF" for bool options
+  std::vector<std::string> choices;   // empty for bool options
+  std::string category;               // via category(); "" = uncategorized
+  bool is_simd = false;               // via simd_option()
+};
+
+struct Condition {
+  enum class Kind { Truthy, NotTruthy, Equals, NotEquals };
+  Kind kind = Kind::Truthy;
+  std::string option;
+  std::string value;  // for (Not)Equals
+};
+
+/// One effectful command with the conjunction of enclosing if() conditions.
+struct Directive {
+  enum class Kind {
+    AddDefine,
+    AddFlag,
+    RequireDependency,
+    LinkLibrary,
+    AddTarget,
+    TargetSources,
+    TargetSourcesGlob,
+    TargetDefine,
+    IncludeDir,
+    IncludeBuildDir,
+    GpuSources,
+    InternalLibrary,
+  };
+  Kind kind;
+  std::vector<std::string> args;
+  std::vector<Condition> conditions;
+};
+
+struct BuildScript {
+  std::string project;
+  std::string build_system_type = "cmake";
+  std::string build_system_min_version;
+  std::vector<std::pair<std::string, std::string>> compilers;  // name, min ver
+  std::vector<std::string> architectures;
+  std::vector<OptionDef> options;
+  std::vector<Directive> directives;
+
+  const OptionDef* find_option(const std::string& name) const;
+};
+
+struct ParseScriptResult {
+  bool ok = false;
+  std::string error;
+  BuildScript script;
+};
+
+ParseScriptResult parse_script(const std::string& text);
+
+}  // namespace xaas::buildsys

@@ -1,0 +1,54 @@
+// Deterministic seeded RNG (SplitMix64) used everywhere randomness is
+// needed — LLM error simulation, workload generation, property tests —
+// so every experiment is exactly reproducible run to run.
+#pragma once
+
+#include <cstdint>
+
+namespace xaas::common {
+
+class Rng {
+public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64 random bits (SplitMix64).
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t next_below(std::uint64_t n) { return next_u64() % n; }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return next_double() < p; }
+
+  /// Approximate standard normal via sum of uniforms (Irwin-Hall, k=12).
+  double next_normal() {
+    double sum = 0.0;
+    for (int i = 0; i < 12; ++i) sum += next_double();
+    return sum - 6.0;
+  }
+
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev) {
+    return mean + stddev * next_normal();
+  }
+
+private:
+  std::uint64_t state_;
+};
+
+}  // namespace xaas::common

@@ -1,0 +1,40 @@
+// Small string utilities shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xaas::common {
+
+/// Split `s` on `sep`, dropping empty pieces when `keep_empty` is false.
+std::vector<std::string> split(std::string_view s, char sep,
+                               bool keep_empty = false);
+
+/// Split on any whitespace run.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Strip leading/trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// Join pieces with `sep`.
+std::string join(const std::vector<std::string>& pieces, std::string_view sep);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+bool contains(std::string_view s, std::string_view needle);
+
+/// ASCII lower-case copy.
+std::string to_lower(std::string_view s);
+
+/// Replace every occurrence of `from` with `to`.
+std::string replace_all(std::string s, std::string_view from,
+                        std::string_view to);
+
+/// Simple glob match supporting '*' (any run) and '?' (one char).
+bool glob_match(std::string_view pattern, std::string_view text);
+
+/// Format seconds as e.g. "12.34s".
+std::string format_seconds(double seconds);
+
+}  // namespace xaas::common

@@ -1,0 +1,31 @@
+// ASCII table renderer for the benchmark harness: every bench binary prints
+// the same rows/series the paper reports, in a stable aligned format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xaas::common {
+
+class Table {
+public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment and a header separator.
+  std::string to_string() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Format a double with `precision` decimals.
+  static std::string num(double v, int precision = 2);
+  /// Format like "12.3 ± 0.4".
+  static std::string pm(double mean, double dev, int precision = 2);
+
+private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace xaas::common

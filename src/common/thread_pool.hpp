@@ -1,0 +1,47 @@
+// Fixed-size worker pool with a parallel_for helper.
+//
+// The IR-container pipeline compiles thousands of translation units per
+// configuration family (§6.4); we parallelize compilation and hashing
+// across cores exactly as a production build tool would.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace xaas::common {
+
+class ThreadPool {
+public:
+  /// `threads == 0` selects the hardware concurrency.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue an arbitrary task.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run fn(i) for i in [0, n) across the pool and wait for completion.
+  /// Work is divided into contiguous chunks for cache friendliness.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace xaas::common

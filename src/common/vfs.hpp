@@ -1,0 +1,59 @@
+// In-memory virtual filesystem used for application source trees and
+// container layer contents. Paths are '/'-separated, relative, normalized.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/strings.hpp"
+
+namespace xaas::common {
+
+class Vfs {
+public:
+  void write(const std::string& path, std::string contents) {
+    files_[path] = std::move(contents);
+  }
+
+  std::optional<std::string> read(std::string_view path) const {
+    const auto it = files_.find(std::string(path));
+    if (it == files_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool exists(std::string_view path) const {
+    return files_.count(std::string(path)) > 0;
+  }
+
+  void remove(std::string_view path) { files_.erase(std::string(path)); }
+
+  /// Paths matching a glob pattern, sorted.
+  std::vector<std::string> glob(std::string_view pattern) const {
+    std::vector<std::string> out;
+    for (const auto& [path, _] : files_) {
+      if (glob_match(pattern, path)) out.push_back(path);
+    }
+    return out;
+  }
+
+  std::size_t size() const { return files_.size(); }
+
+  auto begin() const { return files_.begin(); }
+  auto end() const { return files_.end(); }
+
+  /// Merge another VFS on top of this one (later layers win), like
+  /// stacking container layers.
+  void overlay(const Vfs& other) {
+    for (const auto& [path, contents] : other.files_) {
+      files_[path] = contents;
+    }
+  }
+
+private:
+  std::map<std::string, std::string> files_;
+};
+
+}  // namespace xaas::common

@@ -1,0 +1,40 @@
+#include "container/hooks.hpp"
+
+#include "common/strings.hpp"
+
+namespace xaas::container {
+
+std::string library_abi(const std::string& contents) {
+  if (!common::starts_with(contents, "!abi:")) return "";
+  const auto end = contents.find('\n');
+  return contents.substr(5, end == std::string::npos ? std::string::npos
+                                                     : end - 5);
+}
+
+std::string make_library(const std::string& abi, const std::string& body) {
+  return "!abi:" + abi + "\n" + body;
+}
+
+HookResult apply_injection_hook(common::Vfs& root,
+                                const std::vector<HostLibrary>& libraries) {
+  HookResult result;
+  for (const auto& lib : libraries) {
+    const auto existing = root.read(lib.path);
+    if (!existing) {
+      // Nothing to replace — hooks only swap libraries the image ships.
+      continue;
+    }
+    const std::string container_abi = library_abi(*existing);
+    if (container_abi != lib.abi) {
+      result.error = "ABI mismatch for " + lib.path + ": container '" +
+                     container_abi + "' vs host '" + lib.abi + "'";
+      return result;
+    }
+    root.write(lib.path, lib.contents);
+    result.replaced.push_back(lib.path);
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace xaas::container

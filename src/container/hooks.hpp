@@ -1,0 +1,40 @@
+// OCI runtime hooks: the "linking" portability level (Table 2). Hooks
+// replace library files inside the container with system-optimized host
+// versions at container start — Sarus/Podman-HPC MPI injection — subject
+// to ABI compatibility (§2.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/vfs.hpp"
+
+namespace xaas::container {
+
+/// One injectable host library.
+struct HostLibrary {
+  std::string path;      // path inside the container to replace
+  std::string contents;  // host-optimized implementation
+  std::string abi;       // ABI tag; must match the container's library
+};
+
+struct HookResult {
+  bool ok = false;
+  std::string error;
+  std::vector<std::string> replaced;  // paths swapped in
+};
+
+/// A container-side library declares its ABI on the first line as
+/// "!abi:<tag>" (a stand-in for the SONAME/symbol-version checks real
+/// injection performs).
+std::string library_abi(const std::string& contents);
+std::string make_library(const std::string& abi, const std::string& body);
+
+/// Apply an MPI/GPU injection hook to a flattened container filesystem:
+/// each host library replaces the container's copy iff the path exists
+/// and the ABI matches; an ABI mismatch aborts the hook (the
+/// MPICH-vs-OpenMPI failure mode).
+HookResult apply_injection_hook(common::Vfs& root,
+                                const std::vector<HostLibrary>& libraries);
+
+}  // namespace xaas::container

@@ -1,0 +1,96 @@
+#include "container/image.hpp"
+
+#include "common/sha256.hpp"
+
+namespace xaas::container {
+
+using common::Json;
+
+Layer Layer::from_vfs(common::Vfs files) {
+  Layer layer;
+  common::Sha256 hasher;
+  std::size_t bytes = 0;
+  for (const auto& [path, contents] : files) {
+    hasher.update(path);
+    hasher.update("\0", 1);
+    hasher.update(contents);
+    hasher.update("\0", 1);
+    bytes += contents.size();
+  }
+  layer.files_ = std::move(files);
+  layer.digest_ = "sha256:" + hasher.hex_digest();
+  layer.size_bytes_ = bytes;
+  return layer;
+}
+
+Json Image::manifest() const {
+  Json m = Json::object();
+  m["schemaVersion"] = 2;
+  m["mediaType"] = "application/vnd.oci.image.manifest.v1+json";
+  Json platform = Json::object();
+  platform["architecture"] = architecture;
+  platform["os"] = os;
+  m["platform"] = std::move(platform);
+  m["config"] = config;
+  Json layer_list = Json::array();
+  for (const auto& layer : layers) {
+    Json entry = Json::object();
+    entry["digest"] = layer.digest();
+    entry["size"] = layer.size_bytes();
+    layer_list.push_back(std::move(entry));
+  }
+  m["layers"] = std::move(layer_list);
+  Json ann = Json::object();
+  for (const auto& [key, value] : annotations) ann[key] = value;
+  m["annotations"] = std::move(ann);
+  return m;
+}
+
+std::string Image::digest() const {
+  return "sha256:" + common::sha256_hex(manifest().dump());
+}
+
+common::Vfs Image::flatten() const {
+  common::Vfs result;
+  for (const auto& layer : layers) {
+    result.overlay(layer.files());
+  }
+  return result;
+}
+
+std::size_t Image::total_size_bytes() const {
+  std::size_t total = 0;
+  for (const auto& layer : layers) total += layer.size_bytes();
+  return total;
+}
+
+ImageBuilder::ImageBuilder(const Image& base) : image_(base) {
+  image_.annotations[kAnnotationBaseDigest] = base.digest();
+}
+
+ImageBuilder& ImageBuilder::add_layer(common::Vfs files) {
+  image_.layers.push_back(Layer::from_vfs(std::move(files)));
+  return *this;
+}
+
+ImageBuilder& ImageBuilder::annotation(const std::string& key,
+                                       const std::string& value) {
+  image_.annotations[key] = value;
+  return *this;
+}
+
+ImageBuilder& ImageBuilder::architecture(const std::string& arch) {
+  image_.architecture = arch;
+  return *this;
+}
+
+ImageBuilder& ImageBuilder::config(const std::string& key, Json value) {
+  image_.config[key] = std::move(value);
+  return *this;
+}
+
+Image ImageBuilder::build() const {
+  return image_;
+}
+
+}  // namespace xaas::container

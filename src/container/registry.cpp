@@ -1,0 +1,49 @@
+#include "container/registry.hpp"
+
+namespace xaas::container {
+
+std::string Registry::push(const Image& image, const std::string& reference) {
+  const std::string digest = image.digest();
+  images_[digest] = image;
+  tags_[reference] = digest;
+  return digest;
+}
+
+std::optional<Image> Registry::pull(
+    const std::string& reference_or_digest) const {
+  std::string digest = reference_or_digest;
+  const auto tag_it = tags_.find(reference_or_digest);
+  if (tag_it != tags_.end()) digest = tag_it->second;
+  const auto it = images_.find(digest);
+  if (it == images_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> Registry::tags() const {
+  std::vector<std::string> out;
+  for (const auto& [reference, _] : tags_) out.push_back(reference);
+  return out;
+}
+
+std::vector<std::string> Registry::tags_for_architecture(
+    const std::string& arch) const {
+  std::vector<std::string> out;
+  for (const auto& [reference, digest] : tags_) {
+    const auto it = images_.find(digest);
+    if (it != images_.end() && it->second.architecture == arch) {
+      out.push_back(reference);
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> Registry::annotation(const std::string& reference,
+                                                const std::string& key) const {
+  const auto image = pull(reference);
+  if (!image) return std::nullopt;
+  const auto it = image->annotations.find(key);
+  if (it == image->annotations.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace xaas::container

@@ -1,0 +1,43 @@
+// In-process container registry: push/pull by tag or digest, multi-arch
+// index entries (the paper proposes multi-IR indexes in place of
+// multi-arch ones, §1/§5.2).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "container/image.hpp"
+
+namespace xaas::container {
+
+class Registry {
+public:
+  /// Push an image under `reference` ("repo/name:tag"); returns the
+  /// image digest. Pushing the same content twice is idempotent.
+  std::string push(const Image& image, const std::string& reference);
+
+  /// Pull by tag reference or by "sha256:..." digest.
+  std::optional<Image> pull(const std::string& reference_or_digest) const;
+
+  /// All tags, sorted.
+  std::vector<std::string> tags() const;
+
+  /// Tags resolving to images of the given architecture — the "image
+  /// index" query a multi-arch/multi-IR client performs.
+  std::vector<std::string> tags_for_architecture(const std::string& arch) const;
+
+  /// Read an annotation without pulling layers (§5.2: query
+  /// specialization points before pulling and building).
+  std::optional<std::string> annotation(const std::string& reference,
+                                        const std::string& key) const;
+
+  std::size_t image_count() const { return images_.size(); }
+
+private:
+  std::map<std::string, Image> images_;  // digest -> image
+  std::map<std::string, std::string> tags_;  // reference -> digest
+};
+
+}  // namespace xaas::container

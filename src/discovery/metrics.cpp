@@ -1,0 +1,101 @@
+#include "discovery/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/strings.hpp"
+
+namespace xaas::discovery {
+
+std::vector<Item> flatten(const spec::SpecializationPoints& sp) {
+  std::vector<Item> items;
+  const auto add = [&items](const char* category,
+                            const std::vector<spec::FeatureEntry>& entries) {
+    for (const auto& e : entries) {
+      items.push_back({category, e.name, e.build_flag});
+    }
+  };
+  add(spec::kCategoryGpu, sp.gpu_backends);
+  add(spec::kCategoryParallel, sp.parallel_libraries);
+  add(spec::kCategoryBlas, sp.linear_algebra_libraries);
+  add(spec::kCategoryFft, sp.fft_libraries);
+  add(spec::kCategorySimd, sp.simd_levels);
+  add(spec::kCategoryOther, sp.other_libraries);
+  add(spec::kCategoryInternal, sp.internal_builds);
+  for (const auto& f : sp.optimization_flags) {
+    items.push_back({"optimization_build_flags", f, f});
+  }
+  return items;
+}
+
+Item normalize_item(const Item& item) {
+  const auto canon = [](const std::string& s) {
+    std::string out = common::to_lower(s);
+    out = common::replace_all(out, "-", "_");
+    if (common::starts_with(out, "_d")) out = out.substr(2);  // "-D" prefix
+    return out;
+  };
+  return {item.category, canon(item.name), canon(item.flag)};
+}
+
+Metrics score(const spec::SpecializationPoints& truth,
+              const spec::SpecializationPoints& predicted, bool normalized) {
+  std::vector<Item> truth_items = flatten(truth);
+  std::vector<Item> pred_items = flatten(predicted);
+  if (normalized) {
+    for (auto& i : truth_items) i = normalize_item(i);
+    for (auto& i : pred_items) i = normalize_item(i);
+  }
+  const std::set<Item> truth_set(truth_items.begin(), truth_items.end());
+  const std::set<Item> pred_set(pred_items.begin(), pred_items.end());
+
+  Metrics m;
+  for (const auto& item : pred_set) {
+    if (truth_set.count(item)) {
+      ++m.true_positives;
+    } else {
+      ++m.false_positives;
+    }
+  }
+  for (const auto& item : truth_set) {
+    if (!pred_set.count(item)) ++m.false_negatives;
+  }
+  const double tp = m.true_positives;
+  m.precision = (tp + m.false_positives) > 0
+                    ? tp / (tp + m.false_positives)
+                    : 0.0;
+  m.recall = (tp + m.false_negatives) > 0 ? tp / (tp + m.false_negatives) : 0.0;
+  m.f1 = (m.precision + m.recall) > 0
+             ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+             : 0.0;
+  return m;
+}
+
+MinMedMax min_med_max(std::vector<double> values) {
+  MinMedMax out;
+  if (values.empty()) return out;
+  std::sort(values.begin(), values.end());
+  out.min = values.front();
+  out.max = values.back();
+  const std::size_t n = values.size();
+  out.median = n % 2 == 1 ? values[n / 2]
+                          : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+  return out;
+}
+
+MeanDev mean_dev(const std::vector<double>& values) {
+  MeanDev out;
+  if (values.empty()) return out;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  out.mean = sum / static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - out.mean) * (v - out.mean);
+  out.dev = values.size() > 1
+                ? std::sqrt(var / static_cast<double>(values.size() - 1))
+                : 0.0;
+  return out;
+}
+
+}  // namespace xaas::discovery

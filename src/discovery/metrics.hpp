@@ -1,0 +1,65 @@
+// Scoring of specialization-point extraction (Table 4): flatten the
+// nested schema into (category, name, flag) items, optionally normalize
+// (§6.2: models often underperform due to minor discrepancies —
+// inconsistent hyphen/underscore, missing -D prefix), then count
+// true/false positives and negatives.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spec/spec.hpp"
+
+namespace xaas::discovery {
+
+struct Item {
+  std::string category;
+  std::string name;
+  std::string flag;
+
+  bool operator==(const Item& other) const {
+    return category == other.category && name == other.name &&
+           flag == other.flag;
+  }
+  bool operator<(const Item& other) const {
+    if (category != other.category) return category < other.category;
+    if (name != other.name) return name < other.name;
+    return flag < other.flag;
+  }
+};
+
+std::vector<Item> flatten(const spec::SpecializationPoints& sp);
+
+/// Canonicalize hyphens/underscores, case, and the -D prefix so that
+/// "-DGMX-SIMD" and "GMX_SIMD" compare equal.
+Item normalize_item(const Item& item);
+
+struct Metrics {
+  int true_positives = 0;
+  int false_positives = 0;
+  int false_negatives = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Compare a predicted extraction against the ground truth.
+Metrics score(const spec::SpecializationPoints& truth,
+              const spec::SpecializationPoints& predicted,
+              bool normalized);
+
+/// Aggregate helpers for Table 4's Min/Median/Max presentation.
+struct MinMedMax {
+  double min = 0.0;
+  double median = 0.0;
+  double max = 0.0;
+};
+MinMedMax min_med_max(std::vector<double> values);
+
+struct MeanDev {
+  double mean = 0.0;
+  double dev = 0.0;
+};
+MeanDev mean_dev(const std::vector<double>& values);
+
+}  // namespace xaas::discovery

@@ -1,0 +1,60 @@
+#include "fabric/bandwidth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fabric/providers.hpp"
+
+namespace xaas::fabric {
+
+double intra_node_bandwidth_gbps(const MpiStack& stack) {
+  const auto p = provider(stack.provider_name);
+  if (!p) return 0.0;
+
+  if (!stack.containerized) {
+    // Bare-metal MPI short-circuits local peers through shared memory /
+    // xpmem regardless of the network provider.
+    return std::max(p->intra_node_gbps, provider("shm")->intra_node_gbps);
+  }
+  // Containerized: only the provider's own intra-node path is available
+  // (§6.5 — the Slingshot cxi provider is implemented separately from
+  // intra-node messaging, so containers lose shared memory).
+  double bw = p->intra_node_gbps;
+  // OpenMPI's sm path over LinkX measured slightly higher (70 vs 64).
+  if (stack.provider_name == "linkx") {
+    bw = stack.mpi == "openmpi" ? 70.0 : 64.0;
+  }
+  return bw;
+}
+
+double bandwidth_at_message_size(const MpiStack& stack, std::size_t bytes) {
+  const double peak = intra_node_bandwidth_gbps(stack);
+  if (peak <= 0.0) return 0.0;
+  // Latency-bound ramp: bw(s) = peak * s / (s + s_half), with the
+  // half-saturation point depending on the path's startup cost.
+  const bool shm_path =
+      !stack.containerized || provider(stack.provider_name)->shm_integrated;
+  const double s_half = shm_path ? 16.0 * 1024 : 64.0 * 1024;
+  const double s = static_cast<double>(bytes);
+  return peak * s / (s + s_half);
+}
+
+double transfer_seconds(const MpiStack& stack, std::size_t bytes) {
+  const double bw = bandwidth_at_message_size(stack, bytes);
+  if (bw <= 0.0) return 0.0;
+  const double startup_us = stack.containerized ? 2.0 : 0.5;
+  return startup_us * 1e-6 +
+         static_cast<double>(bytes) / (bw * 1e9);
+}
+
+std::vector<MpiStack> clariden_scenarios() {
+  return {
+      {"bare-metal Cray-MPICH (xpmem)", "cray-mpich", "cxi", false},
+      {"container MPICH + cxi hook", "mpich", "cxi", true},
+      {"container OpenMPI + cxi hook", "openmpi", "cxi", true},
+      {"container MPICH + LinkX", "mpich", "linkx", true},
+      {"container OpenMPI + LinkX", "openmpi", "linkx", true},
+  };
+}
+
+}  // namespace xaas::fabric

@@ -1,0 +1,36 @@
+// Intra-node MPI bandwidth model (§6.5): bare-metal Cray-MPICH uses
+// shared memory (xpmem) and reaches 64 GB/s on-socket; containerized MPI
+// replaced via libfabric hooks can reach the high-speed network through
+// cxi but not shared memory, capping intra-node transfers at NIC-loopback
+// rates (~23.5 GB/s); the experimental LinkX provider restores 64–70 GB/s
+// by routing local peers through shm.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xaas::fabric {
+
+/// One co-location scenario: an MPI implementation bound to a provider
+/// stack, running ranks on the same socket.
+struct MpiStack {
+  std::string label;          // e.g. "bare-metal Cray-MPICH"
+  std::string mpi;            // "cray-mpich", "mpich", "openmpi"
+  std::string provider_name;  // "cxi", "linkx", "shm", ...
+  bool containerized = false;
+};
+
+/// Saturated intra-node bandwidth for large messages (GB/s).
+double intra_node_bandwidth_gbps(const MpiStack& stack);
+
+/// Bandwidth at a given message size (latency/rendezvous effects make the
+/// curve ramp up and saturate — standard osu_bw shape).
+double bandwidth_at_message_size(const MpiStack& stack, std::size_t bytes);
+
+/// Time to ship `bytes` between two co-located ranks.
+double transfer_seconds(const MpiStack& stack, std::size_t bytes);
+
+/// The §6.5 evaluation scenarios.
+std::vector<MpiStack> clariden_scenarios();
+
+}  // namespace xaas::fabric

@@ -1,0 +1,36 @@
+#include "fabric/mpi_abi.hpp"
+
+namespace xaas::fabric {
+
+const std::vector<MpiImplementation>& mpi_implementations() {
+  static const std::vector<MpiImplementation> all = {
+      {"mpich", "mpich", "4.1"},
+      {"cray-mpich", "mpich", "8.1"},
+      {"intel-mpi", "mpich", "2021.10"},
+      {"mvapich2", "mpich", "2.3"},
+      {"openmpi", "openmpi", "5.0"},
+  };
+  return all;
+}
+
+std::optional<MpiImplementation> mpi(const std::string& name) {
+  for (const auto& m : mpi_implementations()) {
+    if (m.name == name) return m;
+  }
+  return std::nullopt;
+}
+
+bool abi_compatible(const MpiImplementation& built_with,
+                    const MpiImplementation& host) {
+  // The MPICH ABI Compatibility Initiative guarantees interchange among
+  // MPICH-derived implementations; OpenMPI is its own ABI.
+  return built_with.abi == host.abi;
+}
+
+bool translatable(const MpiImplementation& built_with,
+                  const MpiImplementation& host) {
+  // Wi4MPI / mpixlate / MPItrampoline bridge MPICH <-> OpenMPI.
+  return !abi_compatible(built_with, host);
+}
+
+}  // namespace xaas::fabric

@@ -1,0 +1,32 @@
+// MPI ABI compatibility model (§2.2, §4.3 "Compilation"): applications
+// compiled against MPICH can be relinked to any MPICH-ABI
+// implementation (Cray MPICH, Intel MPI); OpenMPI is a different ABI and
+// cannot be swapped in without an emulation layer (Wi4MPI, mpixlate).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace xaas::fabric {
+
+struct MpiImplementation {
+  std::string name;     // "mpich", "cray-mpich", "intel-mpi", "openmpi", ...
+  std::string abi;      // "mpich" or "openmpi"
+  std::string version;
+};
+
+/// Known implementations keyed by name.
+const std::vector<MpiImplementation>& mpi_implementations();
+std::optional<MpiImplementation> mpi(const std::string& name);
+
+/// Can a binary built against `built_with` run directly against `host`?
+bool abi_compatible(const MpiImplementation& built_with,
+                    const MpiImplementation& host);
+
+/// Is there a runtime translation layer (Wi4MPI-style) bridging the two?
+/// Translation works but costs overhead — emulation level of Table 2.
+bool translatable(const MpiImplementation& built_with,
+                  const MpiImplementation& host);
+
+}  // namespace xaas::fabric

@@ -1,0 +1,245 @@
+#include "fabric/providers.hpp"
+
+#include <algorithm>
+
+namespace xaas::fabric {
+
+std::string_view to_string(Feature f) {
+  switch (f) {
+    case Feature::Message: return "Message";
+    case Feature::ReliableDatagram: return "Reliable Datagram";
+    case Feature::Datagram: return "Datagram";
+    case Feature::TaggedMessage: return "Tagged Message";
+    case Feature::DirectedReceive: return "Directed Receive";
+    case Feature::MultiReceive: return "Multi Receive";
+    case Feature::AtomicOperations: return "Atomic Operations";
+    case Feature::ManualProgress: return "Manual Progress";
+    case Feature::AutoProgress: return "Auto Progress";
+    case Feature::WaitObjects: return "Wait Objects";
+    case Feature::CompletionEvents: return "Completion Events";
+    case Feature::ResourceManagement: return "Resource Management";
+    case Feature::ScalableEndpoints: return "Scalable Endpoints";
+    case Feature::TriggerOperations: return "Trigger Operations";
+  }
+  return "?";
+}
+
+std::string_view to_symbol(Support s) {
+  switch (s) {
+    case Support::Yes: return "Y";
+    case Support::No: return "-";
+    case Support::Partial: return "P";
+    case Support::NotApplicable: return "N/A";
+    case Support::Unknown: return "?";
+  }
+  return "?";
+}
+
+std::string_view to_string(MemoryRegistration m) {
+  switch (m) {
+    case MemoryRegistration::None: return "N/A";
+    case MemoryRegistration::Basic: return "Basic";
+    case MemoryRegistration::Local: return "Local";
+    case MemoryRegistration::Scalable: return "Scalable";
+  }
+  return "?";
+}
+
+bool Provider::supports(Feature f) const {
+  const auto it = features.find(f);
+  return it != features.end() &&
+         (it->second == Support::Yes || it->second == Support::Partial);
+}
+
+const std::vector<Feature>& all_features() {
+  static const std::vector<Feature> features = {
+      Feature::Message,          Feature::ReliableDatagram,
+      Feature::Datagram,         Feature::TaggedMessage,
+      Feature::DirectedReceive,  Feature::MultiReceive,
+      Feature::AtomicOperations, Feature::ManualProgress,
+      Feature::AutoProgress,     Feature::WaitObjects,
+      Feature::CompletionEvents, Feature::ResourceManagement,
+      Feature::ScalableEndpoints, Feature::TriggerOperations,
+  };
+  return features;
+}
+
+namespace {
+
+using F = Feature;
+using S = Support;
+
+std::vector<Provider> build_providers() {
+  std::vector<Provider> out;
+
+  // Table 3, column "TCP (tcp)".
+  {
+    Provider p;
+    p.name = "tcp";
+    p.fabric = "TCP";
+    p.features = {
+        {F::Message, S::Yes},          {F::ReliableDatagram, S::Yes},
+        {F::Datagram, S::No},          {F::TaggedMessage, S::Yes},
+        {F::DirectedReceive, S::Yes},  {F::MultiReceive, S::Yes},
+        {F::AtomicOperations, S::No},  {F::ManualProgress, S::No},
+        {F::AutoProgress, S::Yes},     {F::WaitObjects, S::Yes},
+        {F::CompletionEvents, S::Yes}, {F::ResourceManagement, S::Yes},
+        {F::ScalableEndpoints, S::No}, {F::TriggerOperations, S::No},
+    };
+    p.mem_reg = MemoryRegistration::None;
+    p.inter_node_gbps = 3.0;
+    p.intra_node_gbps = 5.0;
+    out.push_back(std::move(p));
+  }
+  // "IB (verbs)".
+  {
+    Provider p;
+    p.name = "verbs";
+    p.fabric = "InfiniBand";
+    p.features = {
+        {F::Message, S::Yes},              {F::ReliableDatagram, S::Partial},
+        {F::Datagram, S::Yes},             {F::TaggedMessage, S::Partial},
+        {F::DirectedReceive, S::No},       {F::MultiReceive, S::No},
+        {F::AtomicOperations, S::Partial}, {F::ManualProgress, S::No},
+        {F::AutoProgress, S::Yes},         {F::WaitObjects, S::Partial},
+        {F::CompletionEvents, S::No},      {F::ResourceManagement, S::Partial},
+        {F::ScalableEndpoints, S::No},     {F::TriggerOperations, S::No},
+    };
+    p.mem_reg = MemoryRegistration::Basic;
+    p.inter_node_gbps = 25.0;
+    p.intra_node_gbps = 18.0;
+    out.push_back(std::move(p));
+  }
+  // "Slingshot (cxi)".
+  {
+    Provider p;
+    p.name = "cxi";
+    p.fabric = "Slingshot";
+    p.features = {
+        {F::Message, S::No},           {F::ReliableDatagram, S::Yes},
+        {F::Datagram, S::No},          {F::TaggedMessage, S::Yes},
+        {F::DirectedReceive, S::Yes},  {F::MultiReceive, S::Yes},
+        {F::AtomicOperations, S::Yes}, {F::ManualProgress, S::Yes},
+        {F::AutoProgress, S::No},      {F::WaitObjects, S::Yes},
+        {F::CompletionEvents, S::Yes}, {F::ResourceManagement, S::Yes},
+        {F::ScalableEndpoints, S::No}, {F::TriggerOperations, S::Yes},
+    };
+    p.mem_reg = MemoryRegistration::Scalable;
+    p.inter_node_gbps = 25.0;
+    // Intra-node via NIC loopback only: the Slingshot provider does not
+    // integrate shared memory (§6.5) — containers reach ~23.5 GB/s.
+    p.intra_node_gbps = 23.5;
+    p.shm_integrated = false;
+    out.push_back(std::move(p));
+  }
+  // "EFA (efa)".
+  {
+    Provider p;
+    p.name = "efa";
+    p.fabric = "EFA";
+    p.features = {
+        {F::Message, S::No},               {F::ReliableDatagram, S::Yes},
+        {F::Datagram, S::Partial},         {F::TaggedMessage, S::Yes},
+        {F::DirectedReceive, S::Yes},      {F::MultiReceive, S::Yes},
+        {F::AtomicOperations, S::Partial}, {F::ManualProgress, S::Yes},
+        {F::AutoProgress, S::No},          {F::WaitObjects, S::No},
+        {F::CompletionEvents, S::No},      {F::ResourceManagement, S::Partial},
+        {F::ScalableEndpoints, S::No},     {F::TriggerOperations, S::No},
+    };
+    p.mem_reg = MemoryRegistration::Local;
+    p.inter_node_gbps = 12.5;
+    p.intra_node_gbps = 10.0;
+    out.push_back(std::move(p));
+  }
+  // "Omni-Path (opx)".
+  {
+    Provider p;
+    p.name = "opx";
+    p.fabric = "Omni-Path";
+    p.features = {
+        {F::Message, S::No},           {F::ReliableDatagram, S::Yes},
+        {F::Datagram, S::No},          {F::TaggedMessage, S::Yes},
+        {F::DirectedReceive, S::Yes},  {F::MultiReceive, S::Yes},
+        {F::AtomicOperations, S::Yes}, {F::ManualProgress, S::Yes},
+        {F::AutoProgress, S::Partial}, {F::WaitObjects, S::Unknown},
+        {F::CompletionEvents, S::No},  {F::ResourceManagement, S::Yes},
+        {F::ScalableEndpoints, S::Yes},{F::TriggerOperations, S::No},
+    };
+    p.mem_reg = MemoryRegistration::Scalable;
+    p.inter_node_gbps = 12.5;
+    p.intra_node_gbps = 10.0;
+    out.push_back(std::move(p));
+  }
+  // Shared-memory provider (intra-node only).
+  {
+    Provider p;
+    p.name = "shm";
+    p.fabric = "Shared Memory";
+    p.features = {
+        {F::Message, S::Yes},          {F::ReliableDatagram, S::Yes},
+        {F::Datagram, S::Yes},         {F::TaggedMessage, S::Yes},
+        {F::DirectedReceive, S::Yes},  {F::MultiReceive, S::Yes},
+        {F::AtomicOperations, S::Yes}, {F::ManualProgress, S::Yes},
+        {F::AutoProgress, S::No},      {F::WaitObjects, S::Yes},
+        {F::CompletionEvents, S::No},  {F::ResourceManagement, S::Yes},
+        {F::ScalableEndpoints, S::No}, {F::TriggerOperations, S::No},
+    };
+    p.mem_reg = MemoryRegistration::Basic;
+    p.inter_node_gbps = 0.0;  // intra-node only
+    p.intra_node_gbps = 64.0;
+    p.shm_integrated = true;
+    out.push_back(std::move(p));
+  }
+  // LinkX composite (experimental): cxi for remote + shm for local (§6.5).
+  {
+    Provider p;
+    p.name = "linkx";
+    p.fabric = "LinkX (cxi+shm)";
+    p.features = {
+        {F::Message, S::Partial},      {F::ReliableDatagram, S::Yes},
+        {F::Datagram, S::No},          {F::TaggedMessage, S::Yes},
+        {F::DirectedReceive, S::Yes},  {F::MultiReceive, S::Yes},
+        {F::AtomicOperations, S::Partial}, {F::ManualProgress, S::Yes},
+        {F::AutoProgress, S::No},      {F::WaitObjects, S::Partial},
+        {F::CompletionEvents, S::Partial}, {F::ResourceManagement, S::Partial},
+        {F::ScalableEndpoints, S::No}, {F::TriggerOperations, S::Partial},
+    };
+    p.mem_reg = MemoryRegistration::Scalable;
+    p.inter_node_gbps = 25.0;
+    p.intra_node_gbps = 67.0;  // 64 (MPICH) – 70 (OpenMPI) in §6.5
+    p.shm_integrated = true;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<Provider>& providers() {
+  static const std::vector<Provider> all = build_providers();
+  return all;
+}
+
+std::optional<Provider> provider(const std::string& name) {
+  for (const auto& p : providers()) {
+    if (p.name == name) return p;
+  }
+  return std::nullopt;
+}
+
+std::vector<Feature> portable_features() {
+  // Features every Table 3 provider supports at least partially.
+  static const std::vector<std::string> kTable3 = {"tcp", "verbs", "cxi",
+                                                   "efa", "opx"};
+  std::vector<Feature> out;
+  for (Feature f : all_features()) {
+    const bool everywhere = std::all_of(
+        kTable3.begin(), kTable3.end(), [&](const std::string& name) {
+          return provider(name)->supports(f);
+        });
+    if (everywhere) out.push_back(f);
+  }
+  return out;
+}
+
+}  // namespace xaas::fabric

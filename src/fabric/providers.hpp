@@ -1,0 +1,69 @@
+// Libfabric provider model (Table 3, §2.2): a portable API whose
+// implementations still specialize to the hardware — feature support
+// differs per provider, which is why relinking libfabric is not a general
+// specialization method.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xaas::fabric {
+
+enum class Feature {
+  Message,
+  ReliableDatagram,
+  Datagram,
+  TaggedMessage,
+  DirectedReceive,
+  MultiReceive,
+  AtomicOperations,
+  ManualProgress,
+  AutoProgress,
+  WaitObjects,
+  CompletionEvents,
+  ResourceManagement,
+  ScalableEndpoints,
+  TriggerOperations,
+};
+
+enum class Support { Yes, No, Partial, NotApplicable, Unknown };
+
+std::string_view to_string(Feature f);
+std::string_view to_symbol(Support s);  // "✔" / "✘" / "P" / "N/A" / "?"
+
+/// Memory-registration mode reported per provider (Table 3 bottom row).
+enum class MemoryRegistration { None, Basic, Local, Scalable };
+std::string_view to_string(MemoryRegistration m);
+
+struct Provider {
+  std::string name;        // fi_info name: "tcp", "verbs", "cxi", "efa", "opx", ...
+  std::string fabric;      // human name: "TCP", "InfiniBand", "Slingshot", ...
+  std::map<Feature, Support> features;
+  MemoryRegistration mem_reg = MemoryRegistration::Basic;
+
+  /// Peak bandwidths used by the §6.5 model (GB/s).
+  double inter_node_gbps = 0.0;
+  double intra_node_gbps = 0.0;   // via this provider (loopback if no shm path)
+  /// Whether intra-node transfers through this provider bypass shared
+  /// memory (the cxi limitation on Clariden, §6.5).
+  bool shm_integrated = false;
+
+  bool supports(Feature f) const;
+};
+
+/// The libfabric 2.0 providers of Table 3, plus "shm" and the
+/// experimental "linkx" composite (remote via cxi + local via shm).
+const std::vector<Provider>& providers();
+std::optional<Provider> provider(const std::string& name);
+
+/// Feature intersection across providers — what a portable application
+/// can rely on everywhere (empty-ish, making the paper's point).
+std::vector<Feature> portable_features();
+
+/// All modeled features in Table 3 row order.
+const std::vector<Feature>& all_features();
+
+}  // namespace xaas::fabric

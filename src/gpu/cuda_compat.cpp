@@ -1,0 +1,124 @@
+#include "gpu/cuda_compat.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace xaas::gpu {
+
+std::optional<Version> Version::parse(const std::string& text) {
+  const auto parts = common::split(text, '.');
+  if (parts.empty()) return std::nullopt;
+  Version v;
+  v.major = std::atoi(parts[0].c_str());
+  v.minor = parts.size() > 1 ? std::atoi(parts[1].c_str()) : 0;
+  if (v.major <= 0) return std::nullopt;
+  return v;
+}
+
+std::string Version::to_string() const {
+  return std::to_string(major) + "." + std::to_string(minor);
+}
+
+Version min_driver_for_runtime(Version runtime) {
+  // Within a major version, minor-version compatibility lets any 12.x
+  // runtime run on the 12.0 baseline driver; a new major needs a new
+  // driver generation.
+  return {runtime.major, 0};
+}
+
+Version ptx_isa_for_runtime(Version runtime) {
+  // PTX ISA tracks the toolkit: CUDA 12.x ships PTX ISA 8.x.
+  return {runtime.major - 4, runtime.minor};
+}
+
+bool runtime_compatible(Version container_runtime, Version host_driver,
+                        std::string* reason) {
+  if (host_driver.major > container_runtime.major) {
+    // Newer driver always runs older runtimes (backward compatibility).
+    return true;
+  }
+  if (host_driver.major < container_runtime.major) {
+    if (reason) {
+      *reason = "driver " + host_driver.to_string() +
+                " too old for runtime " + container_runtime.to_string() +
+                " (major version)";
+    }
+    return false;
+  }
+  // Same major: minor-version compatibility (restricted — core APIs only,
+  // new-feature APIs unavailable on older drivers).
+  if (!(host_driver >= min_driver_for_runtime(container_runtime))) {
+    if (reason) *reason = "driver below same-major baseline";
+    return false;
+  }
+  return true;
+}
+
+LoadResult load_fat_binary(const FatBinary& binary, const CudaDevice& device) {
+  LoadResult result;
+  std::string reason;
+  if (!runtime_compatible(binary.runtime, device.driver, &reason)) {
+    result.detail = reason;
+    return result;
+  }
+
+  // Exact-architecture cubin wins: same capability major, device minor >=
+  // cubin minor.
+  const Cubin* best = nullptr;
+  for (const auto& cubin : binary.cubins) {
+    if (cubin.target.major != device.capability.major) continue;
+    if (cubin.target.minor > device.capability.minor) continue;
+    if (!best || best->target.minor < cubin.target.minor) best = &cubin;
+  }
+  if (best) {
+    result.ok = true;
+    result.selected_arch = best->target;
+    result.detail = "native cubin sm_" + std::to_string(best->target.major) +
+                    std::to_string(best->target.minor);
+    return result;
+  }
+
+  // PTX JIT fallback: device must be at least the virtual arch, and the
+  // driver must understand the PTX ISA version emitted by the toolkit.
+  if (binary.ptx) {
+    const Ptx& ptx = *binary.ptx;
+    const bool arch_ok = device.capability >= ptx.virtual_arch;
+    const bool isa_ok =
+        ptx_isa_for_runtime({device.driver.major, device.driver.minor}) >=
+        ptx.isa_version;
+    if (arch_ok && isa_ok) {
+      result.ok = true;
+      result.used_jit = true;
+      result.selected_arch = ptx.virtual_arch;
+      result.detail = "JIT from PTX compute_" +
+                      std::to_string(ptx.virtual_arch.major) +
+                      std::to_string(ptx.virtual_arch.minor);
+      return result;
+    }
+    result.detail = arch_ok ? "driver PTX ISA too old for embedded PTX"
+                            : "device capability below PTX virtual arch";
+    return result;
+  }
+
+  result.detail = "no cubin for sm_" + std::to_string(device.capability.major) +
+                  std::to_string(device.capability.minor) +
+                  " and no PTX embedded";
+  return result;
+}
+
+FatBinary build_fat_binary(Version runtime,
+                           const std::vector<ComputeCapability>& targets,
+                           bool include_ptx) {
+  FatBinary binary;
+  binary.runtime = runtime;
+  for (const auto& t : targets) binary.cubins.push_back({t});
+  if (include_ptx && !targets.empty()) {
+    const ComputeCapability newest =
+        *std::max_element(targets.begin(), targets.end());
+    binary.ptx = Ptx{newest, ptx_isa_for_runtime(runtime)};
+  }
+  return binary;
+}
+
+}  // namespace xaas::gpu

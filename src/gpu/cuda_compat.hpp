@@ -1,0 +1,95 @@
+// CUDA compatibility model (Fig. 9): "CUDA compatibility is determined by
+// six parameters: two on host (driver and device capability), and four in
+// container (runtime, PTX version, compute capability of PTX and device
+// binary cubin)."
+//
+// Rules implemented:
+//  - A containerized runtime needs a host driver at least as new as the
+//    runtime's minimum driver; within one major version, newer minor
+//    runtimes run on older drivers only via minor-version compatibility
+//    (restricted), and across major versions not at all.
+//  - A cubin (SASS) executes only on devices of the same compute
+//    capability major (and minor >= cubin minor).
+//  - PTX is forward-portable: it JIT-compiles on any device with
+//    capability >= the PTX virtual architecture, provided the driver
+//    understands the PTX ISA version.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace xaas::gpu {
+
+struct Version {
+  int major = 0;
+  int minor = 0;
+
+  static std::optional<Version> parse(const std::string& text);
+  std::string to_string() const;
+
+  bool operator==(const Version& o) const {
+    return major == o.major && minor == o.minor;
+  }
+  bool operator<(const Version& o) const {
+    return major != o.major ? major < o.major : minor < o.minor;
+  }
+  bool operator>=(const Version& o) const { return !(*this < o); }
+};
+
+/// Compute capability, e.g. {7,0} for V100, {8,0} A100, {9,0} H100/GH200.
+using ComputeCapability = Version;
+
+struct CudaDevice {
+  std::string name;
+  ComputeCapability capability;
+  Version driver;  // driver-supported CUDA version, e.g. {12, 2}
+};
+
+/// Device binary for one concrete architecture.
+struct Cubin {
+  ComputeCapability target;
+};
+
+/// Virtual-architecture assembly, JIT-compiled by the driver.
+struct Ptx {
+  ComputeCapability virtual_arch;
+  Version isa_version;  // PTX ISA version shipped by the toolkit
+};
+
+/// What an application embeds: a fat binary with per-arch cubins and
+/// (optionally) PTX for the newest virtual architecture (§4.3 "GPU
+/// Compatibility": "we emit device binaries for all architectures and a
+/// PTX for the latest compute capability to support newer devices").
+struct FatBinary {
+  Version runtime;  // CUDA runtime the container ships
+  std::vector<Cubin> cubins;
+  std::optional<Ptx> ptx;
+};
+
+/// Minimum host driver for a runtime version (same-major rule).
+Version min_driver_for_runtime(Version runtime);
+
+/// PTX ISA version shipped with a toolkit release.
+Version ptx_isa_for_runtime(Version runtime);
+
+struct LoadResult {
+  bool ok = false;
+  bool used_jit = false;                 // fell back to PTX JIT
+  ComputeCapability selected_arch;       // cubin arch or PTX virtual arch
+  std::string detail;
+};
+
+/// Can this container runtime run on the host driver at all?
+bool runtime_compatible(Version container_runtime, Version host_driver,
+                        std::string* reason = nullptr);
+
+/// Full load attempt of an embedded fat binary on a device (Fig. 9).
+LoadResult load_fat_binary(const FatBinary& binary, const CudaDevice& device);
+
+/// Build the fat binary XaaS emits for a list of target architectures.
+FatBinary build_fat_binary(Version runtime,
+                           const std::vector<ComputeCapability>& targets,
+                           bool include_ptx);
+
+}  // namespace xaas::gpu

@@ -1,0 +1,186 @@
+#include "isa/isa.hpp"
+
+#include <algorithm>
+
+namespace xaas::isa {
+
+std::string_view to_string(Arch arch) {
+  switch (arch) {
+    case Arch::X86_64: return "x86_64";
+    case Arch::AArch64: return "aarch64";
+  }
+  return "?";
+}
+
+std::optional<Arch> arch_from_string(std::string_view s) {
+  if (s == "x86_64" || s == "amd64" || s == "x64") return Arch::X86_64;
+  if (s == "aarch64" || s == "arm64") return Arch::AArch64;
+  return std::nullopt;
+}
+
+std::string_view to_string(VectorIsa isa) {
+  switch (isa) {
+    case VectorIsa::None: return "None";
+    case VectorIsa::SSE2: return "SSE2";
+    case VectorIsa::SSE4_1: return "SSE4.1";
+    case VectorIsa::AVX2_128: return "AVX2_128";
+    case VectorIsa::AVX_256: return "AVX_256";
+    case VectorIsa::AVX2_256: return "AVX2_256";
+    case VectorIsa::AVX_512: return "AVX_512";
+    case VectorIsa::NEON_ASIMD: return "ARM_NEON_ASIMD";
+    case VectorIsa::SVE: return "ARM_SVE";
+  }
+  return "?";
+}
+
+std::optional<VectorIsa> vector_isa_from_string(std::string_view s) {
+  if (s == "None") return VectorIsa::None;
+  if (s == "SSE2") return VectorIsa::SSE2;
+  if (s == "SSE4.1" || s == "SSE4_1") return VectorIsa::SSE4_1;
+  if (s == "AVX2_128") return VectorIsa::AVX2_128;
+  if (s == "AVX_256") return VectorIsa::AVX_256;
+  if (s == "AVX2_256") return VectorIsa::AVX2_256;
+  if (s == "AVX_512" || s == "AVX512") return VectorIsa::AVX_512;
+  if (s == "ARM_NEON_ASIMD" || s == "NEON_ASIMD" || s == "NEON")
+    return VectorIsa::NEON_ASIMD;
+  if (s == "ARM_SVE" || s == "SVE") return VectorIsa::SVE;
+  return std::nullopt;
+}
+
+std::vector<VectorIsa> ladder_for(Arch arch) {
+  if (arch == Arch::X86_64) {
+    return {VectorIsa::None,     VectorIsa::SSE2,    VectorIsa::SSE4_1,
+            VectorIsa::AVX2_128, VectorIsa::AVX_256, VectorIsa::AVX2_256,
+            VectorIsa::AVX_512};
+  }
+  return {VectorIsa::None, VectorIsa::NEON_ASIMD, VectorIsa::SVE};
+}
+
+Arch arch_of(VectorIsa isa) {
+  switch (isa) {
+    case VectorIsa::NEON_ASIMD:
+    case VectorIsa::SVE:
+      return Arch::AArch64;
+    default:
+      return Arch::X86_64;
+  }
+}
+
+int lanes_f64(VectorIsa isa) {
+  switch (isa) {
+    case VectorIsa::None: return 1;
+    case VectorIsa::SSE2: return 2;
+    case VectorIsa::SSE4_1: return 2;
+    case VectorIsa::AVX2_128: return 2;
+    case VectorIsa::AVX_256: return 4;
+    case VectorIsa::AVX2_256: return 4;
+    case VectorIsa::AVX_512: return 8;
+    case VectorIsa::NEON_ASIMD: return 2;
+    case VectorIsa::SVE: return 4;  // 256-bit SVE as on A64FX-class parts
+  }
+  return 1;
+}
+
+bool has_fma(VectorIsa isa) {
+  switch (isa) {
+    case VectorIsa::AVX2_128:
+    case VectorIsa::AVX2_256:
+    case VectorIsa::AVX_512:
+    case VectorIsa::NEON_ASIMD:
+    case VectorIsa::SVE:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+// Monotone rank within one architecture's ladder for `runs_on` comparisons.
+int rank(VectorIsa isa) {
+  const auto ladder = ladder_for(arch_of(isa));
+  const auto it = std::find(ladder.begin(), ladder.end(), isa);
+  return static_cast<int>(it - ladder.begin());
+}
+
+}  // namespace
+
+bool runs_on(VectorIsa code_isa, VectorIsa hw_isa) {
+  if (code_isa == VectorIsa::None) {
+    return true;  // scalar code runs anywhere within its base arch
+  }
+  if (arch_of(code_isa) != arch_of(hw_isa)) return false;
+  // AVX_256 (no FMA) and AVX2_128 (FMA, 128-bit) are siblings rather than
+  // strictly ordered; both run on any AVX2-capable part.
+  return rank(code_isa) <= rank(hw_isa);
+}
+
+std::string_view to_string(CpuFeature f) {
+  switch (f) {
+    case CpuFeature::sse2: return "sse2";
+    case CpuFeature::sse4_1: return "sse4_1";
+    case CpuFeature::avx: return "avx";
+    case CpuFeature::avx2: return "avx2";
+    case CpuFeature::fma3: return "fma3";
+    case CpuFeature::avx512f: return "avx512f";
+    case CpuFeature::neon: return "neon";
+    case CpuFeature::asimd: return "asimd";
+    case CpuFeature::sve: return "sve";
+    case CpuFeature::amx: return "amx";
+  }
+  return "?";
+}
+
+std::optional<CpuFeature> cpu_feature_from_string(std::string_view s) {
+  if (s == "sse2") return CpuFeature::sse2;
+  if (s == "sse4_1" || s == "sse4.1") return CpuFeature::sse4_1;
+  if (s == "avx") return CpuFeature::avx;
+  if (s == "avx2") return CpuFeature::avx2;
+  if (s == "fma3" || s == "fma") return CpuFeature::fma3;
+  if (s == "avx512f") return CpuFeature::avx512f;
+  if (s == "neon") return CpuFeature::neon;
+  if (s == "asimd") return CpuFeature::asimd;
+  if (s == "sve") return CpuFeature::sve;
+  if (s == "amx") return CpuFeature::amx;
+  return std::nullopt;
+}
+
+std::vector<CpuFeature> required_features(VectorIsa isa) {
+  switch (isa) {
+    case VectorIsa::None: return {};
+    case VectorIsa::SSE2: return {CpuFeature::sse2};
+    case VectorIsa::SSE4_1: return {CpuFeature::sse2, CpuFeature::sse4_1};
+    case VectorIsa::AVX2_128:
+      return {CpuFeature::avx, CpuFeature::avx2, CpuFeature::fma3};
+    case VectorIsa::AVX_256: return {CpuFeature::avx};
+    case VectorIsa::AVX2_256:
+      return {CpuFeature::avx, CpuFeature::avx2, CpuFeature::fma3};
+    case VectorIsa::AVX_512:
+      return {CpuFeature::avx, CpuFeature::avx2, CpuFeature::fma3,
+              CpuFeature::avx512f};
+    case VectorIsa::NEON_ASIMD: return {CpuFeature::neon, CpuFeature::asimd};
+    case VectorIsa::SVE:
+      return {CpuFeature::neon, CpuFeature::asimd, CpuFeature::sve};
+  }
+  return {};
+}
+
+std::vector<VectorIsa> supported_isas(
+    Arch arch, const std::vector<CpuFeature>& features) {
+  std::vector<VectorIsa> out;
+  for (VectorIsa isa : ladder_for(arch)) {
+    const auto req = required_features(isa);
+    const bool ok = std::all_of(req.begin(), req.end(), [&](CpuFeature f) {
+      return std::find(features.begin(), features.end(), f) != features.end();
+    });
+    if (ok) out.push_back(isa);
+  }
+  return out;
+}
+
+VectorIsa best_isa(Arch arch, const std::vector<CpuFeature>& features) {
+  const auto all = supported_isas(arch, features);
+  return all.empty() ? VectorIsa::None : all.back();
+}
+
+}  // namespace xaas::isa

@@ -1,0 +1,84 @@
+// CPU architecture and vector-ISA model.
+//
+// The paper's central performance lever is the vectorization level chosen
+// at build time (Fig. 2): GROMACS supports None/SSE2/SSE4.1/AVX2_128/
+// AVX_256/AVX2_256/AVX_512 on x86 and NEON/SVE on ARM. We model the exact
+// same ladder, including double-precision lane counts and FMA availability,
+// which the VM's cost model consumes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xaas::isa {
+
+/// Base instruction-set architecture of a node or container image.
+enum class Arch { X86_64, AArch64 };
+
+std::string_view to_string(Arch arch);
+std::optional<Arch> arch_from_string(std::string_view s);
+
+/// Vector extension ladder, mirroring GROMACS' GMX_SIMD choices.
+enum class VectorIsa {
+  None,
+  SSE2,
+  SSE4_1,
+  AVX2_128,   // AVX2 instructions at 128-bit width (Zen1-style)
+  AVX_256,    // AVX without FMA
+  AVX2_256,   // AVX2 + FMA at 256-bit
+  AVX_512,
+  NEON_ASIMD,
+  SVE,
+};
+
+std::string_view to_string(VectorIsa isa);
+std::optional<VectorIsa> vector_isa_from_string(std::string_view s);
+
+/// All ISA levels applicable to the given base architecture, weakest first.
+std::vector<VectorIsa> ladder_for(Arch arch);
+
+/// Which base architecture an ISA level belongs to.
+Arch arch_of(VectorIsa isa);
+
+/// Number of double-precision lanes of a vector ISA.
+int lanes_f64(VectorIsa isa);
+
+/// Whether the ISA provides fused multiply-add.
+bool has_fma(VectorIsa isa);
+
+/// True if code emitted for `code_isa` runs on hardware supporting
+/// `hw_isa` (same architecture and code level <= hardware level).
+bool runs_on(VectorIsa code_isa, VectorIsa hw_isa);
+
+/// Low-level CPU feature flags, as discovered from cpuinfo on the node
+/// (cf. Fig. 4b "Vectorization": ["avx512f", "avx", "avx2", "sse4_1"]).
+enum class CpuFeature {
+  sse2,
+  sse4_1,
+  avx,
+  avx2,
+  fma3,
+  avx512f,
+  neon,
+  asimd,
+  sve,
+  amx,
+};
+
+std::string_view to_string(CpuFeature f);
+std::optional<CpuFeature> cpu_feature_from_string(std::string_view s);
+
+/// CPU feature flags required to execute a vector ISA level.
+std::vector<CpuFeature> required_features(VectorIsa isa);
+
+/// Best vector ISA executable given a set of CPU features.
+VectorIsa best_isa(Arch arch, const std::vector<CpuFeature>& features);
+
+/// All vector ISA levels executable given a set of CPU features.
+std::vector<VectorIsa> supported_isas(Arch arch,
+                                      const std::vector<CpuFeature>& features);
+
+}  // namespace xaas::isa

@@ -1,0 +1,88 @@
+#include "isa/microarch.hpp"
+
+#include <algorithm>
+
+namespace xaas::isa {
+
+namespace {
+
+std::vector<Microarch> build_database() {
+  using F = CpuFeature;
+  std::vector<Microarch> db;
+  // x86_64 chain.
+  db.push_back({"x86_64", "generic", Arch::X86_64, {F::sse2}, ""});
+  db.push_back({"nehalem", "Intel", Arch::X86_64, {F::sse2, F::sse4_1},
+                "x86_64"});
+  db.push_back({"sandybridge", "Intel", Arch::X86_64,
+                {F::sse2, F::sse4_1, F::avx}, "nehalem"});
+  db.push_back({"haswell", "Intel", Arch::X86_64,
+                {F::sse2, F::sse4_1, F::avx, F::avx2, F::fma3},
+                "sandybridge"});
+  db.push_back({"skylake_avx512", "Intel", Arch::X86_64,
+                {F::sse2, F::sse4_1, F::avx, F::avx2, F::fma3, F::avx512f},
+                "haswell"});
+  db.push_back({"sapphirerapids", "Intel", Arch::X86_64,
+                {F::sse2, F::sse4_1, F::avx, F::avx2, F::fma3, F::avx512f,
+                 F::amx},
+                "skylake_avx512"});
+  db.push_back({"zen2", "AMD", Arch::X86_64,
+                {F::sse2, F::sse4_1, F::avx, F::avx2, F::fma3}, "haswell"});
+  db.push_back({"zen4", "AMD", Arch::X86_64,
+                {F::sse2, F::sse4_1, F::avx, F::avx2, F::fma3, F::avx512f},
+                "zen2"});
+  // aarch64 chain.
+  db.push_back({"aarch64", "generic", Arch::AArch64, {F::neon, F::asimd}, ""});
+  db.push_back({"neoverse_n1", "ARM", Arch::AArch64, {F::neon, F::asimd},
+                "aarch64"});
+  db.push_back({"neoverse_v2", "ARM", Arch::AArch64,
+                {F::neon, F::asimd, F::sve}, "neoverse_n1"});
+  db.push_back({"a64fx", "Fujitsu", Arch::AArch64,
+                {F::neon, F::asimd, F::sve}, "aarch64"});
+  return db;
+}
+
+}  // namespace
+
+const std::vector<Microarch>& microarch_database() {
+  static const std::vector<Microarch> db = build_database();
+  return db;
+}
+
+std::optional<Microarch> find_microarch(std::string_view name) {
+  for (const auto& m : microarch_database()) {
+    if (m.name == name) return m;
+  }
+  return std::nullopt;
+}
+
+std::optional<Microarch> label(Arch arch,
+                               const std::vector<CpuFeature>& features) {
+  const Microarch* best = nullptr;
+  for (const auto& m : microarch_database()) {
+    if (m.arch != arch) continue;
+    const bool subset =
+        std::all_of(m.features.begin(), m.features.end(), [&](CpuFeature f) {
+          return std::find(features.begin(), features.end(), f) !=
+                 features.end();
+        });
+    if (!subset) continue;
+    if (!best || m.features.size() > best->features.size()) best = &m;
+  }
+  if (!best) return std::nullopt;
+  return *best;
+}
+
+bool compatible(const Microarch& target, const Microarch& host) {
+  if (target.arch != host.arch) return false;
+  // Walk host's ancestor chain looking for the target.
+  std::string cur = host.name;
+  while (!cur.empty()) {
+    if (cur == target.name) return true;
+    const auto m = find_microarch(cur);
+    if (!m) return false;
+    cur = m->parent;
+  }
+  return false;
+}
+
+}  // namespace xaas::isa

@@ -1,0 +1,40 @@
+// archspec-like microarchitecture database (§4.1 cites archspec [24]):
+// named microarchitectures with their feature sets and a compatibility
+// partial order, used by system discovery to label compute nodes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace xaas::isa {
+
+struct Microarch {
+  std::string name;            // e.g. "skylake_avx512"
+  std::string vendor;          // e.g. "Intel"
+  Arch arch;
+  std::vector<CpuFeature> features;
+  std::string parent;          // immediate ancestor in the compat chain ("" = root)
+};
+
+/// Built-in microarchitecture database covering the paper's test systems:
+/// Skylake-SP (Ault23/Ault01-04), Zen2 (Ault25), Neoverse-V2 (Clariden
+/// GH200), Sapphire Rapids HBM (Aurora), plus generic roots.
+const std::vector<Microarch>& microarch_database();
+
+/// Look up by name.
+std::optional<Microarch> find_microarch(std::string_view name);
+
+/// Most specific microarchitecture whose features are a subset of
+/// `features` for the given base architecture (archspec-style labeling).
+std::optional<Microarch> label(Arch arch,
+                               const std::vector<CpuFeature>& features);
+
+/// True if code targeting `target` runs on `host` (host is `target` or a
+/// descendant of it in the compatibility chain).
+bool compatible(const Microarch& target, const Microarch& host);
+
+}  // namespace xaas::isa

@@ -1,0 +1,134 @@
+// Abstract syntax tree for Kernel-C.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace xaas::minicc::ast {
+
+enum class Type { Void, Int, Double, PtrInt, PtrDouble };
+
+inline bool is_pointer(Type t) {
+  return t == Type::PtrInt || t == Type::PtrDouble;
+}
+
+inline Type element_type(Type t) {
+  return t == Type::PtrDouble ? Type::Double : Type::Int;
+}
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class BinOp {
+  Add, Sub, Mul, Div, Mod,
+  Lt, Le, Gt, Ge, Eq, Ne,
+  And, Or,
+};
+
+enum class UnOp { Neg, Not };
+
+struct Expr {
+  enum class Kind { IntLit, FloatLit, Var, Unary, Binary, Call, Index };
+
+  Kind kind;
+  // IntLit / FloatLit
+  long long int_value = 0;
+  double float_value = 0.0;
+  // Var / Call(name) / Index(base var name)
+  std::string name;
+  // Unary / Binary
+  UnOp un_op = UnOp::Neg;
+  BinOp bin_op = BinOp::Add;
+  ExprPtr lhs;
+  ExprPtr rhs;
+  // Call
+  std::vector<ExprPtr> args;
+  // Index: base expression (a variable) and index expression
+  ExprPtr base;
+  ExprPtr index;
+  int line = 0;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// OpenMP / XaaS annotations attached to the following statement.
+struct PragmaInfo {
+  bool omp_parallel_for = false;
+  bool omp_simd = false;
+  bool omp_parallel_for_reduction = false;  // "reduction(+:var)" clause seen
+  std::string reduction_var;
+};
+
+struct Stmt {
+  enum class Kind {
+    Decl,       // type name = init;
+    Assign,     // lvalue op= expr;
+    If,
+    For,
+    While,
+    Return,
+    Block,
+    ExprStmt,   // expression (typically a call) as a statement
+  };
+
+  Kind kind;
+  int line = 0;
+
+  // Decl
+  Type decl_type = Type::Int;
+  std::string decl_name;
+  ExprPtr decl_init;
+
+  // Assign: target is Var or Index expr; op is Add/Sub/Mul/Div for
+  // compound assignment, or plain (use `plain_assign`).
+  ExprPtr target;
+  bool plain_assign = true;
+  BinOp assign_op = BinOp::Add;
+  ExprPtr value;
+
+  // If
+  ExprPtr cond;
+  StmtPtr then_branch;
+  StmtPtr else_branch;
+
+  // For: init / cond / inc / body. While: cond / body.
+  StmtPtr init;
+  StmtPtr inc;
+  StmtPtr body;
+  PragmaInfo pragma;
+
+  // Return
+  ExprPtr ret_value;
+
+  // Block
+  std::vector<StmtPtr> stmts;
+
+  // ExprStmt
+  ExprPtr expr;
+};
+
+struct Param {
+  Type type;
+  std::string name;
+};
+
+struct Function {
+  Type ret_type = Type::Void;
+  std::string name;
+  std::vector<Param> params;
+  StmtPtr body;          // Block; null for declarations
+  bool gpu_kernel = false;  // "#pragma xaas gpu_kernel" annotation
+  int line = 0;
+};
+
+struct TranslationUnit {
+  std::vector<Function> functions;
+};
+
+/// AST analysis used by the IR-container pipeline (§4.3): does this
+/// translation unit contain any OpenMP construct?
+bool uses_openmp(const TranslationUnit& tu);
+
+}  // namespace xaas::minicc::ast

@@ -1,0 +1,629 @@
+#include "minicc/irgen.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace xaas::minicc {
+
+namespace {
+
+using namespace ast;
+using ir::Block;
+using ir::CmpPred;
+using ir::Inst;
+using ir::LoopInfo;
+using ir::Opcode;
+using ir::RegType;
+
+RegType reg_type_of(Type t) {
+  switch (t) {
+    case Type::Int: return RegType::I64;
+    case Type::Double: return RegType::F64;
+    case Type::PtrInt: return RegType::PtrI;
+    case Type::PtrDouble: return RegType::PtrF;
+    case Type::Void: break;
+  }
+  return RegType::I64;
+}
+
+class FunctionGen {
+public:
+  FunctionGen(const Function& src, const IrGenOptions& options,
+              const TranslationUnit& tu)
+      : src_(src), options_(options), tu_(tu) {}
+
+  ir::Function run() {
+    fn_.name = src_.name;
+    fn_.gpu_kernel = src_.gpu_kernel;
+    if (src_.ret_type == Type::Void) {
+      fn_.returns_void = true;
+    } else {
+      fn_.ret_type = reg_type_of(src_.ret_type);
+    }
+    for (const auto& p : src_.params) {
+      const int reg = fn_.add_reg(reg_type_of(p.type));
+      fn_.params.push_back({reg_type_of(p.type), p.name, reg});
+      scope_[p.name] = {reg, p.type};
+    }
+    current_ = new_block("entry");
+    gen_stmt(src_.body.get());
+    // Ensure the function ends with a return.
+    Inst ret;
+    ret.op = Opcode::Ret;
+    ret.a = -1;
+    emit(ret);
+    return std::move(fn_);
+  }
+
+private:
+  struct VarInfo {
+    int reg;
+    Type type;
+  };
+
+  [[noreturn]] void fail(const std::string& msg, int line) {
+    throw std::runtime_error("irgen error at line " + std::to_string(line) +
+                             " in function '" + src_.name + "': " + msg);
+  }
+
+  int new_block(const std::string& name) {
+    fn_.blocks.push_back(Block{name, {}});
+    return static_cast<int>(fn_.blocks.size()) - 1;
+  }
+
+  void emit(Inst inst) { fn_.blocks[current_].insts.push_back(std::move(inst)); }
+
+  void emit_br(int target) {
+    Inst i;
+    i.op = Opcode::Br;
+    i.t1 = target;
+    emit(i);
+  }
+
+  void emit_cbr(int cond, int if_true, int if_false) {
+    Inst i;
+    i.op = Opcode::CBr;
+    i.a = cond;
+    i.t1 = if_true;
+    i.t2 = if_false;
+    emit(i);
+  }
+
+  // ---- Expressions -------------------------------------------------------
+
+  struct Val {
+    int reg;
+    Type type;
+  };
+
+  Val to_double(Val v, int line) {
+    if (v.type == Type::Double) return v;
+    if (v.type != Type::Int) fail("cannot convert to double", line);
+    const int dst = fn_.add_reg(RegType::F64);
+    Inst i;
+    i.op = Opcode::SiToFp;
+    i.dst = dst;
+    i.a = v.reg;
+    emit(i);
+    return {dst, Type::Double};
+  }
+
+  Val to_int(Val v, int line) {
+    if (v.type == Type::Int) return v;
+    if (v.type != Type::Double) fail("cannot convert to int", line);
+    const int dst = fn_.add_reg(RegType::I64);
+    Inst i;
+    i.op = Opcode::FpToSi;
+    i.dst = dst;
+    i.a = v.reg;
+    emit(i);
+    return {dst, Type::Int};
+  }
+
+  Val gen_expr(const Expr* e) {
+    switch (e->kind) {
+      case Expr::Kind::IntLit: {
+        const int dst = fn_.add_reg(RegType::I64);
+        Inst i;
+        i.op = Opcode::ConstI;
+        i.dst = dst;
+        i.iimm = e->int_value;
+        emit(i);
+        return {dst, Type::Int};
+      }
+      case Expr::Kind::FloatLit: {
+        const int dst = fn_.add_reg(RegType::F64);
+        Inst i;
+        i.op = Opcode::ConstF;
+        i.dst = dst;
+        i.fimm = e->float_value;
+        emit(i);
+        return {dst, Type::Double};
+      }
+      case Expr::Kind::Var: {
+        const auto it = scope_.find(e->name);
+        if (it == scope_.end()) fail("undefined variable: " + e->name, e->line);
+        return {it->second.reg, it->second.type};
+      }
+      case Expr::Kind::Unary: {
+        Val v = gen_expr(e->lhs.get());
+        if (e->un_op == UnOp::Neg) {
+          const bool fp = v.type == Type::Double;
+          const int dst = fn_.add_reg(fp ? RegType::F64 : RegType::I64);
+          Inst i;
+          i.op = fp ? Opcode::FNeg : Opcode::INeg;
+          i.dst = dst;
+          i.a = v.reg;
+          emit(i);
+          return {dst, v.type};
+        }
+        // Logical not (int only).
+        Val iv = to_int(v, e->line);
+        const int dst = fn_.add_reg(RegType::I64);
+        Inst i;
+        i.op = Opcode::LNot;
+        i.dst = dst;
+        i.a = iv.reg;
+        emit(i);
+        return {dst, Type::Int};
+      }
+      case Expr::Kind::Binary:
+        return gen_binary(e);
+      case Expr::Kind::Call:
+        return gen_call(e);
+      case Expr::Kind::Index: {
+        const Val base = gen_expr(e->base.get());
+        if (!is_pointer(base.type)) fail("indexing a non-pointer", e->line);
+        Val idx = to_int(gen_expr(e->index.get()), e->line);
+        const Type elem = element_type(base.type);
+        const int dst =
+            fn_.add_reg(elem == Type::Double ? RegType::F64 : RegType::I64);
+        Inst i;
+        i.op = elem == Type::Double ? Opcode::LoadF : Opcode::LoadI;
+        i.dst = dst;
+        i.a = base.reg;
+        i.b = idx.reg;
+        emit(i);
+        return {dst, elem};
+      }
+    }
+    fail("unsupported expression", e->line);
+  }
+
+  Val gen_binary(const Expr* e) {
+    // Logical operators: evaluate both sides (no short-circuit; kernels
+    // are branch-light and this keeps blocks straight-line for the
+    // vectorizer).
+    Val l = gen_expr(e->lhs.get());
+    Val r = gen_expr(e->rhs.get());
+    const BinOp op = e->bin_op;
+
+    if (op == BinOp::And || op == BinOp::Or) {
+      Val li = to_int(l, e->line);
+      Val ri = to_int(r, e->line);
+      const int dst = fn_.add_reg(RegType::I64);
+      Inst i;
+      i.op = op == BinOp::And ? Opcode::LAnd : Opcode::LOr;
+      i.dst = dst;
+      i.a = li.reg;
+      i.b = ri.reg;
+      emit(i);
+      return {dst, Type::Int};
+    }
+
+    const bool cmp = op == BinOp::Lt || op == BinOp::Le || op == BinOp::Gt ||
+                     op == BinOp::Ge || op == BinOp::Eq || op == BinOp::Ne;
+    const bool any_double = l.type == Type::Double || r.type == Type::Double;
+
+    if (cmp) {
+      const int dst = fn_.add_reg(RegType::I64);
+      Inst i;
+      if (any_double) {
+        l = to_double(l, e->line);
+        r = to_double(r, e->line);
+        i.op = Opcode::FCmp;
+      } else {
+        i.op = Opcode::ICmp;
+      }
+      switch (op) {
+        case BinOp::Lt: i.pred = CmpPred::LT; break;
+        case BinOp::Le: i.pred = CmpPred::LE; break;
+        case BinOp::Gt: i.pred = CmpPred::GT; break;
+        case BinOp::Ge: i.pred = CmpPred::GE; break;
+        case BinOp::Eq: i.pred = CmpPred::EQ; break;
+        default: i.pred = CmpPred::NE; break;
+      }
+      i.dst = dst;
+      i.a = l.reg;
+      i.b = r.reg;
+      emit(i);
+      return {dst, Type::Int};
+    }
+
+    if (any_double) {
+      l = to_double(l, e->line);
+      r = to_double(r, e->line);
+      const int dst = fn_.add_reg(RegType::F64);
+      Inst i;
+      switch (op) {
+        case BinOp::Add: i.op = Opcode::FAdd; break;
+        case BinOp::Sub: i.op = Opcode::FSub; break;
+        case BinOp::Mul: i.op = Opcode::FMul; break;
+        case BinOp::Div: i.op = Opcode::FDiv; break;
+        default: fail("invalid float operation", e->line);
+      }
+      i.dst = dst;
+      i.a = l.reg;
+      i.b = r.reg;
+      emit(i);
+      return {dst, Type::Double};
+    }
+
+    const int dst = fn_.add_reg(RegType::I64);
+    Inst i;
+    switch (op) {
+      case BinOp::Add: i.op = Opcode::IAdd; break;
+      case BinOp::Sub: i.op = Opcode::ISub; break;
+      case BinOp::Mul: i.op = Opcode::IMul; break;
+      case BinOp::Div: i.op = Opcode::IDiv; break;
+      case BinOp::Mod: i.op = Opcode::IMod; break;
+      default: fail("invalid int operation", e->line);
+    }
+    i.dst = dst;
+    i.a = l.reg;
+    i.b = r.reg;
+    emit(i);
+    return {dst, Type::Int};
+  }
+
+  Val gen_call(const Expr* e) {
+    Inst i;
+    i.op = Opcode::Call;
+    i.callee = e->name;
+    Type ret = Type::Double;
+    if (ir::is_intrinsic(e->name)) {
+      for (const auto& arg : e->args) {
+        Val v = to_double(gen_expr(arg.get()), e->line);
+        i.args.push_back(v.reg);
+      }
+    } else {
+      const Function* callee = nullptr;
+      for (const auto& f : tu_.functions) {
+        if (f.name == e->name) callee = &f;
+      }
+      if (!callee) fail("call to unknown function: " + e->name, e->line);
+      if (callee->params.size() != e->args.size()) {
+        fail("wrong argument count calling " + e->name, e->line);
+      }
+      for (std::size_t a = 0; a < e->args.size(); ++a) {
+        Val v = gen_expr(e->args[a].get());
+        const Type want = callee->params[a].type;
+        if (want == Type::Double) v = to_double(v, e->line);
+        else if (want == Type::Int) v = to_int(v, e->line);
+        else if (v.type != want) fail("pointer argument type mismatch", e->line);
+        i.args.push_back(v.reg);
+      }
+      ret = callee->ret_type;
+    }
+    if (ret == Type::Void) {
+      i.dst = -1;
+      emit(i);
+      return {-1, Type::Void};
+    }
+    const int dst =
+        fn_.add_reg(ret == Type::Double ? RegType::F64 : RegType::I64);
+    i.dst = dst;
+    emit(i);
+    return {dst, ret};
+  }
+
+  // ---- Statements ----------------------------------------------------------
+
+  void gen_stmt(const Stmt* s) {
+    if (!s) return;
+    switch (s->kind) {
+      case Stmt::Kind::Block:
+        for (const auto& child : s->stmts) gen_stmt(child.get());
+        return;
+      case Stmt::Kind::Decl: {
+        const int reg = fn_.add_reg(reg_type_of(s->decl_type));
+        scope_[s->decl_name] = {reg, s->decl_type};
+        if (s->decl_init) {
+          Val v = gen_expr(s->decl_init.get());
+          if (s->decl_type == Type::Double) v = to_double(v, s->line);
+          else if (s->decl_type == Type::Int) v = to_int(v, s->line);
+          Inst i;
+          i.op = Opcode::Mov;
+          i.dst = reg;
+          i.a = v.reg;
+          emit(i);
+        }
+        return;
+      }
+      case Stmt::Kind::Assign: {
+        gen_assign(s);
+        return;
+      }
+      case Stmt::Kind::ExprStmt:
+        if (s->expr) gen_expr(s->expr.get());
+        return;
+      case Stmt::Kind::Return: {
+        Inst i;
+        i.op = Opcode::Ret;
+        if (s->ret_value) {
+          Val v = gen_expr(s->ret_value.get());
+          if (!fn_.returns_void) {
+            if (fn_.ret_type == RegType::F64) v = to_double(v, s->line);
+            else if (fn_.ret_type == RegType::I64) v = to_int(v, s->line);
+          }
+          i.a = v.reg;
+        }
+        emit(i);
+        // Unreachable continuation block keeps emission valid.
+        current_ = new_block("postret");
+        return;
+      }
+      case Stmt::Kind::If: {
+        Val cond = to_int(gen_expr(s->cond.get()), s->line);
+        const int then_b = new_block("then");
+        const int else_b = s->else_branch ? new_block("else") : -1;
+        const int join_b = new_block("join");
+        emit_cbr(cond.reg, then_b, s->else_branch ? else_b : join_b);
+        current_ = then_b;
+        gen_stmt(s->then_branch.get());
+        emit_br(join_b);
+        if (s->else_branch) {
+          current_ = else_b;
+          gen_stmt(s->else_branch.get());
+          emit_br(join_b);
+        }
+        current_ = join_b;
+        return;
+      }
+      case Stmt::Kind::While:
+        gen_while(s);
+        return;
+      case Stmt::Kind::For:
+        gen_for(s);
+        return;
+    }
+  }
+
+  void gen_assign(const Stmt* s) {
+    const Expr* target = s->target.get();
+    if (target->kind == Expr::Kind::Var) {
+      const auto it = scope_.find(target->name);
+      if (it == scope_.end()) {
+        fail("assignment to undefined variable: " + target->name, s->line);
+      }
+      const VarInfo var = it->second;
+      Val rhs = gen_expr(s->value.get());
+      if (!s->plain_assign) {
+        // var op= rhs
+        Val cur{var.reg, var.type};
+        rhs = emit_binop(s->assign_op, cur, rhs, s->line);
+      }
+      if (var.type == Type::Double) rhs = to_double(rhs, s->line);
+      else if (var.type == Type::Int) rhs = to_int(rhs, s->line);
+      Inst i;
+      i.op = Opcode::Mov;
+      i.dst = var.reg;
+      i.a = rhs.reg;
+      emit(i);
+      return;
+    }
+    // Index target: base[idx] op= value
+    const Val base = gen_expr(target->base.get());
+    if (!is_pointer(base.type)) fail("indexed store to non-pointer", s->line);
+    Val idx = to_int(gen_expr(target->index.get()), s->line);
+    const Type elem = element_type(base.type);
+    Val rhs = gen_expr(s->value.get());
+    if (!s->plain_assign) {
+      // Load current value, combine.
+      const int cur =
+          fn_.add_reg(elem == Type::Double ? RegType::F64 : RegType::I64);
+      Inst load;
+      load.op = elem == Type::Double ? Opcode::LoadF : Opcode::LoadI;
+      load.dst = cur;
+      load.a = base.reg;
+      load.b = idx.reg;
+      emit(load);
+      rhs = emit_binop(s->assign_op, {cur, elem}, rhs, s->line);
+    }
+    if (elem == Type::Double) rhs = to_double(rhs, s->line);
+    else rhs = to_int(rhs, s->line);
+    Inst store;
+    store.op = elem == Type::Double ? Opcode::StoreF : Opcode::StoreI;
+    store.a = base.reg;
+    store.b = idx.reg;
+    store.c = rhs.reg;
+    emit(store);
+  }
+
+  Val emit_binop(BinOp op, Val l, Val r, int line) {
+    const bool any_double = l.type == Type::Double || r.type == Type::Double;
+    if (any_double) {
+      l = to_double(l, line);
+      r = to_double(r, line);
+      const int dst = fn_.add_reg(RegType::F64);
+      Inst i;
+      switch (op) {
+        case BinOp::Add: i.op = Opcode::FAdd; break;
+        case BinOp::Sub: i.op = Opcode::FSub; break;
+        case BinOp::Mul: i.op = Opcode::FMul; break;
+        case BinOp::Div: i.op = Opcode::FDiv; break;
+        default: fail("invalid compound float op", line);
+      }
+      i.dst = dst;
+      i.a = l.reg;
+      i.b = r.reg;
+      emit(i);
+      return {dst, Type::Double};
+    }
+    const int dst = fn_.add_reg(RegType::I64);
+    Inst i;
+    switch (op) {
+      case BinOp::Add: i.op = Opcode::IAdd; break;
+      case BinOp::Sub: i.op = Opcode::ISub; break;
+      case BinOp::Mul: i.op = Opcode::IMul; break;
+      case BinOp::Div: i.op = Opcode::IDiv; break;
+      case BinOp::Mod: i.op = Opcode::IMod; break;
+      default: fail("invalid compound int op", line);
+    }
+    i.dst = dst;
+    i.a = l.reg;
+    i.b = r.reg;
+    emit(i);
+    return {dst, Type::Int};
+  }
+
+  void gen_while(const Stmt* s) {
+    const int pre = current_;
+    const int header = new_block("while.header");
+    const int body = new_block("while.body");
+    const int exit = new_block("while.exit");
+    emit_br(header);
+    current_ = header;
+    Val cond = to_int(gen_expr(s->cond.get()), s->line);
+    emit_cbr(cond.reg, body, exit);
+    current_ = body;
+    gen_stmt(s->body.get());
+    emit_br(header);
+
+    LoopInfo loop;
+    loop.preheader = pre;
+    loop.header = header;
+    loop.body = -1;  // while loops are never vectorization candidates
+    loop.latch = body;
+    loop.exit = exit;
+    for (int b = header; b < exit; ++b) loop.blocks.push_back(b);
+    loop.parallel = options_.openmp && s->pragma.omp_parallel_for;
+    fn_.loops.push_back(std::move(loop));
+    current_ = exit;
+  }
+
+  void gen_for(const Stmt* s) {
+    // Lower `for (init; cond; inc) body` into:
+    //   preheader: init; br header
+    //   header:    c = cond; cbr c, body, exit
+    //   body:      ...
+    //   latch:     inc; br header
+    //   exit:
+    gen_stmt(s->init.get());
+    const int pre = current_;
+    const int header = new_block("for.header");
+    const int body = new_block("for.body");
+    emit_br(header);
+
+    current_ = header;
+    int cond_reg = -1;
+    int bound_reg = -1;
+    int induction_reg = -1;
+    if (s->cond) {
+      // Identify the canonical `i < bound` shape for the vectorizer.
+      const Expr* c = s->cond.get();
+      Val cv = gen_expr(c);
+      cond_reg = to_int(cv, s->line).reg;
+      if (c->kind == Expr::Kind::Binary &&
+          (c->bin_op == BinOp::Lt || c->bin_op == BinOp::Le) &&
+          c->lhs->kind == Expr::Kind::Var) {
+        const auto it = scope_.find(c->lhs->name);
+        if (it != scope_.end() && it->second.type == Type::Int) {
+          induction_reg = it->second.reg;
+        }
+        // The bound is whatever register the RHS landed in; find it by
+        // re-walking: the last ICmp emitted has it as operand b.
+        const auto& insts = fn_.blocks[header].insts;
+        if (!insts.empty() && insts.back().op == Opcode::ICmp) {
+          bound_reg = insts.back().b;
+        }
+      }
+    } else {
+      // for(;;): constant true
+      const int one = fn_.add_reg(RegType::I64);
+      Inst i;
+      i.op = Opcode::ConstI;
+      i.dst = one;
+      i.iimm = 1;
+      emit(i);
+      cond_reg = one;
+    }
+
+    const int body_start = static_cast<int>(fn_.blocks.size());
+    current_ = body;
+    gen_stmt(s->body.get());
+    const int latch = new_block("for.latch");
+    emit_br(latch);
+    current_ = latch;
+    gen_stmt(s->inc.get());
+    emit_br(header);
+    const int exit = new_block("for.exit");
+    // Patch the header's terminator now that block ids are known.
+    current_ = header;
+    emit_cbr(cond_reg, body, exit);
+
+    // Validate the canonical induction: the latch must be `i = i + 1`.
+    if (induction_reg >= 0) {
+      bool simple_step = false;
+      const auto& latch_insts = fn_.blocks[latch].insts;
+      for (const auto& inst : latch_insts) {
+        if (inst.op == Opcode::Mov && inst.dst == induction_reg) {
+          // Preceded by iadd induction, 1
+          for (const auto& prev : latch_insts) {
+            if (prev.op == Opcode::IAdd && prev.dst == inst.a &&
+                prev.a == induction_reg) {
+              simple_step = true;
+            }
+          }
+        }
+      }
+      if (!simple_step) induction_reg = -1;
+    }
+
+    LoopInfo loop;
+    loop.preheader = pre;
+    loop.header = header;
+    // Single-block body requirement for vectorization candidates: the body
+    // statement generated blocks [body_start-1 .. latch-1]; candidate iff
+    // exactly one block (`body`).
+    loop.body = (latch == body_start) ? body : -1;
+    loop.latch = latch;
+    loop.exit = exit;
+    for (int b = header; b <= latch; ++b) loop.blocks.push_back(b);
+    loop.induction_reg = induction_reg;
+    loop.bound_reg = bound_reg;
+    loop.parallel = options_.openmp && s->pragma.omp_parallel_for;
+    loop.simd = s->pragma.omp_simd;
+    fn_.loops.push_back(std::move(loop));
+    current_ = exit;
+  }
+
+  const Function& src_;
+  const IrGenOptions& options_;
+  const TranslationUnit& tu_;
+  ir::Function fn_;
+  int current_ = 0;
+  std::map<std::string, VarInfo> scope_;
+};
+
+}  // namespace
+
+IrGenResult generate_ir(const ast::TranslationUnit& tu,
+                        const IrGenOptions& options) {
+  IrGenResult result;
+  result.module.source_path = options.source_path;
+  try {
+    for (const auto& fn : tu.functions) {
+      if (!fn.body) continue;  // declaration only
+      FunctionGen gen(fn, options, tu);
+      result.module.functions.push_back(gen.run());
+    }
+  } catch (const std::runtime_error& e) {
+    result.error = e.what();
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace xaas::minicc

@@ -1,0 +1,27 @@
+// AST -> IR lowering with loop-metadata capture.
+#pragma once
+
+#include <string>
+
+#include "minicc/ast.hpp"
+#include "minicc/ir.hpp"
+
+namespace xaas::minicc {
+
+struct IrGenResult {
+  bool ok = false;
+  std::string error;
+  ir::Module module;
+};
+
+struct IrGenOptions {
+  /// Honor `#pragma omp` annotations (set when compiling with -fopenmp).
+  bool openmp = false;
+  /// Recorded in the module for provenance.
+  std::string source_path;
+};
+
+IrGenResult generate_ir(const ast::TranslationUnit& tu,
+                        const IrGenOptions& options);
+
+}  // namespace xaas::minicc

@@ -1,0 +1,119 @@
+#include "minicc/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace xaas::minicc {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuators, longest first.
+const char* kPuncts[] = {"<<=", ">>=", "<=", ">=", "==", "!=", "&&", "||",
+                         "+=", "-=", "*=", "/=", "%=", "++", "--", "<<",
+                         ">>"};
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& source, std::string* error) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  int line = 1;
+  const std::size_t n = source.size();
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      // Capture the whole directive line; only #pragma survives
+      // preprocessing.
+      std::size_t end = source.find('\n', i);
+      if (end == std::string::npos) end = n;
+      std::string text(source.substr(i + 1, end - i - 1));
+      Token t{TokKind::Pragma, text, 0, 0.0, line};
+      tokens.push_back(std::move(t));
+      i = end;
+      continue;
+    }
+    if (is_ident_start(c)) {
+      const std::size_t start = i;
+      while (i < n && is_ident_char(source[i])) ++i;
+      tokens.push_back(
+          {TokKind::Ident, source.substr(start, i - start), 0, 0.0, line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      const std::size_t start = i;
+      bool is_float = false;
+      while (i < n) {
+        const char d = source[i];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          ++i;
+        } else if (d == '.') {
+          is_float = true;
+          ++i;
+        } else if (d == 'e' || d == 'E') {
+          is_float = true;
+          ++i;
+          if (i < n && (source[i] == '+' || source[i] == '-')) ++i;
+        } else {
+          break;
+        }
+      }
+      const std::string text = source.substr(start, i - start);
+      Token t{is_float ? TokKind::FloatLit : TokKind::IntLit, text, 0, 0.0,
+              line};
+      if (is_float) {
+        t.float_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        t.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Punctuation.
+    bool matched = false;
+    for (const char* p : kPuncts) {
+      const std::size_t len = std::char_traits<char>::length(p);
+      if (source.compare(i, len, p) == 0) {
+        tokens.push_back({TokKind::Punct, p, 0, 0.0, line});
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    static const std::string kSingle = "+-*/%<>=!&|^~(){}[];,.?:";
+    if (kSingle.find(c) != std::string::npos) {
+      tokens.push_back({TokKind::Punct, std::string(1, c), 0, 0.0, line});
+      ++i;
+      continue;
+    }
+    if (error) {
+      *error = "unexpected character '" + std::string(1, c) + "' at line " +
+               std::to_string(line);
+    }
+    return tokens;
+  }
+  tokens.push_back({TokKind::Eof, "", 0, 0.0, line});
+  return tokens;
+}
+
+}  // namespace xaas::minicc

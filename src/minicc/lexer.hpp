@@ -1,0 +1,44 @@
+// Tokenizer for the Kernel-C language accepted by minicc.
+//
+// Kernel-C is the C-like subset our synthetic HPC applications are written
+// in: functions over int/double scalars and pointers, for/while/if control
+// flow, arithmetic, calls, and `#pragma` directives (OpenMP and XaaS
+// annotations) surfaced as first-class tokens so the parser can attach them
+// to the AST — the paper's pipeline detects OpenMP constructs via an AST
+// pass, not by grepping text (§4.3 "Preprocessing").
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xaas::minicc {
+
+enum class TokKind {
+  Ident,
+  IntLit,
+  FloatLit,
+  Punct,
+  Pragma,   // full "#pragma ..." line; text holds the payload after '#'
+  Eof,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  long long int_value = 0;
+  double float_value = 0.0;
+  int line = 0;
+};
+
+/// Lexing error with position info.
+struct LexError {
+  std::string message;
+  int line = 0;
+};
+
+/// Tokenize preprocessed Kernel-C source. Comments must already be
+/// stripped by the preprocessor; stray '#' lines other than #pragma are
+/// errors at this stage.
+std::vector<Token> lex(const std::string& source, std::string* error = nullptr);
+
+}  // namespace xaas::minicc

@@ -1,0 +1,129 @@
+#include "minicc/lower.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "minicc/passes.hpp"
+#include "minicc/vectorizer.hpp"
+
+namespace xaas::minicc {
+
+using ir::Inst;
+using ir::Opcode;
+
+std::string TargetSpec::to_string() const {
+  std::string out(isa::to_string(visa));
+  if (openmp) out += "+openmp";
+  out += "+O" + std::to_string(opt_level);
+  return out;
+}
+
+namespace {
+
+bool inst_reads(const Inst& inst, int reg) {
+  return inst.a == reg || inst.b == reg || inst.c == reg ||
+         std::count(inst.args.begin(), inst.args.end(), reg) > 0;
+}
+
+}  // namespace
+
+int fuse_fma(ir::Module& module) {
+  int fused = 0;
+  for (auto& fn : module.functions) {
+    // Registers that are read before any write within some block are
+    // live across blocks; fusing away their defining multiply would be
+    // unsound. Expression temporaries (the common case — irgen creates a
+    // fresh register per temporary, and the vectorizer's cloned bodies
+    // re-write before reading) never appear here.
+    std::set<int> live_in_read;
+    for (const auto& block : fn.blocks) {
+      std::set<int> written;
+      for (const auto& inst : block.insts) {
+        for (int reg : {inst.a, inst.b, inst.c}) {
+          if (reg >= 0 && !written.count(reg)) live_in_read.insert(reg);
+        }
+        for (int reg : inst.args) {
+          if (!written.count(reg)) live_in_read.insert(reg);
+        }
+        if (inst.dst >= 0) written.insert(inst.dst);
+      }
+    }
+    for (auto& block : fn.blocks) {
+      for (std::size_t i = 0; i + 1 < block.insts.size(); ++i) {
+        Inst& mul = block.insts[i];
+        if (mul.op != Opcode::FMul || mul.dst < 0) continue;
+        if (live_in_read.count(mul.dst)) continue;
+        // Scan forward: the product must feed exactly one instruction (an
+        // FAdd) before the product or the multiply operands are
+        // overwritten.
+        int reads = 0;
+        std::size_t consumer = 0;
+        bool blocked = false;
+        for (std::size_t j = i + 1; j < block.insts.size(); ++j) {
+          const Inst& next = block.insts[j];
+          if (inst_reads(next, mul.dst)) {
+            ++reads;
+            consumer = j;
+            if (reads > 1) break;
+          }
+          if (next.dst == mul.dst) break;  // product rewritten; stop scan
+          if (next.dst == mul.a || next.dst == mul.b) {
+            // Multiply operand changes before we could place the FMA.
+            if (reads == 0) blocked = true;
+            break;
+          }
+        }
+        if (blocked || reads != 1) continue;
+        Inst& add = block.insts[consumer];
+        if (add.op != Opcode::FAdd || add.width != mul.width) continue;
+        const int addend = add.a == mul.dst ? add.b : add.a;
+        Inst fma;
+        fma.op = Opcode::Fma;
+        fma.dst = add.dst;
+        fma.a = mul.a;
+        fma.b = mul.b;
+        fma.c = addend;
+        fma.width = add.width;
+        block.insts[consumer] = fma;
+        // Neutralize the multiply; DCE removes it if truly dead.
+        Inst nop;
+        nop.op = Opcode::Mov;
+        nop.dst = mul.dst;
+        nop.a = mul.a;
+        nop.width = mul.width;
+        block.insts[i] = nop;
+        ++fused;
+      }
+    }
+  }
+  eliminate_dead_code(module);
+  return fused;
+}
+
+MachineModule lower(ir::Module code, const TargetSpec& target) {
+  MachineModule mm;
+  optimize(code, target.opt_level);
+
+  if (!target.openmp) {
+    for (auto& fn : code.functions) {
+      for (auto& loop : fn.loops) loop.parallel = false;
+    }
+  }
+
+  const int lanes = isa::lanes_f64(target.visa);
+  if (target.visa != isa::VectorIsa::None && lanes > 1 &&
+      target.opt_level > 0) {
+    const VectorizeStats stats = vectorize_module(code, lanes);
+    mm.vectorized_loops = stats.vectorized;
+  }
+  if (isa::has_fma(target.visa) && target.opt_level > 0) {
+    mm.fused_fma = fuse_fma(code);
+  }
+
+  mm.code = std::move(code);
+  mm.target = target;
+  return mm;
+}
+
+}  // namespace xaas::minicc

@@ -1,0 +1,556 @@
+#include "minicc/parser.hpp"
+
+#include <utility>
+
+#include "common/strings.hpp"
+
+namespace xaas::minicc {
+
+namespace {
+
+using namespace ast;
+
+class Parser {
+public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  ParseResult run() {
+    ParseResult result;
+    while (!at_eof() && ok_) {
+      parse_top_level(result.tu);
+    }
+    result.ok = ok_;
+    result.error = error_;
+    return result;
+  }
+
+private:
+  const Token& peek(int ahead = 0) const {
+    const std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool at_eof() const { return peek().kind == TokKind::Eof; }
+
+  const Token& advance() {
+    const Token& t = tokens_[pos_];
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+  }
+
+  bool check_punct(std::string_view p) const {
+    return peek().kind == TokKind::Punct && peek().text == p;
+  }
+  bool check_ident(std::string_view name) const {
+    return peek().kind == TokKind::Ident && peek().text == name;
+  }
+
+  bool eat_punct(std::string_view p) {
+    if (check_punct(p)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  bool eat_ident(std::string_view name) {
+    if (check_ident(name)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  void fail(const std::string& msg) {
+    if (ok_) {
+      ok_ = false;
+      error_ = "parse error at line " + std::to_string(peek().line) + ": " +
+               msg + " (got '" + peek().text + "')";
+    }
+    // Skip to EOF to terminate parsing.
+    pos_ = tokens_.size() - 1;
+  }
+
+  void expect_punct(std::string_view p) {
+    if (!eat_punct(p)) fail("expected '" + std::string(p) + "'");
+  }
+
+  // ---- Pragmas ---------------------------------------------------------
+
+  struct PendingPragmas {
+    PragmaInfo info;
+    bool gpu_kernel = false;
+  };
+
+  PendingPragmas collect_pragmas() {
+    PendingPragmas pending;
+    while (peek().kind == TokKind::Pragma) {
+      const std::string text = advance().text;  // e.g. "pragma omp parallel for"
+      const auto words = common::split_ws(text);
+      if (words.size() >= 2 && words[0] == "pragma" && words[1] == "omp") {
+        if (words.size() >= 4 && words[2] == "parallel" && words[3] == "for") {
+          pending.info.omp_parallel_for = true;
+          for (const auto& w : words) {
+            if (common::starts_with(w, "reduction(")) {
+              pending.info.omp_parallel_for_reduction = true;
+              // reduction(+:acc)
+              const auto colon = w.find(':');
+              const auto close = w.find(')');
+              if (colon != std::string::npos && close != std::string::npos &&
+                  close > colon) {
+                pending.info.reduction_var =
+                    w.substr(colon + 1, close - colon - 1);
+              }
+            }
+          }
+        } else if (words.size() >= 3 && words[2] == "simd") {
+          pending.info.omp_simd = true;
+        }
+      } else if (words.size() >= 3 && words[0] == "pragma" &&
+                 words[1] == "xaas" && words[2] == "gpu_kernel") {
+        pending.gpu_kernel = true;
+      }
+      // Unknown pragmas are ignored, like a real compiler.
+    }
+    return pending;
+  }
+
+  // ---- Types -----------------------------------------------------------
+
+  bool peek_type() const {
+    return check_ident("int") || check_ident("double") || check_ident("void");
+  }
+
+  Type parse_type() {
+    Type base = Type::Void;
+    if (eat_ident("int")) base = Type::Int;
+    else if (eat_ident("double")) base = Type::Double;
+    else if (eat_ident("void")) base = Type::Void;
+    else fail("expected type");
+    if (eat_punct("*")) {
+      if (base == Type::Int) return Type::PtrInt;
+      if (base == Type::Double) return Type::PtrDouble;
+      fail("cannot form pointer to void");
+    }
+    return base;
+  }
+
+  // ---- Top level ---------------------------------------------------------
+
+  void parse_top_level(TranslationUnit& tu) {
+    const PendingPragmas pragmas = collect_pragmas();
+    if (at_eof()) return;
+    // Optional 'extern' on declarations.
+    const bool is_extern = eat_ident("extern");
+    Function fn;
+    fn.line = peek().line;
+    fn.gpu_kernel = pragmas.gpu_kernel;
+    fn.ret_type = parse_type();
+    if (!ok_) return;
+    if (peek().kind != TokKind::Ident) {
+      fail("expected function name");
+      return;
+    }
+    fn.name = advance().text;
+    expect_punct("(");
+    if (!check_punct(")")) {
+      while (ok_) {
+        Param p;
+        p.type = parse_type();
+        if (peek().kind == TokKind::Ident) {
+          p.name = advance().text;
+        } else {
+          fail("expected parameter name");
+        }
+        fn.params.push_back(std::move(p));
+        if (!eat_punct(",")) break;
+      }
+    }
+    expect_punct(")");
+    if (!ok_) return;
+    if (eat_punct(";")) {
+      // Declaration only (extern or forward).
+      (void)is_extern;
+      tu.functions.push_back(std::move(fn));
+      return;
+    }
+    fn.body = parse_block();
+    tu.functions.push_back(std::move(fn));
+  }
+
+  // ---- Statements --------------------------------------------------------
+
+  StmtPtr parse_block() {
+    auto block = std::make_unique<Stmt>();
+    block->kind = Stmt::Kind::Block;
+    block->line = peek().line;
+    expect_punct("{");
+    while (ok_ && !check_punct("}") && !at_eof()) {
+      block->stmts.push_back(parse_statement());
+    }
+    expect_punct("}");
+    return block;
+  }
+
+  StmtPtr parse_statement() {
+    const PendingPragmas pragmas = collect_pragmas();
+
+    if (check_punct("{")) return parse_block();
+
+    if (check_ident("if")) return parse_if();
+    if (check_ident("while")) return parse_while(pragmas.info);
+    if (check_ident("for")) return parse_for(pragmas.info);
+    if (check_ident("return")) return parse_return();
+
+    if (peek_type()) return parse_decl();
+
+    // Assignment or expression statement.
+    return parse_assign_or_expr();
+  }
+
+  StmtPtr parse_decl() {
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::Kind::Decl;
+    s->line = peek().line;
+    s->decl_type = parse_type();
+    if (peek().kind != TokKind::Ident) {
+      fail("expected variable name");
+      return s;
+    }
+    s->decl_name = advance().text;
+    if (eat_punct("=")) {
+      s->decl_init = parse_expr();
+    }
+    expect_punct(";");
+    return s;
+  }
+
+  StmtPtr parse_if() {
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::Kind::If;
+    s->line = peek().line;
+    advance();  // 'if'
+    expect_punct("(");
+    s->cond = parse_expr();
+    expect_punct(")");
+    s->then_branch = parse_statement();
+    if (eat_ident("else")) {
+      s->else_branch = parse_statement();
+    }
+    return s;
+  }
+
+  StmtPtr parse_while(const PragmaInfo& pragma) {
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::Kind::While;
+    s->line = peek().line;
+    s->pragma = pragma;
+    advance();  // 'while'
+    expect_punct("(");
+    s->cond = parse_expr();
+    expect_punct(")");
+    s->body = parse_statement();
+    return s;
+  }
+
+  StmtPtr parse_for(const PragmaInfo& pragma) {
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::Kind::For;
+    s->line = peek().line;
+    s->pragma = pragma;
+    advance();  // 'for'
+    expect_punct("(");
+    if (!check_punct(";")) {
+      if (peek_type()) {
+        // Declaration without the trailing ';' consumption duplicated:
+        // parse_decl eats ';'.
+        s->init = parse_decl_no_semi();
+      } else {
+        s->init = parse_assign_no_semi();
+      }
+    }
+    expect_punct(";");
+    if (!check_punct(";")) s->cond = parse_expr();
+    expect_punct(";");
+    if (!check_punct(")")) s->inc = parse_assign_no_semi();
+    expect_punct(")");
+    s->body = parse_statement();
+    return s;
+  }
+
+  StmtPtr parse_decl_no_semi() {
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::Kind::Decl;
+    s->line = peek().line;
+    s->decl_type = parse_type();
+    if (peek().kind != TokKind::Ident) {
+      fail("expected variable name");
+      return s;
+    }
+    s->decl_name = advance().text;
+    if (eat_punct("=")) s->decl_init = parse_expr();
+    return s;
+  }
+
+  StmtPtr parse_return() {
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::Kind::Return;
+    s->line = peek().line;
+    advance();  // 'return'
+    if (!check_punct(";")) s->ret_value = parse_expr();
+    expect_punct(";");
+    return s;
+  }
+
+  StmtPtr parse_assign_or_expr() {
+    StmtPtr s = parse_assign_no_semi();
+    expect_punct(";");
+    return s;
+  }
+
+  StmtPtr parse_assign_no_semi() {
+    auto s = std::make_unique<Stmt>();
+    s->line = peek().line;
+    ExprPtr lhs = parse_expr();
+    if (!ok_) {
+      s->kind = Stmt::Kind::ExprStmt;
+      s->expr = std::move(lhs);
+      return s;
+    }
+
+    auto make_assign = [&](bool plain, BinOp op) {
+      s->kind = Stmt::Kind::Assign;
+      s->target = std::move(lhs);
+      s->plain_assign = plain;
+      s->assign_op = op;
+      s->value = parse_expr();
+    };
+
+    if (eat_punct("=")) {
+      make_assign(true, BinOp::Add);
+    } else if (eat_punct("+=")) {
+      make_assign(false, BinOp::Add);
+    } else if (eat_punct("-=")) {
+      make_assign(false, BinOp::Sub);
+    } else if (eat_punct("*=")) {
+      make_assign(false, BinOp::Mul);
+    } else if (eat_punct("/=")) {
+      make_assign(false, BinOp::Div);
+    } else if (eat_punct("++") || eat_punct("--")) {
+      const bool inc = tokens_[pos_ - 1].text == "++";
+      s->kind = Stmt::Kind::Assign;
+      s->target = std::move(lhs);
+      s->plain_assign = false;
+      s->assign_op = inc ? BinOp::Add : BinOp::Sub;
+      auto one = std::make_unique<Expr>();
+      one->kind = Expr::Kind::IntLit;
+      one->int_value = 1;
+      s->value = std::move(one);
+    } else {
+      s->kind = Stmt::Kind::ExprStmt;
+      s->expr = std::move(lhs);
+    }
+
+    if (s->kind == Stmt::Kind::Assign) {
+      const Expr::Kind k = s->target->kind;
+      if (k != Expr::Kind::Var && k != Expr::Kind::Index) {
+        fail("assignment target must be a variable or array element");
+      }
+    }
+    return s;
+  }
+
+  // ---- Expressions (precedence climbing) ---------------------------------
+
+  ExprPtr parse_expr() { return parse_or(); }
+
+  ExprPtr make_binary(BinOp op, ExprPtr l, ExprPtr r) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::Binary;
+    e->bin_op = op;
+    e->lhs = std::move(l);
+    e->rhs = std::move(r);
+    return e;
+  }
+
+  ExprPtr parse_or() {
+    ExprPtr e = parse_and();
+    while (eat_punct("||")) e = make_binary(BinOp::Or, std::move(e), parse_and());
+    return e;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr e = parse_cmp();
+    while (eat_punct("&&")) e = make_binary(BinOp::And, std::move(e), parse_cmp());
+    return e;
+  }
+
+  ExprPtr parse_cmp() {
+    ExprPtr e = parse_add();
+    while (true) {
+      if (eat_punct("<=")) e = make_binary(BinOp::Le, std::move(e), parse_add());
+      else if (eat_punct(">=")) e = make_binary(BinOp::Ge, std::move(e), parse_add());
+      else if (eat_punct("==")) e = make_binary(BinOp::Eq, std::move(e), parse_add());
+      else if (eat_punct("!=")) e = make_binary(BinOp::Ne, std::move(e), parse_add());
+      else if (eat_punct("<")) e = make_binary(BinOp::Lt, std::move(e), parse_add());
+      else if (eat_punct(">")) e = make_binary(BinOp::Gt, std::move(e), parse_add());
+      else return e;
+    }
+  }
+
+  ExprPtr parse_add() {
+    ExprPtr e = parse_mul();
+    while (true) {
+      if (eat_punct("+")) e = make_binary(BinOp::Add, std::move(e), parse_mul());
+      else if (eat_punct("-")) e = make_binary(BinOp::Sub, std::move(e), parse_mul());
+      else return e;
+    }
+  }
+
+  ExprPtr parse_mul() {
+    ExprPtr e = parse_unary();
+    while (true) {
+      if (eat_punct("*")) e = make_binary(BinOp::Mul, std::move(e), parse_unary());
+      else if (eat_punct("/")) e = make_binary(BinOp::Div, std::move(e), parse_unary());
+      else if (eat_punct("%")) e = make_binary(BinOp::Mod, std::move(e), parse_unary());
+      else return e;
+    }
+  }
+
+  ExprPtr parse_unary() {
+    if (eat_punct("-")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::Unary;
+      e->un_op = UnOp::Neg;
+      e->lhs = parse_unary();
+      return e;
+    }
+    if (eat_punct("!")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::Unary;
+      e->un_op = UnOp::Not;
+      e->lhs = parse_unary();
+      return e;
+    }
+    if (eat_punct("+")) return parse_unary();
+    return parse_postfix();
+  }
+
+  ExprPtr parse_postfix() {
+    ExprPtr e = parse_primary();
+    while (ok_) {
+      if (check_punct("[")) {
+        advance();
+        auto idx = std::make_unique<Expr>();
+        idx->kind = Expr::Kind::Index;
+        idx->base = std::move(e);
+        idx->index = parse_expr();
+        expect_punct("]");
+        e = std::move(idx);
+      } else {
+        break;
+      }
+    }
+    return e;
+  }
+
+  ExprPtr parse_primary() {
+    auto e = std::make_unique<Expr>();
+    e->line = peek().line;
+    const Token& t = peek();
+    switch (t.kind) {
+      case TokKind::IntLit:
+        e->kind = Expr::Kind::IntLit;
+        e->int_value = t.int_value;
+        advance();
+        return e;
+      case TokKind::FloatLit:
+        e->kind = Expr::Kind::FloatLit;
+        e->float_value = t.float_value;
+        advance();
+        return e;
+      case TokKind::Ident: {
+        e->name = advance().text;
+        if (check_punct("(")) {
+          e->kind = Expr::Kind::Call;
+          advance();
+          if (!check_punct(")")) {
+            while (ok_) {
+              e->args.push_back(parse_expr());
+              if (!eat_punct(",")) break;
+            }
+          }
+          expect_punct(")");
+        } else {
+          e->kind = Expr::Kind::Var;
+        }
+        return e;
+      }
+      case TokKind::Punct:
+        if (t.text == "(") {
+          advance();
+          ExprPtr inner = parse_expr();
+          expect_punct(")");
+          return inner;
+        }
+        break;
+      default:
+        break;
+    }
+    fail("expected expression");
+    e->kind = Expr::Kind::IntLit;
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+  std::string error_;
+};
+
+bool stmt_uses_openmp(const Stmt* s) {
+  if (!s) return false;
+  if ((s->kind == Stmt::Kind::For || s->kind == Stmt::Kind::While) &&
+      (s->pragma.omp_parallel_for || s->pragma.omp_simd)) {
+    return true;
+  }
+  switch (s->kind) {
+    case Stmt::Kind::If:
+      return stmt_uses_openmp(s->then_branch.get()) ||
+             stmt_uses_openmp(s->else_branch.get());
+    case Stmt::Kind::For:
+    case Stmt::Kind::While:
+      return stmt_uses_openmp(s->body.get());
+    case Stmt::Kind::Block:
+      for (const auto& child : s->stmts) {
+        if (stmt_uses_openmp(child.get())) return true;
+      }
+      return false;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+ParseResult parse(const std::string& preprocessed_source) {
+  std::string lex_error;
+  std::vector<Token> tokens = lex(preprocessed_source, &lex_error);
+  if (!lex_error.empty()) {
+    ParseResult r;
+    r.error = lex_error;
+    return r;
+  }
+  return Parser(std::move(tokens)).run();
+}
+
+namespace ast {
+
+bool uses_openmp(const TranslationUnit& tu) {
+  for (const auto& fn : tu.functions) {
+    if (stmt_uses_openmp(fn.body.get())) return true;
+  }
+  return false;
+}
+
+}  // namespace ast
+
+}  // namespace xaas::minicc

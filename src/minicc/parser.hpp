@@ -1,0 +1,20 @@
+// Recursive-descent parser: preprocessed Kernel-C tokens -> AST.
+#pragma once
+
+#include <string>
+
+#include "minicc/ast.hpp"
+#include "minicc/lexer.hpp"
+
+namespace xaas::minicc {
+
+struct ParseResult {
+  bool ok = false;
+  std::string error;
+  ast::TranslationUnit tu;
+};
+
+/// Parse preprocessed source into a translation unit.
+ParseResult parse(const std::string& preprocessed_source);
+
+}  // namespace xaas::minicc

@@ -1,0 +1,168 @@
+#include "minicc/passes.hpp"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace xaas::minicc {
+
+using ir::Inst;
+using ir::Opcode;
+
+namespace {
+
+struct ConstVal {
+  bool is_float;
+  double f;
+  long long i;
+};
+
+bool has_side_effects(const Inst& inst) {
+  switch (inst.op) {
+    case Opcode::StoreF:
+    case Opcode::StoreI:
+    case Opcode::Call:
+    case Opcode::Br:
+    case Opcode::CBr:
+    case Opcode::Ret:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+int fold_constants(ir::Module& module) {
+  int folded = 0;
+  for (auto& fn : module.functions) {
+    for (auto& block : fn.blocks) {
+      // Local constant tracking: valid only until the register is
+      // reassigned within this block (registers are mutable slots).
+      std::map<int, ConstVal> known;
+      for (auto& inst : block.insts) {
+        const auto lookup = [&](int reg) -> const ConstVal* {
+          const auto it = known.find(reg);
+          return it == known.end() ? nullptr : &it->second;
+        };
+
+        bool replaced = false;
+        switch (inst.op) {
+          case Opcode::IAdd:
+          case Opcode::ISub:
+          case Opcode::IMul: {
+            const ConstVal* a = lookup(inst.a);
+            const ConstVal* b = lookup(inst.b);
+            if (a && b && !a->is_float && !b->is_float) {
+              long long v = 0;
+              if (inst.op == Opcode::IAdd) v = a->i + b->i;
+              else if (inst.op == Opcode::ISub) v = a->i - b->i;
+              else v = a->i * b->i;
+              const int dst = inst.dst;
+              inst = Inst{};
+              inst.op = Opcode::ConstI;
+              inst.dst = dst;
+              inst.iimm = v;
+              replaced = true;
+              ++folded;
+            }
+            break;
+          }
+          case Opcode::FAdd:
+          case Opcode::FSub:
+          case Opcode::FMul: {
+            const ConstVal* a = lookup(inst.a);
+            const ConstVal* b = lookup(inst.b);
+            if (a && b && a->is_float && b->is_float) {
+              double v = 0;
+              if (inst.op == Opcode::FAdd) v = a->f + b->f;
+              else if (inst.op == Opcode::FSub) v = a->f - b->f;
+              else v = a->f * b->f;
+              const int dst = inst.dst;
+              inst = Inst{};
+              inst.op = Opcode::ConstF;
+              inst.dst = dst;
+              inst.fimm = v;
+              replaced = true;
+              ++folded;
+            }
+            break;
+          }
+          case Opcode::SiToFp: {
+            const ConstVal* a = lookup(inst.a);
+            if (a && !a->is_float) {
+              const int dst = inst.dst;
+              inst = Inst{};
+              inst.op = Opcode::ConstF;
+              inst.dst = dst;
+              inst.fimm = static_cast<double>(a->i);
+              replaced = true;
+              ++folded;
+            }
+            break;
+          }
+          default:
+            break;
+        }
+        (void)replaced;
+
+        // Update the tracked state for the destination.
+        if (inst.dst >= 0) {
+          if (inst.op == Opcode::ConstI) {
+            known[inst.dst] = {false, 0.0, inst.iimm};
+          } else if (inst.op == Opcode::ConstF) {
+            known[inst.dst] = {true, inst.fimm, 0};
+          } else {
+            known.erase(inst.dst);
+          }
+        }
+      }
+    }
+  }
+  return folded;
+}
+
+int eliminate_dead_code(ir::Module& module) {
+  int removed = 0;
+  for (auto& fn : module.functions) {
+    // Collect every register read anywhere in the function.
+    std::set<int> read;
+    for (const auto& block : fn.blocks) {
+      for (const auto& inst : block.insts) {
+        if (inst.a >= 0) read.insert(inst.a);
+        if (inst.b >= 0) read.insert(inst.b);
+        if (inst.c >= 0) read.insert(inst.c);
+        for (int arg : inst.args) read.insert(arg);
+      }
+    }
+    // Loop metadata registers must survive.
+    for (const auto& loop : fn.loops) {
+      if (loop.induction_reg >= 0) read.insert(loop.induction_reg);
+      if (loop.bound_reg >= 0) read.insert(loop.bound_reg);
+    }
+    for (auto& block : fn.blocks) {
+      std::vector<Inst> kept;
+      kept.reserve(block.insts.size());
+      for (auto& inst : block.insts) {
+        if (!has_side_effects(inst) && inst.dst >= 0 &&
+            read.count(inst.dst) == 0) {
+          ++removed;
+          continue;
+        }
+        kept.push_back(std::move(inst));
+      }
+      block.insts = std::move(kept);
+    }
+  }
+  return removed;
+}
+
+void optimize(ir::Module& module, int opt_level) {
+  if (opt_level <= 0) return;
+  for (int iter = 0; iter < 4; ++iter) {
+    const int changed = fold_constants(module) + eliminate_dead_code(module);
+    if (changed == 0) break;
+  }
+}
+
+}  // namespace xaas::minicc

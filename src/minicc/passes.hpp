@@ -1,0 +1,24 @@
+// Target-independent IR optimization passes.
+//
+// These run at IR-container *build* time. Target-dependent work
+// (vectorization, FMA fusion) is deliberately deferred to deployment —
+// the paper found that running full optimization early prevents efficient
+// re-vectorization once the target is known (§4.3 "Vectorization").
+#pragma once
+
+#include "minicc/ir.hpp"
+
+namespace xaas::minicc {
+
+/// Fold constant integer/float arithmetic within basic blocks.
+/// Returns the number of instructions folded.
+int fold_constants(ir::Module& module);
+
+/// Remove side-effect-free instructions whose destination register is
+/// never read. Returns the number of instructions removed.
+int eliminate_dead_code(ir::Module& module);
+
+/// Standard -O2 pipeline: folding + DCE to fixpoint (bounded).
+void optimize(ir::Module& module, int opt_level);
+
+}  // namespace xaas::minicc

@@ -1,0 +1,612 @@
+#include "minicc/preprocessor.hpp"
+
+#include <cctype>
+#include <set>
+
+#include "common/strings.hpp"
+
+namespace xaas::minicc {
+
+using common::trim;
+
+void PreprocessOptions::define(const std::string& spec) {
+  const auto eq = spec.find('=');
+  MacroDef def;
+  std::string name;
+  if (eq == std::string::npos) {
+    name = spec;
+    def.body = "1";
+  } else {
+    name = spec.substr(0, eq);
+    def.body = spec.substr(eq + 1);
+  }
+  defines[name] = std::move(def);
+}
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Strip // and /* */ comments, preserving newlines inside block comments
+// so line numbers stay stable.
+std::string strip_comments(const std::string& src) {
+  std::string out;
+  out.reserve(src.size());
+  std::size_t i = 0;
+  while (i < src.size()) {
+    if (src[i] == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') ++i;
+    } else if (src[i] == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') out.push_back('\n');
+        ++i;
+      }
+      i += 2;
+      out.push_back(' ');
+    } else {
+      out.push_back(src[i]);
+      ++i;
+    }
+  }
+  return out;
+}
+
+// Merge backslash-continued lines.
+std::vector<std::string> split_logical_lines(const std::string& src) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (src[i] == '\\' && i + 1 < src.size() && src[i + 1] == '\n') {
+      ++i;  // continuation
+      continue;
+    }
+    if (src[i] == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(src[i]);
+    }
+  }
+  if (!current.empty()) lines.push_back(current);
+  return lines;
+}
+
+class Preprocessor {
+public:
+  Preprocessor(const common::Vfs* vfs, const PreprocessOptions& options)
+      : vfs_(vfs), macros_(options.defines), options_(options) {}
+
+  PreprocessResult run_file(const std::string& path) {
+    PreprocessResult result;
+    if (!vfs_) {
+      result.error = "no filesystem for #include resolution";
+      return result;
+    }
+    const auto contents = vfs_->read(path);
+    if (!contents) {
+      result.error = "file not found: " + path;
+      return result;
+    }
+    return run_source(*contents);
+  }
+
+  PreprocessResult run_source(const std::string& source) {
+    PreprocessResult result;
+    std::string out;
+    if (!process(source, out, result)) return result;
+    result.ok = true;
+    result.output = std::move(out);
+    return result;
+  }
+
+private:
+  struct Cond {
+    bool parent_active;
+    bool taken;   // some branch already taken
+    bool active;  // current branch active
+  };
+
+  bool fail(PreprocessResult& result, const std::string& msg) {
+    result.error = msg;
+    result.ok = false;
+    return false;
+  }
+
+  bool active() const {
+    for (const auto& c : cond_stack_) {
+      if (!c.active) return false;
+    }
+    return true;
+  }
+
+  bool process(const std::string& raw, std::string& out,
+               PreprocessResult& result) {
+    if (include_depth_ > 32) {
+      return fail(result, "#include nesting too deep");
+    }
+    const std::string stripped = strip_comments(raw);
+    for (const std::string& line : split_logical_lines(stripped)) {
+      const std::string_view t = trim(line);
+      if (!t.empty() && t[0] == '#') {
+        if (!handle_directive(std::string(t.substr(1)), out, result)) {
+          return false;
+        }
+      } else if (active()) {
+        std::string expanded = expand(line, {});
+        const std::string_view et = trim(expanded);
+        if (!et.empty()) {
+          out.append(et);
+          out.push_back('\n');
+        }
+      }
+    }
+    return true;
+  }
+
+  bool handle_directive(const std::string& directive, std::string& out,
+                        PreprocessResult& result) {
+    const std::string_view body = trim(directive);
+    const std::size_t sp = body.find_first_of(" \t");
+    const std::string name(body.substr(0, sp));
+    const std::string rest =
+        sp == std::string_view::npos ? "" : std::string(trim(body.substr(sp)));
+
+    if (name == "ifdef" || name == "ifndef") {
+      const bool defined = macros_.count(rest) > 0;
+      const bool taken = active() && (name == "ifdef" ? defined : !defined);
+      cond_stack_.push_back({active(), taken, taken});
+      return true;
+    }
+    if (name == "if") {
+      long long value = 0;
+      if (active() && !eval_expression(rest, value, result)) return false;
+      const bool taken = active() && value != 0;
+      cond_stack_.push_back({active(), taken, taken});
+      return true;
+    }
+    if (name == "elif") {
+      if (cond_stack_.empty()) return fail(result, "#elif without #if");
+      Cond& c = cond_stack_.back();
+      if (c.taken || !c.parent_active) {
+        c.active = false;
+      } else {
+        long long value = 0;
+        // Evaluate in the parent context (pop temporarily for active()).
+        Cond saved = c;
+        cond_stack_.pop_back();
+        const bool ok = eval_expression(rest, value, result);
+        cond_stack_.push_back(saved);
+        if (!ok) return false;
+        cond_stack_.back().active = value != 0;
+        cond_stack_.back().taken = value != 0;
+      }
+      return true;
+    }
+    if (name == "else") {
+      if (cond_stack_.empty()) return fail(result, "#else without #if");
+      Cond& c = cond_stack_.back();
+      c.active = c.parent_active && !c.taken;
+      c.taken = true;
+      return true;
+    }
+    if (name == "endif") {
+      if (cond_stack_.empty()) return fail(result, "#endif without #if");
+      cond_stack_.pop_back();
+      return true;
+    }
+    if (!active()) return true;  // remaining directives only in active code
+
+    if (name == "define") {
+      return handle_define(rest, result);
+    }
+    if (name == "undef") {
+      macros_.erase(rest);
+      return true;
+    }
+    if (name == "include") {
+      return handle_include(rest, out, result);
+    }
+    if (name == "pragma") {
+      out += "#pragma " + rest + "\n";
+      return true;
+    }
+    if (name == "error") {
+      return fail(result, "#error: " + rest);
+    }
+    return fail(result, "unknown directive: #" + name);
+  }
+
+  bool handle_define(const std::string& rest, PreprocessResult& result) {
+    std::size_t i = 0;
+    while (i < rest.size() && is_ident_char(rest[i])) ++i;
+    if (i == 0) return fail(result, "#define requires a name");
+    const std::string name = rest.substr(0, i);
+    MacroDef def;
+    if (i < rest.size() && rest[i] == '(') {
+      def.function_like = true;
+      ++i;
+      std::string param;
+      while (i < rest.size() && rest[i] != ')') {
+        if (rest[i] == ',') {
+          def.params.push_back(std::string(trim(param)));
+          param.clear();
+        } else {
+          param.push_back(rest[i]);
+        }
+        ++i;
+      }
+      if (i >= rest.size()) return fail(result, "unterminated macro params");
+      if (!trim(param).empty()) def.params.push_back(std::string(trim(param)));
+      ++i;  // ')'
+    }
+    def.body = std::string(trim(rest.substr(i)));
+    macros_[name] = std::move(def);
+    return true;
+  }
+
+  bool handle_include(const std::string& rest, std::string& out,
+                      PreprocessResult& result) {
+    if (rest.size() < 2) return fail(result, "malformed #include");
+    const char open = rest[0];
+    const char close = open == '<' ? '>' : '"';
+    if (open != '<' && open != '"') return fail(result, "malformed #include");
+    const std::size_t end = rest.find(close, 1);
+    if (end == std::string::npos) return fail(result, "malformed #include");
+    const std::string file = rest.substr(1, end - 1);
+    if (!vfs_) return fail(result, "#include without a filesystem: " + file);
+
+    std::optional<std::string> contents = vfs_->read(file);
+    std::string resolved = file;
+    if (!contents) {
+      for (const auto& dir : options_.include_dirs) {
+        const std::string candidate =
+            dir.empty() || dir.back() == '/' ? dir + file : dir + "/" + file;
+        contents = vfs_->read(candidate);
+        if (contents) {
+          resolved = candidate;
+          break;
+        }
+      }
+    }
+    if (!contents) return fail(result, "include not found: " + file);
+    if (included_once_.count(resolved)) return true;  // simple include guard
+    included_once_.insert(resolved);
+    result.included_files.push_back(resolved);
+    ++include_depth_;
+    const bool ok = process(*contents, out, result);
+    --include_depth_;
+    return ok;
+  }
+
+  // ---- Macro expansion ------------------------------------------------
+
+  std::string expand(const std::string& text,
+                     const std::set<std::string>& in_progress) {
+    std::string out;
+    std::size_t i = 0;
+    while (i < text.size()) {
+      if (is_ident_start(text[i])) {
+        const std::size_t start = i;
+        while (i < text.size() && is_ident_char(text[i])) ++i;
+        const std::string ident = text.substr(start, i - start);
+        const auto it = macros_.find(ident);
+        if (it == macros_.end() || in_progress.count(ident)) {
+          out += ident;
+          continue;
+        }
+        const MacroDef& def = it->second;
+        if (def.function_like) {
+          // Require '(' to expand; otherwise leave as-is.
+          std::size_t j = i;
+          while (j < text.size() &&
+                 std::isspace(static_cast<unsigned char>(text[j]))) {
+            ++j;
+          }
+          if (j >= text.size() || text[j] != '(') {
+            out += ident;
+            continue;
+          }
+          std::vector<std::string> args;
+          std::string arg;
+          int depth = 1;
+          ++j;
+          while (j < text.size() && depth > 0) {
+            const char c = text[j];
+            if (c == '(') {
+              ++depth;
+              arg.push_back(c);
+            } else if (c == ')') {
+              --depth;
+              if (depth > 0) arg.push_back(c);
+            } else if (c == ',' && depth == 1) {
+              args.push_back(std::string(trim(arg)));
+              arg.clear();
+            } else {
+              arg.push_back(c);
+            }
+            ++j;
+          }
+          if (!trim(arg).empty() || !args.empty()) {
+            args.push_back(std::string(trim(arg)));
+          }
+          i = j;
+          std::string body = substitute_params(def, args);
+          auto next = in_progress;
+          next.insert(ident);
+          out += expand(body, next);
+        } else {
+          auto next = in_progress;
+          next.insert(ident);
+          out += expand(def.body, next);
+        }
+      } else {
+        out.push_back(text[i]);
+        ++i;
+      }
+    }
+    return out;
+  }
+
+  static std::string substitute_params(const MacroDef& def,
+                                       const std::vector<std::string>& args) {
+    std::string out;
+    const std::string& body = def.body;
+    std::size_t i = 0;
+    while (i < body.size()) {
+      if (is_ident_start(body[i])) {
+        const std::size_t start = i;
+        while (i < body.size() && is_ident_char(body[i])) ++i;
+        const std::string ident = body.substr(start, i - start);
+        bool replaced = false;
+        for (std::size_t p = 0; p < def.params.size(); ++p) {
+          if (def.params[p] == ident) {
+            out += p < args.size() ? args[p] : "";
+            replaced = true;
+            break;
+          }
+        }
+        if (!replaced) out += ident;
+      } else {
+        out.push_back(body[i]);
+        ++i;
+      }
+    }
+    return out;
+  }
+
+  // ---- #if expression evaluation ---------------------------------------
+
+  bool eval_expression(const std::string& raw, long long& value,
+                       PreprocessResult& result) {
+    // Replace defined(X) / defined X before macro expansion.
+    std::string text;
+    std::size_t i = 0;
+    while (i < raw.size()) {
+      if (is_ident_start(raw[i])) {
+        const std::size_t start = i;
+        while (i < raw.size() && is_ident_char(raw[i])) ++i;
+        const std::string ident = raw.substr(start, i - start);
+        if (ident == "defined") {
+          while (i < raw.size() &&
+                 std::isspace(static_cast<unsigned char>(raw[i]))) {
+            ++i;
+          }
+          bool paren = false;
+          if (i < raw.size() && raw[i] == '(') {
+            paren = true;
+            ++i;
+            while (i < raw.size() &&
+                   std::isspace(static_cast<unsigned char>(raw[i]))) {
+              ++i;
+            }
+          }
+          const std::size_t ns = i;
+          while (i < raw.size() && is_ident_char(raw[i])) ++i;
+          const std::string name = raw.substr(ns, i - ns);
+          if (paren) {
+            while (i < raw.size() &&
+                   std::isspace(static_cast<unsigned char>(raw[i]))) {
+              ++i;
+            }
+            if (i < raw.size() && raw[i] == ')') ++i;
+          }
+          text += macros_.count(name) ? "1" : "0";
+        } else {
+          text += ident;
+        }
+      } else {
+        text.push_back(raw[i]);
+        ++i;
+      }
+    }
+    std::string expanded = expand(text, {});
+    // Remaining identifiers evaluate to 0 (C semantics).
+    std::string final_text;
+    i = 0;
+    while (i < expanded.size()) {
+      if (is_ident_start(expanded[i])) {
+        while (i < expanded.size() && is_ident_char(expanded[i])) ++i;
+        final_text += "0";
+      } else {
+        final_text.push_back(expanded[i]);
+        ++i;
+      }
+    }
+    ExprEval eval{final_text, 0, true, ""};
+    value = eval.parse_or();
+    if (!eval.ok) {
+      return fail(result, "bad #if expression '" + raw + "': " + eval.error);
+    }
+    eval.skip_ws();
+    if (eval.pos != eval.text.size()) {
+      return fail(result, "trailing tokens in #if expression: " + raw);
+    }
+    return true;
+  }
+
+  struct ExprEval {
+    std::string text;
+    std::size_t pos;
+    bool ok;
+    std::string error;
+
+    void skip_ws() {
+      while (pos < text.size() &&
+             std::isspace(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      }
+    }
+    bool eat(std::string_view tok) {
+      skip_ws();
+      if (text.compare(pos, tok.size(), tok) == 0) {
+        pos += tok.size();
+        return true;
+      }
+      return false;
+    }
+    char peek() {
+      skip_ws();
+      return pos < text.size() ? text[pos] : '\0';
+    }
+    long long parse_or() {
+      long long v = parse_and();
+      while (true) {
+        if (eat("||")) {
+          const long long r = parse_and();
+          v = (v != 0 || r != 0) ? 1 : 0;
+        } else {
+          return v;
+        }
+      }
+    }
+    long long parse_and() {
+      long long v = parse_cmp();
+      while (true) {
+        if (eat("&&")) {
+          const long long r = parse_cmp();
+          v = (v != 0 && r != 0) ? 1 : 0;
+        } else {
+          return v;
+        }
+      }
+    }
+    long long parse_cmp() {
+      long long v = parse_add();
+      while (true) {
+        if (eat("==")) v = (v == parse_add()) ? 1 : 0;
+        else if (eat("!=")) v = (v != parse_add()) ? 1 : 0;
+        else if (eat("<=")) v = (v <= parse_add()) ? 1 : 0;
+        else if (eat(">=")) v = (v >= parse_add()) ? 1 : 0;
+        else if (peek() == '<' && text.compare(pos, 2, "<<") != 0) {
+          ++pos;
+          v = (v < parse_add()) ? 1 : 0;
+        } else if (peek() == '>' && text.compare(pos, 2, ">>") != 0) {
+          ++pos;
+          v = (v > parse_add()) ? 1 : 0;
+        } else {
+          return v;
+        }
+      }
+    }
+    long long parse_add() {
+      long long v = parse_mul();
+      while (true) {
+        if (peek() == '+') {
+          ++pos;
+          v += parse_mul();
+        } else if (peek() == '-') {
+          ++pos;
+          v -= parse_mul();
+        } else {
+          return v;
+        }
+      }
+    }
+    long long parse_mul() {
+      long long v = parse_unary();
+      while (true) {
+        const char c = peek();
+        if (c == '*') {
+          ++pos;
+          v *= parse_unary();
+        } else if (c == '/') {
+          ++pos;
+          const long long r = parse_unary();
+          v = (r == 0) ? 0 : v / r;
+        } else if (c == '%') {
+          ++pos;
+          const long long r = parse_unary();
+          v = (r == 0) ? 0 : v % r;
+        } else {
+          return v;
+        }
+      }
+    }
+    long long parse_unary() {
+      if (eat("!")) return parse_unary() == 0 ? 1 : 0;
+      if (eat("-")) return -parse_unary();
+      if (eat("+")) return parse_unary();
+      return parse_primary();
+    }
+    long long parse_primary() {
+      skip_ws();
+      if (eat("(")) {
+        const long long v = parse_or();
+        if (!eat(")")) {
+          ok = false;
+          error = "missing ')'";
+        }
+        return v;
+      }
+      if (pos < text.size() &&
+          std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        long long v = 0;
+        while (pos < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[pos]))) {
+          v = v * 10 + (text[pos] - '0');
+          ++pos;
+        }
+        // Skip integer suffixes (1L, 2U).
+        while (pos < text.size() && (text[pos] == 'L' || text[pos] == 'U' ||
+                                     text[pos] == 'l' || text[pos] == 'u')) {
+          ++pos;
+        }
+        return v;
+      }
+      ok = false;
+      error = "expected primary expression";
+      return 0;
+    }
+  };
+
+  const common::Vfs* vfs_;
+  std::map<std::string, MacroDef> macros_;
+  PreprocessOptions options_;
+  std::vector<Cond> cond_stack_;
+  std::set<std::string> included_once_;
+  int include_depth_ = 0;
+};
+
+}  // namespace
+
+PreprocessResult preprocess(const common::Vfs& vfs, const std::string& path,
+                            const PreprocessOptions& options) {
+  Preprocessor pp(&vfs, options);
+  return pp.run_file(path);
+}
+
+PreprocessResult preprocess_source(const std::string& source,
+                                   const PreprocessOptions& options,
+                                   const common::Vfs* vfs) {
+  Preprocessor pp(vfs, options);
+  return pp.run_source(source);
+}
+
+}  // namespace xaas::minicc

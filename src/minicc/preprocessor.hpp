@@ -1,0 +1,51 @@
+// C-style preprocessor: #include, #define (object and function-like),
+// #undef, #if/#ifdef/#ifndef/#elif/#else/#endif with full constant
+// expression evaluation and defined().
+//
+// The IR-container pipeline (§4.3 "Preprocessing") creates preprocessed
+// files, hashes them, and looks for identical results across build
+// configurations — this is that preprocessor. Output is comment-stripped
+// and whitespace-normalized so the hash reflects semantics, not layout.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/vfs.hpp"
+
+namespace xaas::minicc {
+
+struct MacroDef {
+  bool function_like = false;
+  std::vector<std::string> params;
+  std::string body;
+};
+
+struct PreprocessOptions {
+  std::map<std::string, MacroDef> defines;
+  std::vector<std::string> include_dirs;
+
+  /// Convenience: add an object-like macro from "NAME" or "NAME=VALUE".
+  void define(const std::string& spec);
+};
+
+struct PreprocessResult {
+  bool ok = false;
+  std::string error;
+  std::string output;
+  /// Every file pulled in via #include (for dependency tracking).
+  std::vector<std::string> included_files;
+};
+
+/// Preprocess `path` within the virtual filesystem.
+PreprocessResult preprocess(const common::Vfs& vfs, const std::string& path,
+                            const PreprocessOptions& options);
+
+/// Preprocess in-memory source (used heavily by tests).
+PreprocessResult preprocess_source(const std::string& source,
+                                   const PreprocessOptions& options,
+                                   const common::Vfs* vfs = nullptr);
+
+}  // namespace xaas::minicc

@@ -1,0 +1,171 @@
+#include "spec/intersect.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace xaas::spec {
+
+using common::Json;
+using common::to_lower;
+
+namespace {
+
+Json entries_to_json(const std::vector<FeatureEntry>& entries) {
+  Json obj = Json::object();
+  for (const auto& e : entries) {
+    Json item = Json::object();
+    item["flag"] = e.build_flag;
+    if (!e.minimum_version.empty()) item["version"] = e.minimum_version;
+    obj[e.name] = std::move(item);
+  }
+  return obj;
+}
+
+// Map a GPU backend name from the build system to a runtime key in the
+// system features.
+std::string backend_runtime_key(const std::string& backend) {
+  const std::string b = to_lower(backend);
+  if (b == "cuda") return "cuda";
+  if (b == "hip") return "hip";
+  if (b == "sycl") return "sycl";
+  if (b == "opencl") return "opencl";
+  if (b == "level-zero" || b == "levelzero") return "level-zero";
+  return b;
+}
+
+// Libraries a named FFT/BLAS choice needs on the system. Internal /
+// built-in fallbacks need nothing.
+bool library_available(const FeatureEntry& entry, const SystemFeatures& sys) {
+  const std::string name = to_lower(entry.name);
+  if (name == "fftpack" || name == "built-in" || name == "internal" ||
+      name == "generic") {
+    return true;  // compiled from bundled sources
+  }
+  if (sys.libraries.count(name)) return true;
+  // MKL provides both FFT and BLAS interfaces.
+  if ((name == "fftw3" || name == "blas") && sys.libraries.count("mkl")) {
+    return false;  // explicit fftw3/blas still needs the actual library
+  }
+  return false;
+}
+
+}  // namespace
+
+Json CommonSpecialization::to_json() const {
+  Json j = Json::object();
+  j["application"] = application;
+  j["system"] = system;
+  Json common_spec = Json::object();
+  common_spec["gpu_backends"] = entries_to_json(gpu_backends);
+  common_spec["parallel_programming"] = entries_to_json(parallel_libraries);
+  common_spec["linear_algebra"] = entries_to_json(linear_algebra_libraries);
+  common_spec["fft"] = entries_to_json(fft_libraries);
+  common_spec["vectorization_flags"] = entries_to_json(simd_levels);
+  j["common_specialization"] = std::move(common_spec);
+  return j;
+}
+
+FeatureEntry CommonSpecialization::best_gpu_backend() const {
+  // Prefer vendor-native backends over portability layers: CUDA/HIP/
+  // Level-Zero first, SYCL next, OpenCL last.
+  const std::vector<std::string> preference = {"CUDA", "HIP", "LEVEL-ZERO",
+                                               "SYCL", "OPENCL"};
+  for (const auto& want : preference) {
+    for (const auto& e : gpu_backends) {
+      if (to_lower(e.name) == to_lower(want)) return e;
+    }
+  }
+  return gpu_backends.empty() ? FeatureEntry{} : gpu_backends.front();
+}
+
+FeatureEntry CommonSpecialization::best_simd_level() const {
+  // Entries preserve the script's ladder order (weakest..strongest);
+  // pick the strongest supported.
+  FeatureEntry best;
+  for (const auto& e : simd_levels) {
+    if (e.name != "None" && e.name != "AUTO") best = e;
+  }
+  return best;
+}
+
+CommonSpecialization intersect(const SpecializationPoints& app,
+                               const SystemFeatures& sys) {
+  CommonSpecialization out;
+  out.application = app.application;
+  out.system = sys.system_name;
+
+  for (const auto& e : app.gpu_backends) {
+    const auto it = sys.gpu_runtimes.find(backend_runtime_key(e.name));
+    if (it == sys.gpu_runtimes.end()) continue;
+    // Version gate: the system runtime must satisfy the app's minimum.
+    FeatureEntry entry = e;
+    if (!e.minimum_version.empty()) {
+      // Compare major.minor numerically.
+      const auto ver_ge = [](const std::string& a, const std::string& b) {
+        const auto pa = common::split(a, '.');
+        const auto pb = common::split(b, '.');
+        for (std::size_t i = 0; i < std::max(pa.size(), pb.size()); ++i) {
+          const int x = i < pa.size() ? std::atoi(pa[i].c_str()) : 0;
+          const int y = i < pb.size() ? std::atoi(pb[i].c_str()) : 0;
+          if (x != y) return x > y;
+        }
+        return true;
+      };
+      if (!ver_ge(it->second, e.minimum_version)) continue;
+    }
+    entry.minimum_version = it->second;  // report the system version
+    out.gpu_backends.push_back(std::move(entry));
+  }
+
+  for (const auto& e : app.parallel_libraries) {
+    const std::string name = to_lower(e.name);
+    if (common::contains(name, "openmp") || common::contains(name, "thread")) {
+      out.parallel_libraries.push_back(e);  // compiler-provided
+      continue;
+    }
+    if (common::contains(name, "mpi")) {
+      const bool has_mpi = sys.libraries.count("mpich") ||
+                           sys.libraries.count("openmpi") ||
+                           sys.libraries.count("cray-mpich");
+      if (has_mpi) out.parallel_libraries.push_back(e);
+      continue;
+    }
+    out.parallel_libraries.push_back(e);
+  }
+
+  for (const auto& e : app.linear_algebra_libraries) {
+    const std::string name = to_lower(e.name);
+    if (library_available(e, sys) ||
+        (name == "mkl" && sys.libraries.count("mkl")) ||
+        (name == "openblas" && sys.libraries.count("openblas"))) {
+      out.linear_algebra_libraries.push_back(e);
+    }
+  }
+
+  for (const auto& e : app.fft_libraries) {
+    const std::string name = to_lower(e.name);
+    const bool ok = library_available(e, sys) ||
+                    (name == "mkl" && sys.libraries.count("mkl")) ||
+                    (name == "cufft" && sys.libraries.count("cufft")) ||
+                    (name == "fftw3" && sys.libraries.count("fftw"));
+    if (ok) out.fft_libraries.push_back(e);
+  }
+
+  for (const auto& e : app.simd_levels) {
+    if (e.name == "AUTO") continue;
+    const auto visa = isa::vector_isa_from_string(e.name);
+    if (!visa) {
+      if (e.name == "None") out.simd_levels.push_back(e);
+      continue;
+    }
+    if (std::find(sys.vector_isas.begin(), sys.vector_isas.end(), *visa) !=
+        sys.vector_isas.end()) {
+      out.simd_levels.push_back(e);
+    }
+  }
+
+  return out;
+}
+
+}  // namespace xaas::spec

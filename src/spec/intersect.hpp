@@ -1,0 +1,34 @@
+// Feature intersection (Fig. 4c, §3.2): cross an application's
+// specialization points with the discovered system features, excluding
+// unsupported options and presenting the user with the valid choices for
+// each specialization point.
+#pragma once
+
+#include "spec/spec.hpp"
+#include "spec/system.hpp"
+
+namespace xaas::spec {
+
+struct CommonSpecialization {
+  std::string application;
+  std::string system;
+  std::vector<FeatureEntry> gpu_backends;
+  std::vector<FeatureEntry> parallel_libraries;
+  std::vector<FeatureEntry> linear_algebra_libraries;
+  std::vector<FeatureEntry> fft_libraries;
+  std::vector<FeatureEntry> simd_levels;
+
+  common::Json to_json() const;
+
+  /// Pick the best value per category using operator-style preferences
+  /// (§4.1: "system operators could supply preferred configurations,
+  /// e.g., preferring MKL on Intel systems"). Returns option-value
+  /// selections keyed by entry name lists.
+  FeatureEntry best_gpu_backend() const;    // empty name when none
+  FeatureEntry best_simd_level() const;
+};
+
+CommonSpecialization intersect(const SpecializationPoints& app,
+                               const SystemFeatures& system);
+
+}  // namespace xaas::spec

@@ -1,0 +1,189 @@
+#include "spec/spec.hpp"
+
+#include "common/strings.hpp"
+#include "isa/isa.hpp"
+
+namespace xaas::spec {
+
+using common::Json;
+
+namespace {
+
+Json entries_to_json(const std::vector<FeatureEntry>& entries) {
+  Json obj = Json::object();
+  for (const auto& e : entries) {
+    Json item = Json::object();
+    item["used_as_default"] = e.used_as_default;
+    item["build_flag"] = e.build_flag.empty() ? Json(nullptr) : Json(e.build_flag);
+    item["minimum_version"] =
+        e.minimum_version.empty() ? Json(nullptr) : Json(e.minimum_version);
+    obj[e.name] = std::move(item);
+  }
+  return obj;
+}
+
+std::vector<FeatureEntry> entries_from_json(const Json* j) {
+  std::vector<FeatureEntry> entries;
+  if (!j || !j->is_object()) return entries;
+  for (const auto& [name, value] : j->as_object()) {
+    FeatureEntry e;
+    e.name = name;
+    e.build_flag = value->get_string("build_flag");
+    e.minimum_version = value->get_string("minimum_version");
+    e.used_as_default = value->get_bool("used_as_default");
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+}  // namespace
+
+Json SpecializationPoints::to_json() const {
+  Json j = Json::object();
+  j["application"] = application;
+  Json gpu = Json::object();
+  gpu["value"] = gpu_build;
+  gpu["build_flag"] = gpu_build_flag.empty() ? Json(nullptr) : Json(gpu_build_flag);
+  j["gpu_build"] = std::move(gpu);
+  j[kCategoryGpu] = entries_to_json(gpu_backends);
+  j[kCategoryParallel] = entries_to_json(parallel_libraries);
+  j[kCategoryBlas] = entries_to_json(linear_algebra_libraries);
+  j[kCategoryFft] = entries_to_json(fft_libraries);
+  j[kCategorySimd] = entries_to_json(simd_levels);
+  j[kCategoryOther] = entries_to_json(other_libraries);
+  Json opt = Json::array();
+  for (const auto& f : optimization_flags) opt.push_back(f);
+  j["optimization_build_flags"] = std::move(opt);
+  Json comp = Json::object();
+  for (const auto& [name, version] : compilers) {
+    Json c = Json::object();
+    c["minimum_version"] = version;
+    comp[name] = std::move(c);
+  }
+  j["compilers"] = std::move(comp);
+  Json archs = Json::array();
+  for (const auto& a : architectures) archs.push_back(a);
+  j["architectures"] = std::move(archs);
+  Json bs = Json::object();
+  bs["type"] = build_system_type;
+  bs["minimum_version"] = build_system_min_version;
+  j["build_system"] = std::move(bs);
+  j[kCategoryInternal] = entries_to_json(internal_builds);
+  return j;
+}
+
+SpecializationPoints SpecializationPoints::from_json(const Json& j) {
+  SpecializationPoints sp;
+  sp.application = j.get_string("application");
+  if (const Json* gpu = j.find("gpu_build")) {
+    sp.gpu_build = gpu->get_bool("value");
+    sp.gpu_build_flag = gpu->get_string("build_flag");
+  }
+  sp.gpu_backends = entries_from_json(j.find(kCategoryGpu));
+  sp.parallel_libraries = entries_from_json(j.find(kCategoryParallel));
+  sp.linear_algebra_libraries = entries_from_json(j.find(kCategoryBlas));
+  sp.fft_libraries = entries_from_json(j.find(kCategoryFft));
+  sp.simd_levels = entries_from_json(j.find(kCategorySimd));
+  sp.other_libraries = entries_from_json(j.find(kCategoryOther));
+  if (const Json* opt = j.find("optimization_build_flags")) {
+    for (const auto& f : opt->items()) sp.optimization_flags.push_back(f.as_string());
+  }
+  if (const Json* comp = j.find("compilers")) {
+    for (const auto& [name, c] : comp->as_object()) {
+      sp.compilers.emplace_back(name, c->get_string("minimum_version"));
+    }
+  }
+  if (const Json* archs = j.find("architectures")) {
+    for (const auto& a : archs->items()) sp.architectures.push_back(a.as_string());
+  }
+  if (const Json* bs = j.find("build_system")) {
+    sp.build_system_type = bs->get_string("type");
+    sp.build_system_min_version = bs->get_string("minimum_version");
+  }
+  sp.internal_builds = entries_from_json(j.find(kCategoryInternal));
+  return sp;
+}
+
+std::size_t SpecializationPoints::total_entries() const {
+  return gpu_backends.size() + parallel_libraries.size() +
+         linear_algebra_libraries.size() + fft_libraries.size() +
+         simd_levels.size() + other_libraries.size() + internal_builds.size();
+}
+
+SpecializationPoints extract_ground_truth(const buildsys::BuildScript& script) {
+  SpecializationPoints sp;
+  sp.application = script.project;
+  sp.build_system_type = script.build_system_type;
+  sp.build_system_min_version = script.build_system_min_version;
+  sp.compilers = script.compilers;
+  sp.architectures = script.architectures;
+
+  for (const auto& opt : script.options) {
+    const auto make_entries = [&](std::vector<FeatureEntry>& out) {
+      if (opt.multichoice) {
+        for (const auto& choice : opt.choices) {
+          if (choice == "OFF") continue;
+          FeatureEntry e;
+          e.name = choice;
+          e.build_flag = "-D" + opt.name + "=" + choice;
+          e.used_as_default = choice == opt.default_value;
+          out.push_back(std::move(e));
+        }
+      } else {
+        FeatureEntry e;
+        e.name = opt.name;
+        e.build_flag = "-D" + opt.name + "=ON";
+        e.used_as_default = opt.default_value == "ON";
+        out.push_back(std::move(e));
+      }
+    };
+
+    if (opt.is_simd || opt.category == "simd") {
+      make_entries(sp.simd_levels);
+    } else if (opt.category == "gpu") {
+      sp.gpu_build = true;
+      sp.gpu_build_flag = "-D" + opt.name;
+      make_entries(sp.gpu_backends);
+    } else if (opt.category == "parallel") {
+      make_entries(sp.parallel_libraries);
+    } else if (opt.category == "fft") {
+      make_entries(sp.fft_libraries);
+    } else if (opt.category == "blas") {
+      make_entries(sp.linear_algebra_libraries);
+    } else if (opt.category == "optimization") {
+      // Performance-tuning toggles (llama.cpp-style ggml flags).
+      sp.optimization_flags.push_back("-D" + opt.name);
+    } else {
+      make_entries(sp.other_libraries);
+    }
+  }
+
+  // Dependency minimum versions attach to matching entries.
+  for (const auto& d : script.directives) {
+    if (d.kind != buildsys::Directive::Kind::RequireDependency) continue;
+    if (d.args.size() < 2) continue;
+    const std::string& dep = d.args[0];
+    const std::string& version = d.args[1];
+    for (auto* list : {&sp.gpu_backends, &sp.parallel_libraries,
+                       &sp.fft_libraries, &sp.linear_algebra_libraries,
+                       &sp.other_libraries}) {
+      for (auto& e : *list) {
+        if (common::to_lower(e.name) == common::to_lower(dep)) {
+          e.minimum_version = version;
+        }
+      }
+    }
+  }
+
+  for (const auto& d : script.directives) {
+    if (d.kind != buildsys::Directive::Kind::InternalLibrary) continue;
+    FeatureEntry e;
+    e.name = d.args.at(0);
+    e.build_flag = d.args.size() > 1 ? d.args[1] : "";
+    sp.internal_builds.push_back(std::move(e));
+  }
+
+  return sp;
+}
+
+}  // namespace xaas::spec

@@ -1,0 +1,70 @@
+// Specialization points (§2.1): application parameters fixed at
+// configuration/build time that determine performance and portability.
+// The structure mirrors the paper's JSON schema (Appendix B): GPU
+// backends, parallel programming libraries, linear algebra, FFT, SIMD
+// vectorization, compilers, architectures, build system, internal builds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "buildsys/script.hpp"
+#include "common/json.hpp"
+
+namespace xaas::spec {
+
+/// One selectable value of a specialization point, with the build flag
+/// that enables it (e.g. name "CUDA", flag "-DGMX_GPU=CUDA").
+struct FeatureEntry {
+  std::string name;
+  std::string build_flag;
+  std::string minimum_version;  // "" when unspecified
+  bool used_as_default = false;
+
+  bool operator==(const FeatureEntry& other) const {
+    return name == other.name && build_flag == other.build_flag;
+  }
+};
+
+struct SpecializationPoints {
+  std::string application;
+
+  bool gpu_build = false;
+  std::string gpu_build_flag;
+  std::vector<FeatureEntry> gpu_backends;
+  std::vector<FeatureEntry> parallel_libraries;
+  std::vector<FeatureEntry> linear_algebra_libraries;
+  std::vector<FeatureEntry> fft_libraries;
+  std::vector<FeatureEntry> simd_levels;
+  std::vector<FeatureEntry> other_libraries;
+  std::vector<std::string> optimization_flags;
+  std::vector<std::pair<std::string, std::string>> compilers;  // name, min ver
+  std::vector<std::string> architectures;
+  std::string build_system_type;
+  std::string build_system_min_version;
+  std::vector<FeatureEntry> internal_builds;
+
+  /// Serialize following the paper's schema key names.
+  common::Json to_json() const;
+  static SpecializationPoints from_json(const common::Json& j);
+
+  /// Total number of (category, entry) pairs — the denominator of
+  /// discovery precision/recall.
+  std::size_t total_entries() const;
+};
+
+/// Ground-truth extraction from a build script. This is what the paper's
+/// human expert produces (and the reference the LLM output is scored
+/// against in Table 4).
+SpecializationPoints extract_ground_truth(const buildsys::BuildScript& script);
+
+/// Category labels used when flattening for comparison.
+inline constexpr const char* kCategoryGpu = "gpu_backends";
+inline constexpr const char* kCategoryParallel = "parallel_programming_libraries";
+inline constexpr const char* kCategoryBlas = "linear_algebra_libraries";
+inline constexpr const char* kCategoryFft = "FFT_libraries";
+inline constexpr const char* kCategorySimd = "simd_vectorization";
+inline constexpr const char* kCategoryOther = "other_external_libraries";
+inline constexpr const char* kCategoryInternal = "internal_build";
+
+}  // namespace xaas::spec

@@ -1,0 +1,118 @@
+#include "spec/system.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+#include "isa/microarch.hpp"
+
+namespace xaas::spec {
+
+using common::Json;
+
+Json SystemFeatures::to_json() const {
+  Json j = Json::object();
+  Json cpu = Json::object();
+  cpu["Architecture"] = std::string(isa::to_string(arch));
+  cpu["Microarchitecture"] = microarch;
+  Json vec = Json::array();
+  for (const auto f : cpu_features) vec.push_back(std::string(isa::to_string(f)));
+  cpu["Vectorization"] = std::move(vec);
+  j["CPU Info"] = std::move(cpu);
+
+  Json gpus = Json::object();
+  for (const auto& [runtime, version] : gpu_runtimes) {
+    Json g = Json::object();
+    g["version"] = version;
+    g["device"] = gpu_name;
+    gpus[runtime] = std::move(g);
+  }
+  j["GPU Backends"] = std::move(gpus);
+
+  Json libs = Json::object();
+  for (const auto& [name, version] : libraries) libs[name] = version;
+  j["Libraries"] = std::move(libs);
+
+  Json comps = Json::object();
+  for (const auto& [name, version] : compilers) comps[name] = version;
+  j["Compilers"] = std::move(comps);
+  j["Container Runtime"] = container_runtime;
+  return j;
+}
+
+SystemFeatures discover_system(const vm::NodeSpec& node) {
+  SystemFeatures sf;
+  sf.system_name = node.name;
+  sf.arch = node.cpu.arch;
+  sf.cpu_features = node.cpu.features;
+  sf.vector_isas = isa::supported_isas(node.cpu.arch, node.cpu.features);
+  sf.container_runtime = node.container_runtime;
+  if (const auto m = isa::label(node.cpu.arch, node.cpu.features)) {
+    sf.microarch = m->name;
+  }
+
+  // Environment modules: "name/version" entries become libraries or
+  // compilers.
+  static const std::vector<std::string> kCompilers = {"gcc", "clang", "oneapi",
+                                                      "icpx", "nvhpc"};
+  for (const auto& module : node.environment) {
+    const auto parts = common::split(module, '/');
+    const std::string& name = parts[0];
+    const std::string version = parts.size() > 1 ? parts[1] : "";
+    if (std::find(kCompilers.begin(), kCompilers.end(), name) !=
+        kCompilers.end()) {
+      sf.compilers[name] = version;
+    } else {
+      sf.libraries[name] = version;
+    }
+  }
+
+  // GPU runtime from the device model.
+  if (node.gpu) {
+    sf.gpu_name = node.gpu->name;
+    sf.gpu_runtimes[node.gpu->runtime] = node.gpu->runtime_version;
+    if (node.gpu->vendor == "NVIDIA") {
+      sf.gpu_runtimes["opencl"] = "3.0";  // CUDA installs ship OpenCL
+    }
+    if (node.gpu->vendor == "Intel") {
+      sf.gpu_runtimes["sycl"] = node.gpu->runtime_version;
+      sf.gpu_runtimes["opencl"] = "3.0";
+    }
+    if (node.gpu->vendor == "AMD") {
+      sf.gpu_runtimes["hip"] = node.gpu->runtime_version;
+    }
+  }
+
+  // Augmentation with standard-environment knowledge (§4.1): a CUDA
+  // installation implies cuFFT/cuBLAS; ROCm implies rocFFT; MKL provides
+  // both BLAS and FFT; oneAPI implies MKL and SYCL. Module names are also
+  // aliased to the canonical library names build scripts use.
+  if (sf.libraries.count("fftw") && !sf.libraries.count("fftw3")) {
+    sf.libraries["fftw3"] = sf.libraries["fftw"];
+  }
+  // Cray MPICH implements the MPICH ABI (§2.2), so builds requesting
+  // "mpich" can use it directly.
+  if (sf.libraries.count("cray-mpich") && !sf.libraries.count("mpich")) {
+    sf.libraries["mpich"] = sf.libraries["cray-mpich"];
+  }
+  if (sf.libraries.count("cuda") || sf.gpu_runtimes.count("cuda")) {
+    const std::string v = sf.libraries.count("cuda")
+                              ? sf.libraries["cuda"]
+                              : sf.gpu_runtimes["cuda"];
+    sf.libraries["cufft"] = v;
+    sf.libraries["cublas"] = v;
+  }
+  if (sf.libraries.count("rocm")) {
+    sf.libraries["rocfft"] = sf.libraries["rocm"];
+    sf.libraries["rocblas"] = sf.libraries["rocm"];
+  }
+  if (sf.compilers.count("oneapi")) {
+    if (!sf.libraries.count("mkl")) sf.libraries["mkl"] = sf.compilers["oneapi"];
+    // The DPC++ SYCL toolchain version follows the oneAPI release (it
+    // supersedes the bare Level-Zero loader version).
+    sf.gpu_runtimes["sycl"] = sf.compilers["oneapi"];
+  }
+
+  return sf;
+}
+
+}  // namespace xaas::spec

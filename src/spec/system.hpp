@@ -1,0 +1,37 @@
+// System feature discovery (Fig. 4b, §4.1 "Deployment begins by
+// automatically detecting CPU features, accelerators, and the development
+// environment"): run on a compute node with modules loaded, augmented
+// with knowledge of standard HPC environments (CUDA implies cuFFT, ROCm
+// implies rocFFT, MKL provides both BLAS and FFT).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "isa/isa.hpp"
+#include "vm/node.hpp"
+
+namespace xaas::spec {
+
+struct SystemFeatures {
+  std::string system_name;
+  isa::Arch arch = isa::Arch::X86_64;
+  std::string microarch;                      // archspec-style label
+  std::vector<isa::CpuFeature> cpu_features;
+  std::vector<isa::VectorIsa> vector_isas;    // executable SIMD levels
+  std::map<std::string, std::string> gpu_runtimes;  // "cuda" -> "12.1"
+  std::string gpu_name;                       // "" when no GPU
+  std::map<std::string, std::string> libraries;     // "mkl" -> "2024.0"
+  std::map<std::string, std::string> compilers;     // "gcc" -> "11.4"
+  std::string container_runtime;
+
+  common::Json to_json() const;
+};
+
+/// Discover the features of a node (the paper runs this on a compute
+/// node; we run it against the node model).
+SystemFeatures discover_system(const vm::NodeSpec& node);
+
+}  // namespace xaas::spec

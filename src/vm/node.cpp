@@ -1,0 +1,162 @@
+#include "vm/node.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace xaas::vm {
+
+using isa::Arch;
+using isa::CpuFeature;
+
+bool NodeSpec::has_module(const std::string& prefix) const {
+  for (const auto& m : environment) {
+    if (m == prefix || common::starts_with(m, prefix + "/")) return true;
+  }
+  return false;
+}
+
+namespace {
+
+std::map<std::string, NodeSpec> build_registry() {
+  std::map<std::string, NodeSpec> nodes;
+
+  // Ault23: Intel Xeon Gold 6130 (Skylake-SP) + V100 (§6.1).
+  {
+    NodeSpec n;
+    n.name = "ault23";
+    n.description = "CSCS Ault: Intel Xeon Gold 6130, NVIDIA V100";
+    n.cpu = {"skylake_avx512",
+             Arch::X86_64,
+             {CpuFeature::sse2, CpuFeature::sse4_1, CpuFeature::avx,
+              CpuFeature::avx2, CpuFeature::fma3, CpuFeature::avx512f},
+             2.1,
+             16};
+    n.gpu = GpuSpec{"V100", "NVIDIA", 7, 0, 230.0, 8000.0, "cuda", "12.1"};
+    n.environment = {"gcc/11.4", "cuda/12.1", "mkl/2024.0", "fftw/3.3",
+                     "mpich/4.1", "openblas/0.3"};
+    n.container_runtime = "sarus";
+    n.supports_image_build = false;
+    nodes[n.name] = n;
+  }
+
+  // Ault25: AMD EPYC 7742 (Zen2) + A100.
+  {
+    NodeSpec n;
+    n.name = "ault25";
+    n.description = "CSCS Ault: AMD EPYC 7742, NVIDIA A100";
+    n.cpu = {"zen2",
+             Arch::X86_64,
+             {CpuFeature::sse2, CpuFeature::sse4_1, CpuFeature::avx,
+              CpuFeature::avx2, CpuFeature::fma3},
+             2.25,
+             64};
+    n.gpu = GpuSpec{"A100", "NVIDIA", 8, 0, 300.0, 7000.0, "cuda", "12.1"};
+    n.environment = {"gcc/11.4", "cuda/12.1", "fftw/3.3", "mpich/4.1",
+                     "openblas/0.3"};
+    n.container_runtime = "sarus";
+    n.supports_image_build = false;
+    nodes[n.name] = n;
+  }
+
+  // Ault01-04: Intel Xeon Gold 6154, CPU-only partition used for the
+  // IR-container CPU sweep (Fig. 12 top).
+  {
+    NodeSpec n;
+    n.name = "ault01";
+    n.description = "CSCS Ault: Intel Xeon Gold 6154 (CPU partition)";
+    n.cpu = {"skylake_avx512",
+             Arch::X86_64,
+             {CpuFeature::sse2, CpuFeature::sse4_1, CpuFeature::avx,
+              CpuFeature::avx2, CpuFeature::fma3, CpuFeature::avx512f},
+             3.0,
+             36};
+    n.environment = {"gcc/11.4", "mkl/2024.0", "fftw/3.3", "mpich/4.1"};
+    n.container_runtime = "sarus";
+    n.supports_image_build = false;
+    nodes[n.name] = n;
+  }
+
+  // Alps Clariden: GH200 superchip (Grace Neoverse-V2 + Hopper).
+  {
+    NodeSpec n;
+    n.name = "clariden";
+    n.description = "CSCS Alps: NVIDIA GH200 (Grace + Hopper), Slingshot";
+    n.cpu = {"neoverse_v2",
+             Arch::AArch64,
+             {CpuFeature::neon, CpuFeature::asimd, CpuFeature::sve},
+             3.1,
+             72};
+    n.gpu = GpuSpec{"GH200", "NVIDIA", 9, 0, 450.0, 6000.0, "cuda", "12.4"};
+    n.environment = {"gcc/12.3", "cuda/12.4", "cray-mpich/8.1", "fftw/3.3",
+                     "openblas/0.3"};
+    n.container_runtime = "podman";
+    n.supports_image_build = true;
+    nodes[n.name] = n;
+  }
+
+  // Aurora: Intel Xeon CPU Max + Data Center GPU Max; Apptainer.
+  {
+    NodeSpec n;
+    n.name = "aurora";
+    n.description = "ALCF Aurora: Intel Xeon CPU Max, Intel GPU Max 1550";
+    n.cpu = {"sapphirerapids",
+             Arch::X86_64,
+             {CpuFeature::sse2, CpuFeature::sse4_1, CpuFeature::avx,
+              CpuFeature::avx2, CpuFeature::fma3, CpuFeature::avx512f,
+              CpuFeature::amx},
+             2.4,
+             52};
+    n.gpu = GpuSpec{"Max1550", "Intel", 0, 0, 380.0, 8000.0, "level-zero",
+                    "1.3"};
+    n.environment = {"oneapi/2024.1", "mkl/2024.0", "mpich/4.1",
+                     "level-zero/1.3"};
+    n.container_runtime = "apptainer";
+    n.supports_image_build = false;
+    nodes[n.name] = n;
+  }
+
+  // Development laptop used to build images for systems that cannot
+  // build on-node (§6.1: "local development machine with Docker").
+  {
+    NodeSpec n;
+    n.name = "devbox";
+    n.description = "Developer laptop: Haswell-class x86, Docker";
+    n.cpu = {"haswell",
+             Arch::X86_64,
+             {CpuFeature::sse2, CpuFeature::sse4_1, CpuFeature::avx,
+              CpuFeature::avx2, CpuFeature::fma3},
+             2.8,
+             8};
+    n.environment = {"gcc/11.4", "fftw/3.3", "mpich/4.1"};
+    n.container_runtime = "docker";
+    n.supports_image_build = true;
+    nodes[n.name] = n;
+  }
+
+  return nodes;
+}
+
+const std::map<std::string, NodeSpec>& registry() {
+  static const std::map<std::string, NodeSpec> nodes = build_registry();
+  return nodes;
+}
+
+}  // namespace
+
+const NodeSpec& node(const std::string& name) {
+  const auto it = registry().find(name);
+  if (it == registry().end()) {
+    throw std::runtime_error("unknown node: " + name);
+  }
+  return it->second;
+}
+
+std::vector<std::string> node_names() {
+  std::vector<std::string> names;
+  for (const auto& [name, _] : registry()) names.push_back(name);
+  return names;
+}
+
+}  // namespace xaas::vm

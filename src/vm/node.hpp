@@ -1,0 +1,62 @@
+// Models of the paper's evaluation systems (§6.1): CSCS Ault nodes,
+// Alps Clariden (GH200), and Aurora, plus a generic developer laptop.
+// A node is the deployment target: CPU microarchitecture + clock + cores,
+// optional GPU, and the software environment (modules) visible to system
+// discovery.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace xaas::vm {
+
+struct GpuSpec {
+  std::string name;    // "V100", "A100", "GH200", "Max1550", ...
+  std::string vendor;  // "NVIDIA", "AMD", "Intel"
+  int cc_major = 0;    // CUDA compute capability (NVIDIA only)
+  int cc_minor = 0;
+  /// Sustained throughput of the GPU relative to one CPU core of this
+  /// node — the executor divides GPU-kernel cycles by this.
+  double speedup_vs_core = 1.0;
+  /// Kernel launch + transfer overhead, in CPU cycles per launch.
+  double launch_overhead_cycles = 50000.0;
+  std::string runtime;          // "cuda", "rocm", "level-zero", "sycl"
+  std::string runtime_version;  // e.g. "12.1"
+};
+
+struct CpuSpec {
+  std::string microarch;  // name in the isa::microarch database
+  isa::Arch arch = isa::Arch::X86_64;
+  std::vector<isa::CpuFeature> features;
+  double clock_ghz = 2.0;
+  int cores = 16;
+};
+
+struct NodeSpec {
+  std::string name;
+  std::string description;
+  CpuSpec cpu;
+  std::optional<GpuSpec> gpu;
+  /// Loaded environment modules / detectable installations, as
+  /// "name" or "name/version" (e.g. "mkl", "cuda/12.1", "fftw/3.3").
+  std::vector<std::string> environment;
+  /// Container runtime available on the system (Sarus/Podman/Apptainer).
+  std::string container_runtime;
+  /// Whether the system permits building container images on-node.
+  bool supports_image_build = true;
+
+  isa::VectorIsa best_vector_isa() const {
+    return isa::best_isa(cpu.arch, cpu.features);
+  }
+  bool has_module(const std::string& prefix) const;
+};
+
+/// Registry of known systems: ault23, ault25, ault01, clariden, aurora,
+/// and a local x86 dev machine.
+const NodeSpec& node(const std::string& name);
+std::vector<std::string> node_names();
+
+}  // namespace xaas::vm

@@ -1,0 +1,63 @@
+#include "vm/program.hpp"
+
+namespace xaas::vm {
+
+Program Program::link(std::vector<minicc::MachineModule> modules,
+                      std::string* error) {
+  Program program;
+  const auto fail = [&](const std::string& msg) {
+    program.error_ = msg;
+    if (error) *error = msg;
+    return program;
+  };
+
+  if (modules.empty()) return fail("no modules to link");
+
+  program.target_ = modules.front().target;
+  for (const auto& m : modules) {
+    if (m.target.visa != program.target_.visa) {
+      return fail("target ISA mismatch while linking: " +
+                  std::string(isa::to_string(m.target.visa)) + " vs " +
+                  std::string(isa::to_string(program.target_.visa)));
+    }
+  }
+
+  program.modules_ = std::move(modules);
+  for (const auto& m : program.modules_) {
+    for (const auto& fn : m.code.functions) {
+      const auto [it, inserted] = program.symbols_.emplace(fn.name, &fn);
+      (void)it;
+      if (!inserted) {
+        return fail("duplicate symbol: " + fn.name + " (defined in " +
+                    m.code.source_path + ")");
+      }
+    }
+  }
+
+  // Resolve every call target.
+  for (const auto& m : program.modules_) {
+    for (const auto& fn : m.code.functions) {
+      for (const auto& block : fn.blocks) {
+        for (const auto& inst : block.insts) {
+          if (inst.op != minicc::ir::Opcode::Call) continue;
+          if (minicc::ir::is_intrinsic(inst.callee)) continue;
+          if (program.symbols_.count(inst.callee) == 0) {
+            return fail("unresolved symbol: " + inst.callee +
+                        " (referenced from " + fn.name + ")");
+          }
+        }
+      }
+    }
+  }
+
+  program.ok_ = true;
+  return program;
+}
+
+const minicc::ir::Function* Program::find_function(
+    const std::string& name) const {
+  const auto it = symbols_.find(name);
+  return it == symbols_.end() ? nullptr : it->second;
+}
+
+}  // namespace xaas::vm

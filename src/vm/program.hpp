@@ -1,0 +1,42 @@
+// Linking: combine per-TU machine modules into one executable program
+// with a resolved symbol table. This is the "Linking, Installation" stage
+// of IR-container deployment (Fig. 8).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "minicc/lower.hpp"
+
+namespace xaas::vm {
+
+struct LinkError {
+  std::string message;
+};
+
+class Program {
+public:
+  /// Link machine modules; fails on duplicate or unresolved symbols and
+  /// on mixed target ISAs (object files from different targets do not
+  /// link, same as real toolchains).
+  static Program link(std::vector<minicc::MachineModule> modules,
+                      std::string* error = nullptr);
+
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+
+  const minicc::ir::Function* find_function(const std::string& name) const;
+  const minicc::TargetSpec& target() const { return target_; }
+  std::size_t num_modules() const { return modules_.size(); }
+  std::size_t num_functions() const { return symbols_.size(); }
+
+private:
+  bool ok_ = false;
+  std::string error_;
+  std::vector<minicc::MachineModule> modules_;
+  std::map<std::string, const minicc::ir::Function*> symbols_;
+  minicc::TargetSpec target_;
+};
+
+}  // namespace xaas::vm

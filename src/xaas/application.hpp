@@ -1,0 +1,41 @@
+// An HPC application as XaaS sees it: a source tree in the Kernel-C
+// language, an xbuild script declaring its specialization points, and
+// metadata the pipeline needs (system-dependent file globs, §4.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "buildsys/script.hpp"
+#include "common/vfs.hpp"
+#include "spec/spec.hpp"
+
+namespace xaas {
+
+struct Application {
+  std::string name;
+  common::Vfs source_tree;          // sources + headers, VFS paths
+  std::string build_script_text;    // the shipped xbuild script
+  buildsys::BuildScript script;     // parsed form
+
+  /// Globs of source files that cannot be compiled to portable IR
+  /// (Definition 2: e.g. MPI-ABI-dependent communication files). They
+  /// ship as source inside the IR container and compile at deployment.
+  std::vector<std::string> system_dependent_globs;
+
+  /// Entry function of the built application (for the VM).
+  std::string entry_point = "app_main";
+
+  spec::SpecializationPoints ground_truth() const {
+    return spec::extract_ground_truth(script);
+  }
+
+  bool is_system_dependent(const std::string& path) const {
+    for (const auto& pattern : system_dependent_globs) {
+      if (common::glob_match(pattern, path)) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace xaas

@@ -1,0 +1,202 @@
+#include "xaas/ir_deploy.hpp"
+
+#include "common/json.hpp"
+#include "common/strings.hpp"
+#include "minicc/driver.hpp"
+
+namespace xaas {
+
+using common::Json;
+
+namespace {
+
+std::optional<Json> read_manifest(const common::Vfs& root,
+                                  std::string* error) {
+  const auto text = root.read("xaas/manifest.json");
+  if (!text) {
+    if (error) *error = "image has no xaas/manifest.json";
+    return std::nullopt;
+  }
+  try {
+    return Json::parse(*text);
+  } catch (const common::JsonError& e) {
+    if (error) *error = std::string("manifest parse error: ") + e.what();
+    return std::nullopt;
+  }
+}
+
+bool selection_matches(const Json& config,
+                       const std::map<std::string, std::string>& selections) {
+  const Json* options = config.find("options");
+  if (!options) return selections.empty();
+  for (const auto& [name, value] : selections) {
+    const Json* v = options->find(name);
+    if (!v || !v->is_string() || v->as_string() != value) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::string> ir_image_configurations(
+    const container::Image& ir_image) {
+  std::vector<std::string> ids;
+  const common::Vfs root = ir_image.flatten();
+  std::string error;
+  const auto manifest = read_manifest(root, &error);
+  if (!manifest) return ids;
+  if (const Json* configs = manifest->find("configurations")) {
+    for (const auto& c : configs->items()) {
+      ids.push_back(c.get_string("id"));
+    }
+  }
+  return ids;
+}
+
+DeployedApp deploy_ir_container(const container::Image& ir_image,
+                                const vm::NodeSpec& node,
+                                const IrDeployOptions& options) {
+  DeployedApp result;
+  result.node_name = node.name;
+
+  // Architecture gate: an IR image is per base architecture (§5.1 — the
+  // IR is not cross-platform).
+  const std::string want = node.cpu.arch == isa::Arch::X86_64
+                               ? container::kArchLlvmIrAmd64
+                               : container::kArchLlvmIrArm64;
+  if (ir_image.architecture != want) {
+    result.error = "IR image architecture " + ir_image.architecture +
+                   " does not match node (" + want + ")";
+    return result;
+  }
+
+  const common::Vfs root = ir_image.flatten();
+  std::string error;
+  const auto manifest = read_manifest(root, &error);
+  if (!manifest) {
+    result.error = error;
+    return result;
+  }
+
+  // Select exactly one configuration.
+  const Json* configs = manifest->find("configurations");
+  if (!configs || configs->items().empty()) {
+    result.error = "no configurations in IR image";
+    return result;
+  }
+  std::vector<const Json*> matches;
+  for (const auto& c : configs->items()) {
+    if (selection_matches(c, options.selections)) matches.push_back(&c);
+  }
+  if (matches.empty()) {
+    result.error = "no configuration matches the selection";
+    return result;
+  }
+  if (matches.size() > 1) {
+    result.error = "selection is ambiguous: " +
+                   std::to_string(matches.size()) +
+                   " configurations match (specify more points)";
+    return result;
+  }
+  const Json& config = *matches.front();
+  result.log.push_back("selected configuration " + config.get_string("id"));
+
+  // Lowering target: explicit march > configuration tuning > node best.
+  minicc::TargetSpec target;
+  target.opt_level = options.opt_level;
+  target.openmp = config.get_bool("openmp");
+  target.visa = node.best_vector_isa();
+  const std::string recorded_march = config.get_string("march");
+  if (!recorded_march.empty()) {
+    if (const auto visa = isa::vector_isa_from_string(recorded_march)) {
+      target.visa = *visa;
+    }
+  }
+  if (options.march) target.visa = *options.march;
+  result.target = target;
+  result.log.push_back("lowering for " +
+                       std::string(isa::to_string(target.visa)));
+
+  // Lower IR files / compile system-dependent sources.
+  const Json* units = config.find("translation_units");
+  if (!units) {
+    result.error = "configuration has no translation units";
+    return result;
+  }
+  std::vector<minicc::MachineModule> modules;
+  int lowered = 0;
+  int compiled_sd = 0;
+  for (const auto& unit : units->items()) {
+    const std::string source = unit.get_string("source");
+    if (unit.get_bool("system_dependent")) {
+      // Compile from source now, against the system's own libraries
+      // (Definition 2 files, e.g. MPI-ABI-dependent code).
+      const auto flag_args = common::split_ws(unit.get_string("flags"));
+      minicc::CompileFlags flags = minicc::CompileFlags::parse_args(flag_args);
+      flags.opt_level = options.opt_level;
+      common::Vfs app_tree;
+      for (const auto& [path, contents] : root) {
+        if (common::starts_with(path, "app/")) {
+          app_tree.write(path.substr(4), contents);
+        }
+      }
+      const auto compiled =
+          minicc::compile_to_target(app_tree, source, flags, target);
+      if (!compiled.ok) {
+        result.error = "system-dependent compile of " + source + " failed: " +
+                       compiled.error.message;
+        return result;
+      }
+      modules.push_back(std::move(compiled.machine));
+      ++compiled_sd;
+      continue;
+    }
+    const std::string ir_path = unit.get_string("ir");
+    const auto ir_text = root.read(ir_path);
+    if (!ir_text) {
+      result.error = "IR file missing from image: " + ir_path;
+      return result;
+    }
+    auto parsed = minicc::ir::parse_ir(*ir_text);
+    if (!parsed.ok) {
+      result.error = "IR parse failed for " + ir_path + ": " + parsed.error;
+      return result;
+    }
+    modules.push_back(minicc::lower(std::move(parsed.module), target));
+    ++lowered;
+  }
+  result.log.push_back("lowered " + std::to_string(lowered) +
+                       " IR files, compiled " + std::to_string(compiled_sd) +
+                       " system-dependent sources");
+
+  std::string link_error;
+  result.program = vm::Program::link(std::move(modules), &link_error);
+  if (!result.program.ok()) {
+    result.error = "link failed: " + link_error;
+    return result;
+  }
+
+  // Derived, system-specific image; the tag-relevant specialization
+  // points travel in an annotation (§4.3.1: "Image tag includes
+  // specialization points to support the coexistence of many builds").
+  common::Vfs install;
+  Json record = Json::object();
+  record["configuration"] = config.get_string("id");
+  record["target"] = target.to_string();
+  record["system"] = node.name;
+  install.write("app/install/config.json", record.dump(2));
+  result.image =
+      container::ImageBuilder(ir_image)
+          .architecture(node.cpu.arch == isa::Arch::X86_64
+                            ? container::kArchAmd64
+                            : container::kArchArm64)
+          .add_layer(std::move(install))
+          .annotation(container::kAnnotationKind, "deployed-ir")
+          .annotation(container::kAnnotationDeployedConfig,
+                      config.get_string("id") + "|" + target.to_string())
+          .build();
+  result.ok = true;
+  return result;
+}
+
+}  // namespace xaas

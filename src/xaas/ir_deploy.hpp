@@ -1,0 +1,38 @@
+// IR container deployment (Fig. 8): the user selects one configuration;
+// its IR files are optimized, vectorized, and lowered to the node's
+// architecture; system-dependent sources are compiled on the spot; the
+// build system finishes linking; a new, system-specific image results.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "container/image.hpp"
+#include "vm/node.hpp"
+#include "xaas/source_container.hpp"
+
+namespace xaas {
+
+struct IrDeployOptions {
+  /// Option values identifying the configuration to deploy (must match
+  /// exactly one configuration baked into the image).
+  std::map<std::string, std::string> selections;
+  /// Vector ISA to lower for; defaults to the configuration's recorded
+  /// tuning, else the node's best supported level.
+  std::optional<isa::VectorIsa> march;
+  int opt_level = 2;
+};
+
+/// Deploy an IR container on a node. Reads everything (manifest, IR
+/// files, sources, build script) from the image itself — deployment does
+/// not require the original application object.
+DeployedApp deploy_ir_container(const container::Image& ir_image,
+                                const vm::NodeSpec& node,
+                                const IrDeployOptions& options);
+
+/// Configuration ids stored in an IR image (for tooling and tests).
+std::vector<std::string> ir_image_configurations(
+    const container::Image& ir_image);
+
+}  // namespace xaas

@@ -1,0 +1,409 @@
+#include "xaas/ir_pipeline.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <set>
+
+#include "common/json.hpp"
+#include "common/sha256.hpp"
+#include "common/strings.hpp"
+#include "common/thread_pool.hpp"
+#include "minicc/driver.hpp"
+#include "minicc/vectorizer.hpp"
+
+namespace xaas {
+
+using common::Json;
+
+namespace {
+
+// Dependency environment for container builds: the pipeline assembles
+// dependency layers itself, so every dependency the script can request is
+// available at its minimum version (§4.3: "The container is assembled
+// from layers that provide the toolchain and dependencies").
+buildsys::Environment container_build_env(const buildsys::BuildScript& script,
+                                          const std::string& build_dir) {
+  buildsys::Environment env;
+  env.build_dir = build_dir;
+  for (const auto& d : script.directives) {
+    if (d.kind != buildsys::Directive::Kind::RequireDependency) continue;
+    const std::string version = d.args.size() > 1 ? d.args[1] : "1.0";
+    env.dependencies[d.args.at(0)] = version;
+  }
+  return env;
+}
+
+std::string sanitize(const std::string& path) {
+  std::string out = common::replace_all(path, "/", "_");
+  return common::replace_all(out, ".", "_");
+}
+
+struct TuInstance {
+  std::size_t config_index;
+  std::string config_id;
+  std::string source;
+  minicc::CompileFlags flags;       // as produced by the configuration
+  std::string raw_args;             // pre-normalization textual flags
+  std::string pp_hash;              // preprocessed-content hash
+  bool openmp_effective = false;
+  std::string dedup_key;
+};
+
+}  // namespace
+
+IrContainerBuild build_ir_container(const Application& app, isa::Arch arch,
+                                    const IrBuildOptions& options) {
+  IrContainerBuild result;
+  DedupStats& stats = result.stats;
+
+  // ---- Generation: one configuration per point combination ------------
+  const auto assignments =
+      buildsys::expand_configurations(app.script, options.points);
+  stats.configurations = static_cast<int>(assignments.size());
+
+  std::vector<buildsys::Configuration> configs;
+  std::vector<buildsys::Configuration> configs_divergent;  // metric only
+  for (std::size_t i = 0; i < assignments.size(); ++i) {
+    const std::string norm_dir =
+        options.containerized_builds ? "/xaas/build"
+                                     : "/build/cfg" + std::to_string(i);
+    buildsys::Configuration c = buildsys::configure(
+        app.script, assignments[i],
+        container_build_env(app.script, norm_dir));
+    if (!c.ok) {
+      result.error = "configuration '" +
+                     (c.option_values.empty() ? std::to_string(i) : c.id()) +
+                     "' failed: " + c.error;
+      return result;
+    }
+    configs.push_back(std::move(c));
+    // What flags would look like without the containerized mount — used
+    // for the §6.4 "incompatible flags" diagnostic.
+    configs_divergent.push_back(buildsys::configure(
+        app.script, assignments[i],
+        container_build_env(app.script, "/build/cfg" + std::to_string(i))));
+    result.configuration_ids.push_back(configs.back().id());
+  }
+
+  // Defines derived from the SIMD option belong to the CPU-tuning bucket
+  // (like the -m flags), not the raw-incompatibility diagnostic.
+  std::vector<std::string> simd_define_prefixes;
+  for (const auto& opt : app.script.options) {
+    if (opt.is_simd) simd_define_prefixes.push_back("-D" + opt.name + "_");
+  }
+
+  // ---- Collect TU instances -------------------------------------------
+  std::vector<TuInstance> instances;
+  std::map<std::pair<std::string, std::string>, std::set<std::string>>
+      raw_flags_per_tu;  // (target, source) -> raw flag strings (divergent dirs)
+  std::set<std::string> sd_sources;
+
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto commands = configs[i].compile_commands(app.source_tree);
+    const auto raw_commands =
+        configs_divergent[i].compile_commands(app.source_tree);
+    for (std::size_t k = 0; k < commands.size(); ++k) {
+      const auto& cmd = commands[k];
+      ++stats.total_tus;
+      // CPU tuning flags are tracked in their own §6.4 bucket; the raw
+      // incompatibility diagnostic isolates everything else (build-dir
+      // include paths being the dominant cause).
+      const auto& raw_cmd = k < raw_commands.size() ? raw_commands[k] : cmd;
+      std::string raw_no_tuning;
+      for (const auto& arg : raw_cmd.args) {
+        if (common::starts_with(arg, "-m")) continue;
+        bool simd_define = false;
+        for (const auto& prefix : simd_define_prefixes) {
+          if (common::starts_with(arg, prefix)) simd_define = true;
+        }
+        if (simd_define) continue;
+        raw_no_tuning += arg;
+        raw_no_tuning += ' ';
+      }
+      raw_flags_per_tu[{cmd.target, cmd.source}].insert(raw_no_tuning);
+      if (app.is_system_dependent(cmd.source)) {
+        ++stats.system_dependent;
+        sd_sources.insert(cmd.source);
+        continue;
+      }
+      TuInstance inst;
+      inst.config_index = i;
+      inst.config_id = configs[i].id();
+      inst.source = cmd.source;
+      inst.raw_args = cmd.args_string();
+      inst.flags = minicc::CompileFlags::parse_args(cmd.args);
+      instances.push_back(std::move(inst));
+    }
+  }
+
+  // §6.4 diagnostic: fraction of TUs with incompatible raw flags across
+  // configurations (driven by build-dir header paths).
+  {
+    int incompatible = 0;
+    int multi = 0;
+    for (const auto& [key, flag_set] : raw_flags_per_tu) {
+      (void)key;
+      ++multi;
+      if (flag_set.size() > 1) ++incompatible;
+    }
+    stats.flag_incompatible_pct =
+        multi > 0 ? 100.0 * incompatible / multi : 0.0;
+  }
+
+  // ---- Preprocessing + OpenMP detection (parallel) ---------------------
+  common::ThreadPool pool(options.threads);
+  std::string pp_error;
+  std::mutex error_mutex;
+  pool.parallel_for(instances.size(), [&](std::size_t idx) {
+    TuInstance& inst = instances[idx];
+    minicc::CompileFlags pp_flags = inst.flags;
+    const auto pp =
+        minicc::preprocess_file(app.source_tree, inst.source, pp_flags);
+    if (!pp.ok) {
+      std::lock_guard lock(error_mutex);
+      if (pp_error.empty()) {
+        pp_error = inst.source + ": " + pp.error;
+      }
+      return;
+    }
+    inst.pp_hash = common::sha256_hex(pp.output);
+    inst.openmp_effective = inst.flags.openmp;
+    if (inst.flags.openmp && options.detect_openmp) {
+      inst.openmp_effective = minicc::detect_openmp_constructs(pp.output);
+    }
+  });
+  if (!pp_error.empty()) {
+    result.error = "preprocessing failed: " + pp_error;
+    return result;
+  }
+
+  // ---- Dedup keys -------------------------------------------------------
+  for (auto& inst : instances) {
+    minicc::CompileFlags key_flags = inst.flags;
+    if (options.delay_vectorization) key_flags.march.reset();
+    key_flags.openmp = inst.openmp_effective;
+    if (options.dedup_preprocessing) {
+      // Semantic key: what the compiler actually sees.
+      inst.dedup_key = inst.source + "|" + inst.pp_hash + "|" +
+                       (inst.openmp_effective ? "omp" : "noomp") + "|O" +
+                       std::to_string(key_flags.opt_level);
+      if (!options.delay_vectorization) {
+        inst.dedup_key +=
+            "|" + (inst.flags.march
+                       ? std::string(isa::to_string(*inst.flags.march))
+                       : "generic");
+      }
+    } else {
+      // Purely syntactic comparison of normalized flags.
+      inst.dedup_key = inst.source + "|" + key_flags.canonical();
+    }
+    if (inst.flags.openmp && !inst.openmp_effective) ++stats.openmp_merged;
+  }
+
+  // preproc_distinct: among surplus TU instances (beyond one per source),
+  // how many still need their own IR after hashing.
+  {
+    std::set<std::string> sources;
+    std::set<std::pair<std::string, std::string>> source_hash;
+    for (const auto& inst : instances) {
+      sources.insert(inst.source);
+      source_hash.insert({inst.source, inst.pp_hash});
+    }
+    const long long surplus_total =
+        static_cast<long long>(instances.size()) -
+        static_cast<long long>(sources.size());
+    const long long surplus_unique =
+        static_cast<long long>(source_hash.size()) -
+        static_cast<long long>(sources.size());
+    stats.preproc_distinct_pct =
+        surplus_total > 0 ? 100.0 * static_cast<double>(surplus_unique) /
+                                static_cast<double>(surplus_total)
+                          : 0.0;
+  }
+
+  // tuning_only: among groups of semantically identical TUs, how many
+  // carried different CPU tuning flags (resolved by delaying
+  // vectorization).
+  {
+    std::map<std::string, std::pair<std::set<std::string>, int>>
+        march_per_group;
+    for (const auto& inst : instances) {
+      const std::string semantic_key =
+          inst.source + "|" + inst.pp_hash + "|" +
+          (inst.openmp_effective ? "omp" : "noomp");
+      auto& [marches, count] = march_per_group[semantic_key];
+      marches.insert(inst.flags.march
+                         ? std::string(isa::to_string(*inst.flags.march))
+                         : "generic");
+      ++count;
+    }
+    // Among groups of semantically identical TU instances, how many carry
+    // divergent CPU tuning (the paper's "95% of identical targets have
+    // different CPU tuning").
+    int multi = 0;
+    int tuned = 0;
+    for (const auto& [key, group] : march_per_group) {
+      (void)key;
+      if (group.second < 2) continue;
+      ++multi;
+      if (group.first.size() > 1) ++tuned;
+    }
+    stats.tuning_only_pct = multi > 0 ? 100.0 * tuned / multi : 0.0;
+  }
+
+  // ---- Build unique IRs (parallel) --------------------------------------
+  std::map<std::string, std::size_t> key_to_artifact;
+  std::vector<TuInstance*> representatives;
+  for (auto& inst : instances) {
+    const auto [it, inserted] =
+        key_to_artifact.emplace(inst.dedup_key, representatives.size());
+    if (inserted) {
+      representatives.push_back(&inst);
+      IrArtifact artifact;
+      artifact.source = inst.source;
+      artifact.openmp = inst.openmp_effective;
+      artifact.path = "ir/" + sanitize(inst.source) + "_" +
+                      inst.pp_hash.substr(0, 10) +
+                      (inst.openmp_effective ? "_omp" : "") +
+                      (!options.delay_vectorization && inst.flags.march
+                           ? "_" + std::string(isa::to_string(*inst.flags.march))
+                           : "") +
+                      ".xir";
+      minicc::CompileFlags f = inst.flags;
+      if (options.delay_vectorization) f.march.reset();
+      f.openmp = inst.openmp_effective;
+      artifact.flags = f.canonical();
+      result.artifacts.push_back(std::move(artifact));
+    }
+    result.artifacts[it->second].used_by.push_back(inst.config_id);
+  }
+  stats.unique_irs = static_cast<int>(result.artifacts.size());
+  stats.reduction_pct =
+      stats.total_tus > 0
+          ? 100.0 * (1.0 - static_cast<double>(stats.unique_irs +
+                                               stats.system_dependent) /
+                               static_cast<double>(stats.total_tus))
+          : 0.0;
+
+  std::vector<std::string> ir_texts(representatives.size());
+  std::string compile_error;
+  pool.parallel_for(representatives.size(), [&](std::size_t idx) {
+    const TuInstance& inst = *representatives[idx];
+    minicc::CompileFlags flags = inst.flags;
+    flags.openmp = inst.openmp_effective;
+    if (options.delay_vectorization) flags.march.reset();
+    auto compiled = minicc::compile_to_ir(app.source_tree, inst.source, flags);
+    if (!compiled.ok) {
+      std::lock_guard lock(error_mutex);
+      if (compile_error.empty()) {
+        compile_error = inst.source + " (" + compiled.error.phase +
+                        "): " + compiled.error.message;
+      }
+      return;
+    }
+    if (!options.delay_vectorization && inst.flags.march) {
+      // Ablation mode: premature target-specific optimization at
+      // container-build time. The IR is vectorized now and cannot be
+      // efficiently re-vectorized at deployment (§4.3).
+      minicc::vectorize_module(compiled.module,
+                               isa::lanes_f64(*inst.flags.march));
+    }
+    ir_texts[idx] = minicc::ir::print(compiled.module);
+  });
+  if (!compile_error.empty()) {
+    result.error = "IR compilation failed: " + compile_error;
+    return result;
+  }
+
+  // ---- Assemble the image ------------------------------------------------
+  common::Vfs toolchain;
+  toolchain.write("opt/toolchain/minicc.json",
+                  "{\"compiler\": \"minicc\", \"exports_ir\": true}");
+
+  common::Vfs ir_layer;
+  for (std::size_t i = 0; i < result.artifacts.size(); ++i) {
+    ir_layer.write(result.artifacts[i].path, ir_texts[i]);
+  }
+
+  common::Vfs source_layer;
+  for (const auto& [path, contents] : app.source_tree) {
+    source_layer.write("app/" + path, contents);
+  }
+  source_layer.write("app/xbuild.txt", app.build_script_text);
+
+  // Manifest: per configuration, the IR (or source) each TU resolves to,
+  // plus the per-config link/lowering parameters.
+  std::map<std::pair<std::size_t, std::string>, std::size_t> instance_lookup;
+  for (const auto& inst : instances) {
+    instance_lookup[{inst.config_index, inst.source}] =
+        key_to_artifact[inst.dedup_key];
+  }
+  Json manifest = Json::object();
+  manifest["application"] = app.name;
+  manifest["entry_point"] = app.entry_point;
+  Json config_list = Json::array();
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    Json c = Json::object();
+    c["id"] = configs[i].id();
+    Json values = Json::object();
+    for (const auto& [name, value] : configs[i].option_values) {
+      values[name] = value;
+    }
+    c["options"] = std::move(values);
+    bool openmp = false;
+    for (const auto& flag : configs[i].global_flags) {
+      if (flag == "-fopenmp") openmp = true;
+    }
+    c["openmp"] = openmp;
+    // Record the configuration's SIMD choice by *option value* so that
+    // "None" deploys scalar instead of silently upgrading to the node's
+    // best ISA.
+    std::string march;
+    for (const auto& opt : app.script.options) {
+      if (!opt.is_simd) continue;
+      const auto it = configs[i].option_values.find(opt.name);
+      if (it != configs[i].option_values.end()) march = it->second;
+    }
+    c["march"] = march;
+
+    Json units = Json::array();
+    const auto commands = configs[i].compile_commands(app.source_tree);
+    for (const auto& cmd : commands) {
+      Json unit = Json::object();
+      unit["source"] = cmd.source;
+      if (app.is_system_dependent(cmd.source)) {
+        unit["system_dependent"] = true;
+        unit["flags"] = cmd.args_string();
+      } else {
+        const auto it = instance_lookup.find({i, cmd.source});
+        if (it != instance_lookup.end()) {
+          unit["ir"] = result.artifacts[it->second].path;
+        }
+      }
+      units.push_back(std::move(unit));
+    }
+    c["translation_units"] = std::move(units);
+    config_list.push_back(std::move(c));
+  }
+  manifest["configurations"] = std::move(config_list);
+
+  common::Vfs manifest_layer;
+  manifest_layer.write("xaas/manifest.json", manifest.dump(2));
+
+  result.image =
+      container::ImageBuilder()
+          .architecture(arch == isa::Arch::X86_64 ? container::kArchLlvmIrAmd64
+                                                  : container::kArchLlvmIrArm64)
+          .add_layer(std::move(toolchain))
+          .add_layer(std::move(ir_layer))
+          .add_layer(std::move(source_layer))
+          .add_layer(std::move(manifest_layer))
+          .annotation(container::kAnnotationKind, "ir")
+          .annotation(container::kAnnotationSpecPoints,
+                      app.ground_truth().to_json().dump())
+          .build();
+  result.ok = true;
+  return result;
+}
+
+}  // namespace xaas

@@ -1,0 +1,43 @@
+#include "xaas/portability.hpp"
+
+namespace xaas {
+
+std::string_view to_string(PortabilityLevel level) {
+  switch (level) {
+    case PortabilityLevel::Building: return "Building";
+    case PortabilityLevel::Linking: return "Linking";
+    case PortabilityLevel::Lowering: return "Lowering";
+    case PortabilityLevel::Emulation: return "Emulation";
+  }
+  return "?";
+}
+
+const std::vector<PortabilityTechnology>& portability_table() {
+  static const std::vector<PortabilityTechnology> rows = {
+      {PortabilityLevel::Building, "Spack, EasyBuild",
+       "From-source package manager", "Parameterized package compilation",
+       "Automatic, dependency resolver"},
+      {PortabilityLevel::Linking, "Sarus, Apptainer", "HPC container runtime",
+       "Runtime binding, OCI hooks", "Manual, CLI option, and host bind"},
+      {PortabilityLevel::Lowering, "Linux Popcorn", "Multi-ISA binary system",
+       "Heterogeneous-OS containers", "No direct integration"},
+      {PortabilityLevel::Lowering, "H-containers",
+       "ISA-agnostic container with IRs", "Container + recompilation",
+       "No direct integration"},
+      {PortabilityLevel::Lowering, "NVIDIA PTX", "Runtime JIT compilation",
+       "Virtual GPU architecture", "No direct integration"},
+      {PortabilityLevel::Emulation, "Wi4MPI, mpixlate",
+       "MPI compatibility layer", "Runtime emulation of MPI ABIs",
+       "No direct integration"},
+  };
+  return rows;
+}
+
+std::string xaas_positioning() {
+  return "XaaS source containers move the Building level to deployment "
+         "time (one image per toolchain+architecture); XaaS IR containers "
+         "operate at the Lowering level with automatic dependency "
+         "integration via image layers and deferred vectorization.";
+}
+
+}  // namespace xaas

@@ -1,0 +1,30 @@
+// The portability-layer taxonomy of Table 2: levels of code portability
+// classified by how much of the build runs on the target system.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xaas {
+
+enum class PortabilityLevel { Building, Linking, Lowering, Emulation };
+
+std::string_view to_string(PortabilityLevel level);
+
+struct PortabilityTechnology {
+  PortabilityLevel level;
+  std::string technology;   // e.g. "Spack, EasyBuild"
+  std::string description;
+  std::string approach;     // "Portability Approach" column
+  std::string integration;  // "Dependency Integration" column
+};
+
+/// Table 2 rows.
+const std::vector<PortabilityTechnology>& portability_table();
+
+/// Where XaaS containers sit: source containers at the Building level
+/// executed at deployment, IR containers at the Lowering level with full
+/// dependency integration.
+std::string xaas_positioning();
+
+}  // namespace xaas

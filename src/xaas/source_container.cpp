@@ -1,0 +1,222 @@
+#include "xaas/source_container.hpp"
+
+#include "common/json.hpp"
+#include "common/strings.hpp"
+#include "minicc/driver.hpp"
+#include "spec/system.hpp"
+
+namespace xaas {
+
+using common::Json;
+
+namespace {
+
+// "-DNAME=VALUE" -> {NAME, VALUE}; "-DNAME" -> {NAME, "ON"}.
+std::pair<std::string, std::string> parse_flag(const std::string& flag) {
+  std::string body = flag;
+  if (common::starts_with(body, "-D")) body = body.substr(2);
+  const auto eq = body.find('=');
+  if (eq == std::string::npos) return {body, "ON"};
+  return {body.substr(0, eq), body.substr(eq + 1)};
+}
+
+common::Vfs toolchain_layer(isa::Arch arch) {
+  common::Vfs files;
+  Json meta = Json::object();
+  meta["compiler"] = "minicc";
+  meta["version"] = "19.0";
+  meta["exports_ir"] = true;
+  meta["architecture"] = std::string(isa::to_string(arch));
+  files.write("opt/toolchain/minicc.json", meta.dump(2));
+  files.write("opt/toolchain/bin/minicc", "#!xaas-toolchain minicc 19.0\n");
+  // Open-source MPI with the portable MPICH ABI ships in the image
+  // (§4.1: "deliver the application source code, an open-source MPI
+  // implementation, and the build toolchain").
+  files.write("opt/mpich/lib/libmpi.so", "!abi:mpich\nmpich 4.1 generic\n");
+  return files;
+}
+
+}  // namespace
+
+container::Image build_source_image(const Application& app, isa::Arch arch) {
+  common::Vfs source_layer;
+  for (const auto& [path, contents] : app.source_tree) {
+    source_layer.write("app/" + path, contents);
+  }
+  source_layer.write("app/xbuild.txt", app.build_script_text);
+
+  return container::ImageBuilder()
+      .architecture(arch == isa::Arch::X86_64 ? container::kArchAmd64
+                                              : container::kArchArm64)
+      .add_layer(toolchain_layer(arch))
+      .add_layer(std::move(source_layer))
+      .annotation(container::kAnnotationKind, "source")
+      .annotation(container::kAnnotationSpecPoints,
+                  app.ground_truth().to_json().dump())
+      .config("entrypoint", Json("/xaas/deploy"))
+      .build();
+}
+
+vm::RunResult DeployedApp::run(vm::Workload& workload, int threads) const {
+  vm::ExecutorOptions exec_options;
+  exec_options.threads = threads;
+  const vm::Executor executor(program, vm::node(node_name), exec_options);
+  return executor.run(workload);
+}
+
+DeployedApp deploy_source_container(const container::Image& source_image,
+                                    const Application& app,
+                                    const vm::NodeSpec& node,
+                                    const SourceDeployOptions& options) {
+  DeployedApp result;
+  result.node_name = node.name;
+
+  // Architecture gate: a source container is per-ISA (x64 / ARM64).
+  const std::string node_arch = node.cpu.arch == isa::Arch::X86_64
+                                    ? container::kArchAmd64
+                                    : container::kArchArm64;
+  if (source_image.architecture != node_arch) {
+    result.error = "source image architecture " + source_image.architecture +
+                   " does not match node " + node_arch;
+    return result;
+  }
+
+  // 1. System discovery on the compute node (Fig. 6).
+  const spec::SystemFeatures system = spec::discover_system(node);
+  result.log.push_back("discovered system '" + node.name + "': " +
+                       system.microarch);
+
+  // 2. Specialization points from the image annotation, intersected with
+  //    the system.
+  const auto annotation =
+      source_image.annotations.find(container::kAnnotationSpecPoints);
+  if (annotation == source_image.annotations.end()) {
+    result.error = "image carries no specialization-point annotation";
+    return result;
+  }
+  const spec::SpecializationPoints app_points =
+      spec::SpecializationPoints::from_json(Json::parse(annotation->second));
+  const spec::CommonSpecialization common =
+      spec::intersect(app_points, system);
+  result.log.push_back(
+      "intersection: " + std::to_string(common.gpu_backends.size()) +
+      " GPU backend(s), " + std::to_string(common.simd_levels.size()) +
+      " SIMD level(s)");
+
+  // 3. Selection: user choices override; the recommendation policy fills
+  //    the rest (§4.1 — operators may supply preferred configurations).
+  std::map<std::string, std::string> values = options.selections;
+  if (options.auto_specialize) {
+    const auto select_from = [&values](const spec::FeatureEntry& entry) {
+      if (entry.build_flag.empty()) return;
+      const auto [name, value] = parse_flag(entry.build_flag);
+      if (!values.count(name)) values[name] = value;
+    };
+    select_from(common.best_simd_level());
+    select_from(common.best_gpu_backend());
+    // Performance libraries: prefer MKL when the system has it.
+    const auto prefer_library = [&](const std::vector<spec::FeatureEntry>& list) {
+      const spec::FeatureEntry* chosen = nullptr;
+      for (const auto& e : list) {
+        if (common::to_lower(e.name) == "mkl") chosen = &e;
+      }
+      if (!chosen && !list.empty()) chosen = &list.back();
+      if (chosen) select_from(*chosen);
+    };
+    prefer_library(common.fft_libraries);
+    prefer_library(common.linear_algebra_libraries);
+  }
+  for (const auto& [name, value] : values) {
+    result.log.push_back("selected " + name + "=" + value);
+  }
+
+  // 4. On-system build: configure with the node environment, compile
+  //    every translation unit for the node's ISA, link.
+  buildsys::Environment env;
+  env.build_dir = "/xaas/build";
+  env.dependencies = system.libraries;
+  for (const auto& [name, version] : system.gpu_runtimes) {
+    env.dependencies[name] = version;
+  }
+  for (const auto& [name, version] : system.compilers) {
+    env.dependencies[name] = version;
+  }
+
+  const buildsys::Configuration config =
+      buildsys::configure(app.script, values, env);
+  if (!config.ok) {
+    result.error = "configuration failed: " + config.error;
+    return result;
+  }
+  result.configuration = config;
+
+  // Target: explicit march > SIMD selection > node best.
+  minicc::TargetSpec target;
+  target.opt_level = options.opt_level;
+  target.visa = node.best_vector_isa();
+  for (const auto& opt : app.script.options) {
+    if (!opt.is_simd) continue;
+    const auto it = config.option_values.find(opt.name);
+    if (it != config.option_values.end()) {
+      if (const auto visa = isa::vector_isa_from_string(it->second)) {
+        target.visa = *visa;
+      } else if (it->second == "None") {
+        target.visa = isa::VectorIsa::None;
+      }
+    }
+  }
+  if (options.march) target.visa = *options.march;
+  for (const auto& flag : config.global_flags) {
+    if (flag == "-fopenmp") target.openmp = true;
+  }
+  result.target = target;
+
+  const auto commands = config.compile_commands(app.source_tree);
+  std::vector<minicc::MachineModule> modules;
+  for (const auto& cmd : commands) {
+    minicc::CompileFlags flags = minicc::CompileFlags::parse_args(cmd.args);
+    flags.opt_level = options.opt_level;
+    const auto compiled =
+        minicc::compile_to_target(app.source_tree, cmd.source, flags, target);
+    if (!compiled.ok) {
+      result.error = "compilation of " + cmd.source + " failed (" +
+                     compiled.error.phase + "): " + compiled.error.message;
+      return result;
+    }
+    modules.push_back(std::move(compiled.machine));
+  }
+  result.log.push_back("compiled " + std::to_string(modules.size()) +
+                       " translation units for " +
+                       std::string(isa::to_string(target.visa)));
+
+  std::string link_error;
+  result.program = vm::Program::link(std::move(modules), &link_error);
+  if (!result.program.ok()) {
+    result.error = "link failed: " + link_error;
+    return result;
+  }
+
+  // 5. Derived image: binaries + configuration record. The new image is
+  //    system-specific and no longer portable (§4.1).
+  common::Vfs binaries;
+  Json record = Json::object();
+  record["configuration"] = config.id();
+  record["target"] = target.to_string();
+  record["system"] = node.name;
+  binaries.write("app/install/config.json", record.dump(2));
+  for (std::size_t i = 0; i < commands.size(); ++i) {
+    binaries.write("app/install/obj_" + std::to_string(i) + ".o",
+                   "!target:" + target.to_string() + "\n" +
+                       commands[i].source + "\n");
+  }
+  result.image = container::ImageBuilder(source_image)
+                     .add_layer(std::move(binaries))
+                     .annotation(container::kAnnotationKind, "deployed-source")
+                     .annotation(container::kAnnotationDeployedConfig,
+                                 config.id() + "|" + target.to_string())
+                     .build();
+  result.ok = true;
+  return result;
+}
+
+}  // namespace xaas

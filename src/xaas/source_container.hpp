@@ -1,0 +1,64 @@
+// Source containers (§4.1, Fig. 6): ship application source + toolchain,
+// build on the target system after feature discovery, specialization
+// intersection, and user/operator selection. One image per toolchain and
+// architecture — no combinatorial explosion, near-native performance.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "buildsys/configure.hpp"
+#include "container/image.hpp"
+#include "container/registry.hpp"
+#include "minicc/lower.hpp"
+#include "spec/intersect.hpp"
+#include "vm/executor.hpp"
+#include "vm/node.hpp"
+#include "vm/program.hpp"
+#include "xaas/application.hpp"
+
+namespace xaas {
+
+/// Build the distributable source image: source tree + build script +
+/// toolchain marker, with the application's specialization points
+/// embedded as an OCI annotation (§5.2).
+container::Image build_source_image(const Application& app,
+                                    isa::Arch arch);
+
+/// A container deployed (specialized, built, lowered) for one system.
+struct DeployedApp {
+  bool ok = false;
+  std::string error;
+
+  container::Image image;                 // derived, system-specific image
+  vm::Program program;                    // linked executable
+  buildsys::Configuration configuration;  // resolved build configuration
+  minicc::TargetSpec target;
+  std::string node_name;
+  std::vector<std::string> log;           // deployment steps, human-readable
+
+  /// Execute a workload on the node it was deployed for.
+  vm::RunResult run(vm::Workload& workload, int threads = 1) const;
+};
+
+struct SourceDeployOptions {
+  /// Explicit option values (user selections); anything absent falls
+  /// back to the intersection's recommendation or the script default.
+  std::map<std::string, std::string> selections;
+  /// Apply the recommendation policy for unselected points (best SIMD,
+  /// native GPU backend). Naive builds set this to false.
+  bool auto_specialize = true;
+  /// Vector ISA override; by default the node's best supported level
+  /// (or the SIMD selection if one was made).
+  std::optional<isa::VectorIsa> march;
+  int opt_level = 2;
+};
+
+/// The Fig. 6 flow: system discovery -> intersection -> selection ->
+/// on-system build -> deployed image.
+DeployedApp deploy_source_container(const container::Image& source_image,
+                                    const Application& app,
+                                    const vm::NodeSpec& node,
+                                    const SourceDeployOptions& options = {});
+
+}  // namespace xaas

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "apps/catalog.hpp"
+#include "apps/minilulesh.hpp"
+#include "apps/minillama.hpp"
+#include "apps/minimd.hpp"
+#include "apps/workloads.hpp"
+#include "buildsys/configure.hpp"
+#include "minicc/driver.hpp"
+
+namespace xaas::apps {
+namespace {
+
+// Every source file of every app must compile to IR in every reachable
+// preprocessor state — a guard against bit-rot in the Kernel-C trees.
+TEST(Apps, MinimdCompilesInAllConfigurations) {
+  MinimdOptions options;
+  options.module_count = 12;
+  options.gpu_module_count = 2;
+  const Application app = make_minimd(options);
+  const auto combos = buildsys::expand_configurations(
+      app.script, {{"MD_SIMD", {"None", "AVX_512"}},
+                   {"MD_GPU", {"OFF", "CUDA", "SYCL"}},
+                   {"MD_MPI", {"OFF", "ON"}},
+                   {"MD_FFT", {"fftpack", "fftw3", "mkl"}}});
+  buildsys::Environment env;
+  for (const auto& d : app.script.directives) {
+    if (d.kind == buildsys::Directive::Kind::RequireDependency) {
+      env.dependencies[d.args[0]] = d.args.size() > 1 ? d.args[1] : "1";
+    }
+  }
+  for (const auto& combo : combos) {
+    const auto config = buildsys::configure(app.script, combo, env);
+    ASSERT_TRUE(config.ok) << config.error;
+    for (const auto& cmd : config.compile_commands(app.source_tree)) {
+      const auto flags = minicc::CompileFlags::parse_args(cmd.args);
+      const auto r = minicc::compile_to_ir(app.source_tree, cmd.source, flags);
+      ASSERT_TRUE(r.ok) << cmd.source << " in " << config.id() << ": "
+                        << r.error.message;
+    }
+  }
+}
+
+TEST(Apps, MinillamaCompilesInAllConfigurations) {
+  const Application app = make_minillama();
+  const auto combos = buildsys::expand_configurations(
+      app.script, {{"LL_SIMD", {"None", "AVX2_256"}},
+                   {"LL_GPU", {"OFF", "CUDA", "SYCL"}},
+                   {"LL_OPENMP", {"OFF", "ON"}}});
+  buildsys::Environment env;
+  env.dependencies = {{"cuda", "12.4"}, {"rocm", "6.0"}, {"sycl", "2024.0"},
+                      {"openblas", "0.3"}, {"mkl", "2024.0"}};
+  for (const auto& combo : combos) {
+    const auto config = buildsys::configure(app.script, combo, env);
+    ASSERT_TRUE(config.ok) << config.error;
+    for (const auto& cmd : config.compile_commands(app.source_tree)) {
+      const auto flags = minicc::CompileFlags::parse_args(cmd.args);
+      const auto r = minicc::compile_to_ir(app.source_tree, cmd.source, flags);
+      ASSERT_TRUE(r.ok) << cmd.source << ": " << r.error.message;
+    }
+  }
+}
+
+TEST(Apps, MinimdModuleClassesScaleWithCount) {
+  MinimdOptions small;
+  small.module_count = 10;
+  MinimdOptions large;
+  large.module_count = 100;
+  EXPECT_EQ(make_minimd(small).source_tree.glob("modules/m_*.c").size(), 10u);
+  EXPECT_EQ(make_minimd(large).source_tree.glob("modules/m_*.c").size(), 100u);
+}
+
+TEST(Apps, MinimdGroundTruthStableAcrossScale) {
+  // Module count must not change the specialization points.
+  MinimdOptions a;
+  a.module_count = 5;
+  MinimdOptions b;
+  b.module_count = 50;
+  EXPECT_EQ(make_minimd(a).ground_truth().to_json().dump(),
+            make_minimd(b).ground_truth().to_json().dump());
+}
+
+TEST(Apps, CatalogMatchesTable1) {
+  const auto& catalog = hpc_application_catalog();
+  EXPECT_EQ(catalog.size(), 9u);
+  EXPECT_EQ(catalog.front().name, "GROMACS");
+  EXPECT_EQ(catalog.back().name, "llama.cpp");
+  for (const auto& app : catalog) {
+    EXPECT_FALSE(app.domain.empty());
+    EXPECT_FALSE(app.parallelism.empty());
+  }
+}
+
+TEST(Apps, ExtrapolationScalesLinearly) {
+  vm::RunResult r;
+  r.elapsed_seconds = 2.0;
+  const TimingBreakdown t = extrapolate(r, 10.0, 1.5);
+  EXPECT_DOUBLE_EQ(t.compute_seconds, 20.0);
+  EXPECT_DOUBLE_EQ(t.io_seconds, 1.5);
+  EXPECT_DOUBLE_EQ(t.total(), 21.5);
+}
+
+TEST(Apps, TimingStats) {
+  const Stats s = timing_stats({10.0, 12.0, 14.0});
+  EXPECT_DOUBLE_EQ(s.mean, 12.0);
+  EXPECT_NEAR(s.dev, 2.0, 1e-12);
+}
+
+TEST(Apps, WorkloadBuffersSizedConsistently) {
+  const auto w = minimd_workload({64, 8, 2, 32});
+  EXPECT_EQ(w.f64_buffers.at("px").size(), 64u);
+  EXPECT_EQ(w.f64_buffers.at("nbx").size(), 64u * 8u);
+  EXPECT_EQ(w.i64_buffers.at("nbidx").size(), 64u * 8u);
+  EXPECT_EQ(w.f64_buffers.at("grid").size(), 32u);
+  EXPECT_EQ(w.args.size(), 18u);
+}
+
+}  // namespace
+}  // namespace xaas::apps

@@ -1,0 +1,158 @@
+#include "buildsys/configure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "buildsys/script.hpp"
+
+namespace xaas::buildsys {
+namespace {
+
+const char* kScript = R"(
+project(demo)
+option_bool(USE_MPI "MPI" OFF)
+option_bool(USE_OMP "OpenMP" ON)
+option_multichoice(SIMD "SIMD" SSE2 None SSE2 AVX_512)
+simd_option(SIMD)
+option_multichoice(FFT "FFT" fftw3 fftw3 mkl)
+add_target(app)
+target_sources(app src/a.c src/b.c)
+include_dir(app include)
+include_build_dir(app)
+if(USE_OMP)
+  add_flag(-fopenmp)
+endif()
+if(USE_MPI)
+  add_define(USE_MPI)
+  require_dependency(mpich 4.0)
+  target_sources(app src/comm.c)
+endif()
+if(FFT STREQUAL mkl)
+  require_dependency(mkl 2021)
+  link_library(mkl)
+endif()
+)";
+
+BuildScript script() {
+  const auto r = parse_script(kScript);
+  EXPECT_TRUE(r.ok) << r.error;
+  return r.script;
+}
+
+common::Vfs tree() {
+  common::Vfs vfs;
+  vfs.write("src/a.c", "void a() { }\n");
+  vfs.write("src/b.c", "void b() { }\n");
+  vfs.write("src/comm.c", "void c() { }\n");
+  return vfs;
+}
+
+Environment env_with_all() {
+  Environment env;
+  env.dependencies = {{"mpich", "4.1"}, {"mkl", "2024.0"}};
+  return env;
+}
+
+TEST(Configure, DefaultsApply) {
+  const auto c = configure(script(), {}, env_with_all());
+  ASSERT_TRUE(c.ok) << c.error;
+  EXPECT_EQ(c.option_values.at("USE_MPI"), "OFF");
+  EXPECT_EQ(c.option_values.at("USE_OMP"), "ON");
+  EXPECT_EQ(c.option_values.at("SIMD"), "SSE2");
+  // -fopenmp from USE_OMP=ON, -mSSE2 from the SIMD option.
+  EXPECT_NE(std::find(c.global_flags.begin(), c.global_flags.end(),
+                      "-fopenmp"),
+            c.global_flags.end());
+  EXPECT_NE(std::find(c.global_flags.begin(), c.global_flags.end(), "-mSSE2"),
+            c.global_flags.end());
+}
+
+TEST(Configure, ConditionalSourcesAndDefines) {
+  const auto c = configure(script(), {{"USE_MPI", "ON"}}, env_with_all());
+  ASSERT_TRUE(c.ok) << c.error;
+  const auto commands = c.compile_commands(tree());
+  ASSERT_EQ(commands.size(), 3u);  // a.c b.c comm.c
+  bool has_mpi_define = false;
+  for (const auto& arg : commands[0].args) {
+    if (arg == "-DUSE_MPI") has_mpi_define = true;
+  }
+  EXPECT_TRUE(has_mpi_define);
+}
+
+TEST(Configure, SimdNoneProducesNoTuningFlag) {
+  const auto c = configure(script(), {{"SIMD", "None"}}, env_with_all());
+  ASSERT_TRUE(c.ok) << c.error;
+  for (const auto& f : c.global_flags) {
+    EXPECT_FALSE(common::starts_with(f, "-mNone")) << f;
+  }
+  // But the preprocessor-visible define is present.
+  EXPECT_NE(std::find(c.global_defines.begin(), c.global_defines.end(),
+                      "SIMD_None"),
+            c.global_defines.end());
+}
+
+TEST(Configure, MissingDependencyFails) {
+  Environment env;  // no mpich
+  const auto c = configure(script(), {{"USE_MPI", "ON"}}, env);
+  EXPECT_FALSE(c.ok);
+  EXPECT_NE(c.error.find("mpich"), std::string::npos);
+}
+
+TEST(Configure, DependencyVersionTooOldFails) {
+  Environment env;
+  env.dependencies = {{"mpich", "3.2"}};
+  const auto c = configure(script(), {{"USE_MPI", "ON"}}, env);
+  EXPECT_FALSE(c.ok);
+  EXPECT_NE(c.error.find("version"), std::string::npos);
+}
+
+TEST(Configure, InvalidOptionValueFails) {
+  EXPECT_FALSE(configure(script(), {{"SIMD", "AVX9000"}}, {}).ok);
+  EXPECT_FALSE(configure(script(), {{"USE_MPI", "MAYBE"}}, {}).ok);
+  EXPECT_FALSE(configure(script(), {{"NOT_AN_OPTION", "ON"}}, {}).ok);
+}
+
+TEST(Configure, BuildDirFlowsIntoIncludePaths) {
+  Environment env = env_with_all();
+  env.build_dir = "/build/cfg7";
+  const auto c = configure(script(), {}, env);
+  ASSERT_TRUE(c.ok);
+  const auto commands = c.compile_commands(tree());
+  bool found = false;
+  for (const auto& arg : commands[0].args) {
+    if (arg == "-I/build/cfg7/include") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Configure, IdIsStableAndSorted) {
+  const auto c1 = configure(script(), {{"USE_MPI", "ON"}}, env_with_all());
+  const auto c2 = configure(script(), {{"USE_MPI", "ON"}}, env_with_all());
+  EXPECT_EQ(c1.id(), c2.id());
+  EXPECT_NE(c1.id().find("USE_MPI=ON"), std::string::npos);
+}
+
+TEST(Configure, ExpandConfigurationsCartesianProduct) {
+  const auto combos = expand_configurations(
+      script(), {{"USE_MPI", {"OFF", "ON"}}, {"USE_OMP", {"OFF", "ON"}}});
+  EXPECT_EQ(combos.size(), 4u);
+  // LULESH example from §4.3: two points, four configurations.
+}
+
+TEST(Configure, ExpandWithThreePoints) {
+  const auto combos = expand_configurations(
+      script(), {{"USE_MPI", {"OFF", "ON"}},
+                 {"SIMD", {"SSE2", "AVX_512"}},
+                 {"FFT", {"fftw3", "mkl"}}});
+  EXPECT_EQ(combos.size(), 8u);
+}
+
+TEST(Configure, MissingSourceFilesSkippedInCompileCommands) {
+  common::Vfs partial;
+  partial.write("src/a.c", "void a() { }\n");
+  const auto c = configure(script(), {}, env_with_all());
+  ASSERT_TRUE(c.ok);
+  EXPECT_EQ(c.compile_commands(partial).size(), 1u);
+}
+
+}  // namespace
+}  // namespace xaas::buildsys

@@ -1,0 +1,118 @@
+#include "buildsys/script.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xaas::buildsys {
+namespace {
+
+const char* kScript = R"(
+# example build script
+project(demo)
+build_system(cmake 3.18)
+minimum_compiler(gcc 9.0)
+architecture(x86_64)
+option_bool(USE_MPI "Enable MPI" OFF)
+option_multichoice(GPU "GPU backend" OFF OFF CUDA HIP)
+category(GPU gpu)
+option_multichoice(SIMD "SIMD" SSE2 None SSE2 AVX_512)
+simd_option(SIMD)
+add_target(demo_bin)
+target_sources(demo_bin src/a.c src/b.c)
+if(USE_MPI)
+  add_define(USE_MPI)
+  require_dependency(mpich 4.0)
+endif()
+if(GPU STREQUAL CUDA)
+  require_dependency(cuda 12.0)
+  target_sources(demo_bin src/cuda.c)
+endif()
+if(NOT USE_MPI)
+  add_define(SERIAL)
+endif()
+)";
+
+TEST(Script, ParsesProjectMetadata) {
+  const auto r = parse_script(kScript);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.script.project, "demo");
+  EXPECT_EQ(r.script.build_system_type, "cmake");
+  EXPECT_EQ(r.script.build_system_min_version, "3.18");
+  ASSERT_EQ(r.script.compilers.size(), 1u);
+  EXPECT_EQ(r.script.compilers[0].first, "gcc");
+  EXPECT_EQ(r.script.architectures,
+            (std::vector<std::string>{"x86_64"}));
+}
+
+TEST(Script, ParsesOptions) {
+  const auto r = parse_script(kScript);
+  ASSERT_TRUE(r.ok);
+  const OptionDef* mpi = r.script.find_option("USE_MPI");
+  ASSERT_NE(mpi, nullptr);
+  EXPECT_FALSE(mpi->multichoice);
+  EXPECT_EQ(mpi->default_value, "OFF");
+  EXPECT_EQ(mpi->description, "Enable MPI");
+
+  const OptionDef* gpu = r.script.find_option("GPU");
+  ASSERT_NE(gpu, nullptr);
+  EXPECT_TRUE(gpu->multichoice);
+  EXPECT_EQ(gpu->choices, (std::vector<std::string>{"OFF", "CUDA", "HIP"}));
+  EXPECT_EQ(gpu->category, "gpu");
+
+  const OptionDef* simd = r.script.find_option("SIMD");
+  ASSERT_NE(simd, nullptr);
+  EXPECT_TRUE(simd->is_simd);
+}
+
+TEST(Script, ConditionsAttachToDirectives) {
+  const auto r = parse_script(kScript);
+  ASSERT_TRUE(r.ok);
+  // Find the require_dependency(cuda ...) directive.
+  const Directive* cuda = nullptr;
+  for (const auto& d : r.script.directives) {
+    if (d.kind == Directive::Kind::RequireDependency && d.args[0] == "cuda") {
+      cuda = &d;
+    }
+  }
+  ASSERT_NE(cuda, nullptr);
+  ASSERT_EQ(cuda->conditions.size(), 1u);
+  EXPECT_EQ(cuda->conditions[0].kind, Condition::Kind::Equals);
+  EXPECT_EQ(cuda->conditions[0].option, "GPU");
+  EXPECT_EQ(cuda->conditions[0].value, "CUDA");
+}
+
+TEST(Script, ElseNegatesCondition) {
+  const auto r = parse_script(
+      "project(p)\nadd_target(t)\nif(X)\nadd_define(A)\nelse()\n"
+      "add_define(B)\nendif()\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.script.directives.size(), 3u);
+  EXPECT_EQ(r.script.directives[2].conditions[0].kind,
+            Condition::Kind::NotTruthy);
+}
+
+TEST(Script, NestedConditions) {
+  const auto r = parse_script(
+      "project(p)\nif(A)\nif(B STREQUAL x)\nadd_define(BOTH)\nendif()\nendif()\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.script.directives.size(), 1u);
+  EXPECT_EQ(r.script.directives[0].conditions.size(), 2u);
+}
+
+TEST(Script, QuotedArgumentsKeepSpaces) {
+  const auto r = parse_script(
+      "project(p)\noption_bool(X \"a long description here\" ON)\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.script.options[0].description, "a long description here");
+}
+
+TEST(Script, Errors) {
+  EXPECT_FALSE(parse_script("project(p)\nif(A)\nadd_define(X)\n").ok);
+  EXPECT_FALSE(parse_script("project(p)\nendif()\n").ok);
+  EXPECT_FALSE(parse_script("project(p)\nbogus_command(1)\n").ok);
+  EXPECT_FALSE(parse_script("add_define(X)\n").ok);  // missing project
+  EXPECT_FALSE(parse_script("project(p)\ncategory(NOPE gpu)\n").ok);
+  EXPECT_FALSE(parse_script("project(p)\noption_bool(X \"unterminated)\n").ok);
+}
+
+}  // namespace
+}  // namespace xaas::buildsys

@@ -1,0 +1,125 @@
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xaas::common {
+namespace {
+
+TEST(Json, ParsePrimitives) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_EQ(Json::parse("42").as_int(), 42);
+  EXPECT_EQ(Json::parse("-17").as_int(), -17);
+  EXPECT_DOUBLE_EQ(Json::parse("3.25").as_double(), 3.25);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").as_double(), 1000.0);
+  EXPECT_EQ(Json::parse("\"hello\"").as_string(), "hello");
+}
+
+TEST(Json, ParseEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\nb\tc\"d\\e")").as_string(), "a\nb\tc\"d\\e");
+  EXPECT_EQ(Json::parse(R"("A")").as_string(), "A");
+}
+
+TEST(Json, ParseArray) {
+  const Json j = Json::parse("[1, 2.5, \"x\", [true]]");
+  ASSERT_TRUE(j.is_array());
+  ASSERT_EQ(j.items().size(), 4u);
+  EXPECT_EQ(j.items()[0].as_int(), 1);
+  EXPECT_DOUBLE_EQ(j.items()[1].as_double(), 2.5);
+  EXPECT_EQ(j.items()[2].as_string(), "x");
+  EXPECT_TRUE(j.items()[3].items()[0].as_bool());
+}
+
+TEST(Json, ParseObject) {
+  const Json j = Json::parse(R"({"a": 1, "b": {"c": [2, 3]}})");
+  ASSERT_TRUE(j.is_object());
+  EXPECT_EQ(j.find("a")->as_int(), 1);
+  EXPECT_EQ(j.find("b")->find("c")->items()[1].as_int(), 3);
+  EXPECT_EQ(j.find("missing"), nullptr);
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json j = Json::object();
+  j["zebra"] = 1;
+  j["alpha"] = 2;
+  j["mid"] = 3;
+  std::vector<std::string> keys;
+  for (const auto& [k, v] : j.as_object()) {
+    (void)v;
+    keys.push_back(k);
+  }
+  EXPECT_EQ(keys, (std::vector<std::string>{"zebra", "alpha", "mid"}));
+}
+
+TEST(Json, RoundTripCompact) {
+  const std::string doc =
+      R"({"gpu_build":{"value":true,"build_flag":"-DGMX_GPU"},"n":3,"x":[1,2]})";
+  const Json j = Json::parse(doc);
+  EXPECT_EQ(Json::parse(j.dump()), j);
+}
+
+TEST(Json, RoundTripPretty) {
+  Json j = Json::object();
+  j["name"] = "xaas";
+  j["values"].push_back(1);
+  j["values"].push_back(Json::object());
+  const Json reparsed = Json::parse(j.dump(2));
+  EXPECT_EQ(reparsed, j);
+}
+
+TEST(Json, DoubleSerializationReparsesAsDouble) {
+  Json j = Json(2.0);
+  const Json r = Json::parse(j.dump());
+  EXPECT_EQ(r.type(), Json::Type::Double);
+}
+
+TEST(Json, DeepCopyIsIndependent) {
+  Json a = Json::object();
+  a["k"] = "v";
+  Json b = a;
+  b["k"] = "changed";
+  EXPECT_EQ(a.find("k")->as_string(), "v");
+  EXPECT_EQ(b.find("k")->as_string(), "changed");
+}
+
+TEST(Json, TypedGettersWithDefaults) {
+  const Json j = Json::parse(R"({"s":"str","b":true,"i":7,"d":1.5})");
+  EXPECT_EQ(j.get_string("s"), "str");
+  EXPECT_EQ(j.get_string("nope", "def"), "def");
+  EXPECT_TRUE(j.get_bool("b"));
+  EXPECT_EQ(j.get_int("i"), 7);
+  EXPECT_DOUBLE_EQ(j.get_double("d"), 1.5);
+  EXPECT_EQ(j.get_int("nope", -1), -1);
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW(Json::parse(""), JsonError);
+  EXPECT_THROW(Json::parse("{"), JsonError);
+  EXPECT_THROW(Json::parse("[1,]2"), JsonError);
+  EXPECT_THROW(Json::parse("tru"), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), JsonError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+  EXPECT_THROW(Json::parse("{} extra"), JsonError);
+}
+
+TEST(Json, TypeErrors) {
+  const Json j = Json::parse("[1]");
+  EXPECT_THROW(j.as_string(), JsonError);
+  EXPECT_THROW(j.as_bool(), JsonError);
+  EXPECT_THROW((void)j.as_object(), JsonError);
+}
+
+TEST(Json, EqualityCrossNumeric) {
+  EXPECT_EQ(Json(2), Json(2.0));
+  EXPECT_NE(Json(2), Json(3));
+}
+
+TEST(Json, NestedMutationViaIndexing) {
+  Json j;
+  j["a"]["b"]["c"] = 42;
+  EXPECT_EQ(j.find("a")->find("b")->find("c")->as_int(), 42);
+}
+
+}  // namespace
+}  // namespace xaas::common

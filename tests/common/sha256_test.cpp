@@ -1,0 +1,68 @@
+#include "common/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace xaas::common {
+namespace {
+
+// NIST FIPS 180-4 test vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(sha256_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(sha256_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(sha256_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(h.hex_digest(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  Sha256 h;
+  for (char c : data) h.update(&c, 1);
+  EXPECT_EQ(h.hex_digest(), sha256_hex(data));
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  const std::string block(64, 'x');
+  const std::string two_blocks(128, 'x');
+  EXPECT_NE(sha256_hex(block), sha256_hex(two_blocks));
+  // 55/56/57 bytes straddle the padding boundary.
+  for (std::size_t n : {55u, 56u, 57u, 63u, 64u, 65u}) {
+    const std::string msg(n, 'y');
+    Sha256 h;
+    h.update(msg);
+    EXPECT_EQ(h.hex_digest(), sha256_hex(msg)) << n;
+  }
+}
+
+TEST(Sha256, DifferentInputsDiffer) {
+  EXPECT_NE(sha256_hex("a"), sha256_hex("b"));
+  EXPECT_NE(sha256_hex("content-a"), sha256_hex("content-b"));
+}
+
+TEST(Sha256, DigestIs64HexChars) {
+  const std::string d = sha256_hex("anything");
+  ASSERT_EQ(d.size(), 64u);
+  for (char c : d) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'));
+  }
+}
+
+}  // namespace
+}  // namespace xaas::common

@@ -1,0 +1,71 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xaas::common {
+namespace {
+
+TEST(Strings, Split) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "c"}));
+  EXPECT_EQ(split("a,,c", ',', true),
+            (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_TRUE(split("", ',').empty());
+}
+
+TEST(Strings, SplitWs) {
+  EXPECT_EQ(split_ws("  foo\t bar\nbaz  "),
+            (std::vector<std::string>{"foo", "bar", "baz"}));
+  EXPECT_TRUE(split_ws("   ").empty());
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("\t\na b\r "), "a b");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(Strings, StartsEndsContains) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+  EXPECT_TRUE(ends_with("foobar", "bar"));
+  EXPECT_FALSE(ends_with("ar", "bar"));
+  EXPECT_TRUE(contains("foobar", "oba"));
+  EXPECT_FALSE(contains("foobar", "xyz"));
+}
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(to_lower("AvX_512"), "avx_512");
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(replace_all("a-b-c", "-", "_"), "a_b_c");
+  EXPECT_EQ(replace_all("aaa", "a", "aa"), "aaaaaa");
+  EXPECT_EQ(replace_all("none", "x", "y"), "none");
+}
+
+TEST(Strings, GlobMatch) {
+  EXPECT_TRUE(glob_match("*.c", "forces.c"));
+  EXPECT_FALSE(glob_match("*.c", "forces.h"));
+  EXPECT_TRUE(glob_match("modules/*.c", "modules/m_001.c"));
+  EXPECT_FALSE(glob_match("modules/*.c", "other/m_001.c"));
+  EXPECT_TRUE(glob_match("a?c", "abc"));
+  EXPECT_FALSE(glob_match("a?c", "ac"));
+  EXPECT_TRUE(glob_match("*", "anything/at/all"));
+  EXPECT_TRUE(glob_match("src/*/kernel*.c", "src/md/kernel_lj.c"));
+}
+
+TEST(Strings, FormatSeconds) {
+  EXPECT_EQ(format_seconds(12.345), "12.35s");
+  EXPECT_EQ(format_seconds(0.0), "0.00s");
+}
+
+}  // namespace
+}  // namespace xaas::common

@@ -1,0 +1,41 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/strings.hpp"
+
+namespace xaas::common {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"Name", "Time (s)"});
+  t.add_row({"naive", "26.90"});
+  t.add_row({"specialized", "2.24"});
+  const std::string out = t.to_string();
+  EXPECT_TRUE(contains(out, "| Name "));
+  EXPECT_TRUE(contains(out, "| naive "));
+  EXPECT_TRUE(contains(out, "| specialized "));
+  // Header separator present.
+  EXPECT_TRUE(contains(out, "|---"));
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  const std::string out = t.to_string();
+  EXPECT_TRUE(contains(out, "only"));
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.14159, 0), "3");
+  EXPECT_EQ(Table::num(-1.5, 1), "-1.5");
+}
+
+TEST(Table, PlusMinusFormatting) {
+  EXPECT_EQ(Table::pm(16.40, 1.00, 2), "16.40 ± 1.00");
+}
+
+}  // namespace
+}  // namespace xaas::common

@@ -1,0 +1,47 @@
+#include "common/vfs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xaas::common {
+namespace {
+
+TEST(Vfs, WriteReadExists) {
+  Vfs vfs;
+  vfs.write("src/main.c", "int main() {}");
+  EXPECT_TRUE(vfs.exists("src/main.c"));
+  EXPECT_FALSE(vfs.exists("src/other.c"));
+  EXPECT_EQ(*vfs.read("src/main.c"), "int main() {}");
+  EXPECT_FALSE(vfs.read("missing").has_value());
+}
+
+TEST(Vfs, Glob) {
+  Vfs vfs;
+  vfs.write("src/a.c", "");
+  vfs.write("src/b.c", "");
+  vfs.write("src/b.h", "");
+  vfs.write("other/c.c", "");
+  const auto matches = vfs.glob("src/*.c");
+  EXPECT_EQ(matches, (std::vector<std::string>{"src/a.c", "src/b.c"}));
+}
+
+TEST(Vfs, OverlayLaterWins) {
+  Vfs base;
+  base.write("f", "old");
+  base.write("keep", "kept");
+  Vfs top;
+  top.write("f", "new");
+  base.overlay(top);
+  EXPECT_EQ(*base.read("f"), "new");
+  EXPECT_EQ(*base.read("keep"), "kept");
+  EXPECT_EQ(base.size(), 2u);
+}
+
+TEST(Vfs, Remove) {
+  Vfs vfs;
+  vfs.write("x", "1");
+  vfs.remove("x");
+  EXPECT_FALSE(vfs.exists("x"));
+}
+
+}  // namespace
+}  // namespace xaas::common

@@ -1,0 +1,90 @@
+#include "container/image.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xaas::container {
+namespace {
+
+common::Vfs files(std::initializer_list<std::pair<const char*, const char*>> entries) {
+  common::Vfs vfs;
+  for (const auto& [path, contents] : entries) vfs.write(path, contents);
+  return vfs;
+}
+
+TEST(Image, LayerDigestIsContentAddressed) {
+  const Layer a = Layer::from_vfs(files({{"bin/app", "payload"}}));
+  const Layer b = Layer::from_vfs(files({{"bin/app", "payload"}}));
+  const Layer c = Layer::from_vfs(files({{"bin/app", "different"}}));
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_NE(a.digest(), c.digest());
+  EXPECT_TRUE(common::starts_with(a.digest(), "sha256:"));
+}
+
+TEST(Image, LayerDigestSensitiveToPath) {
+  const Layer a = Layer::from_vfs(files({{"x", "data"}}));
+  const Layer b = Layer::from_vfs(files({{"y", "data"}}));
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Image, ManifestListsLayersAndAnnotations) {
+  const Image image = ImageBuilder()
+                          .architecture(kArchAmd64)
+                          .add_layer(files({{"a", "1"}}))
+                          .add_layer(files({{"b", "2"}}))
+                          .annotation("org.test.key", "value")
+                          .build();
+  const auto m = image.manifest();
+  EXPECT_EQ(m.find("layers")->items().size(), 2u);
+  EXPECT_EQ(m.find("annotations")->get_string("org.test.key"), "value");
+  EXPECT_EQ(m.find("platform")->get_string("architecture"), kArchAmd64);
+}
+
+TEST(Image, DigestChangesWithAnyMutation) {
+  const Image base =
+      ImageBuilder().add_layer(files({{"a", "1"}})).build();
+  const Image with_annotation = ImageBuilder()
+                                    .add_layer(files({{"a", "1"}}))
+                                    .annotation("k", "v")
+                                    .build();
+  const Image with_layer = ImageBuilder()
+                               .add_layer(files({{"a", "1"}}))
+                               .add_layer(files({{"b", "2"}}))
+                               .build();
+  EXPECT_NE(base.digest(), with_annotation.digest());
+  EXPECT_NE(base.digest(), with_layer.digest());
+}
+
+TEST(Image, FlattenLaterLayersWin) {
+  const Image image = ImageBuilder()
+                          .add_layer(files({{"cfg", "old"}, {"keep", "k"}}))
+                          .add_layer(files({{"cfg", "new"}}))
+                          .build();
+  const common::Vfs root = image.flatten();
+  EXPECT_EQ(*root.read("cfg"), "new");
+  EXPECT_EQ(*root.read("keep"), "k");
+}
+
+TEST(Image, DerivedImageRecordsBaseDigest) {
+  const Image base = ImageBuilder().add_layer(files({{"a", "1"}})).build();
+  const Image derived =
+      ImageBuilder(base).add_layer(files({{"b", "2"}})).build();
+  EXPECT_EQ(derived.annotations.at(kAnnotationBaseDigest), base.digest());
+  EXPECT_EQ(derived.layers.size(), 2u);
+}
+
+TEST(Image, IrArchitectureValues) {
+  const Image image =
+      ImageBuilder().architecture(kArchLlvmIrAmd64).build();
+  EXPECT_EQ(image.architecture, "llvm-ir+amd64");
+}
+
+TEST(Image, SizeAccounting) {
+  const Image image = ImageBuilder()
+                          .add_layer(files({{"a", "1234"}}))
+                          .add_layer(files({{"b", "56"}}))
+                          .build();
+  EXPECT_EQ(image.total_size_bytes(), 6u);
+}
+
+}  // namespace
+}  // namespace xaas::container

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "container/hooks.hpp"
+#include "container/image.hpp"
+#include "container/registry.hpp"
+
+namespace xaas::container {
+namespace {
+
+Image make_image(const std::string& arch, const std::string& contents) {
+  common::Vfs files;
+  files.write("payload", contents);
+  return ImageBuilder().architecture(arch).add_layer(std::move(files)).build();
+}
+
+TEST(Registry, PushPullByTagAndDigest) {
+  Registry registry;
+  const Image image = make_image(kArchAmd64, "v1");
+  const std::string digest = registry.push(image, "spcl/minimd:latest");
+  ASSERT_TRUE(registry.pull("spcl/minimd:latest").has_value());
+  ASSERT_TRUE(registry.pull(digest).has_value());
+  EXPECT_EQ(registry.pull(digest)->digest(), digest);
+  EXPECT_FALSE(registry.pull("missing:tag").has_value());
+}
+
+TEST(Registry, TagReassignment) {
+  Registry registry;
+  registry.push(make_image(kArchAmd64, "v1"), "app:latest");
+  const std::string v2 = registry.push(make_image(kArchAmd64, "v2"), "app:latest");
+  EXPECT_EQ(registry.pull("app:latest")->digest(), v2);
+  EXPECT_EQ(registry.image_count(), 2u);  // both blobs retained
+}
+
+TEST(Registry, ArchitectureQuery) {
+  Registry registry;
+  registry.push(make_image(kArchAmd64, "x"), "app:amd64");
+  registry.push(make_image(kArchArm64, "y"), "app:arm64");
+  registry.push(make_image(kArchLlvmIrAmd64, "z"), "app:ir-amd64");
+  EXPECT_EQ(registry.tags_for_architecture(kArchLlvmIrAmd64),
+            (std::vector<std::string>{"app:ir-amd64"}));
+  EXPECT_EQ(registry.tags().size(), 3u);
+}
+
+TEST(Registry, AnnotationQueryWithoutPull) {
+  Registry registry;
+  common::Vfs files;
+  files.write("f", "x");
+  const Image image = ImageBuilder()
+                          .add_layer(std::move(files))
+                          .annotation(kAnnotationSpecPoints, "{\"a\":1}")
+                          .build();
+  registry.push(image, "app:1");
+  const auto ann = registry.annotation("app:1", kAnnotationSpecPoints);
+  ASSERT_TRUE(ann.has_value());
+  EXPECT_EQ(*ann, "{\"a\":1}");
+  EXPECT_FALSE(registry.annotation("app:1", "nope").has_value());
+}
+
+TEST(Hooks, AbiTagRoundTrip) {
+  const std::string lib = make_library("mpich", "optimized cray mpich\n");
+  EXPECT_EQ(library_abi(lib), "mpich");
+  EXPECT_EQ(library_abi("no tag"), "");
+}
+
+TEST(Hooks, InjectionReplacesMatchingAbi) {
+  common::Vfs root;
+  root.write("opt/mpich/lib/libmpi.so", make_library("mpich", "generic"));
+  const HookResult r = apply_injection_hook(
+      root, {{"opt/mpich/lib/libmpi.so", make_library("mpich", "cray-tuned"),
+              "mpich"}});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.replaced.size(), 1u);
+  EXPECT_NE(root.read("opt/mpich/lib/libmpi.so")->find("cray-tuned"),
+            std::string::npos);
+}
+
+TEST(Hooks, AbiMismatchAborts) {
+  // The OpenMPI-vs-MPICH failure (§2.2): runtime replacement requires
+  // ABI compatibility.
+  common::Vfs root;
+  root.write("opt/mpich/lib/libmpi.so", make_library("mpich", "generic"));
+  const HookResult r = apply_injection_hook(
+      root,
+      {{"opt/mpich/lib/libmpi.so", make_library("openmpi", "host"), "openmpi"}});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("ABI mismatch"), std::string::npos);
+  // Container library untouched.
+  EXPECT_EQ(library_abi(*root.read("opt/mpich/lib/libmpi.so")), "mpich");
+}
+
+TEST(Hooks, MissingPathSkippedSilently) {
+  common::Vfs root;
+  root.write("other", "x");
+  const HookResult r = apply_injection_hook(
+      root, {{"opt/cuda/lib/libcudart.so", make_library("cuda", "host"),
+              "cuda"}});
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.replaced.empty());
+}
+
+}  // namespace
+}  // namespace xaas::container

@@ -1,0 +1,135 @@
+#include "discovery/llm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/minillama.hpp"
+#include "apps/minimd.hpp"
+#include "discovery/metrics.hpp"
+
+namespace xaas::discovery {
+namespace {
+
+Application minimd_app() {
+  apps::MinimdOptions options;
+  options.module_count = 2;
+  options.gpu_module_count = 1;
+  return apps::make_minimd(options);
+}
+
+TEST(Llm, ZooContainsTable4Models) {
+  const auto& zoo = model_zoo();
+  EXPECT_EQ(zoo.size(), 7u);
+  EXPECT_NO_THROW(model("gemini-flash-2-exp"));
+  EXPECT_NO_THROW(model("claude-3-5-haiku-20241022"));
+  EXPECT_NO_THROW(model("o3-mini-2025-01-31"));
+  EXPECT_NO_THROW(model("gpt-4o-2024-08-06"));
+  EXPECT_THROW(model("gpt-5"), std::runtime_error);
+}
+
+TEST(Llm, DeterministicForSameSeed) {
+  const auto app = minimd_app();
+  common::Rng rng1(99), rng2(99);
+  const auto a = run_extraction(model("gpt-4o-2024-08-06"), app.script,
+                                app.build_script_text, true, rng1);
+  const auto b = run_extraction(model("gpt-4o-2024-08-06"), app.script,
+                                app.build_script_text, true, rng2);
+  EXPECT_EQ(a.output.to_json().dump(), b.output.to_json().dump());
+  EXPECT_DOUBLE_EQ(a.latency_s, b.latency_s);
+  EXPECT_DOUBLE_EQ(a.cost_usd, b.cost_usd);
+}
+
+TEST(Llm, InputTokensAreRunInvariant) {
+  // Table 4 reports tokens-in with ±0 deviation: same tokenizer, same doc.
+  const auto app = minimd_app();
+  common::Rng rng(1);
+  const auto a = run_extraction(model("gemini-flash-1.5-exp"), app.script,
+                                app.build_script_text, true, rng);
+  const auto b = run_extraction(model("gemini-flash-1.5-exp"), app.script,
+                                app.build_script_text, true, rng);
+  EXPECT_EQ(a.tokens_in, b.tokens_in);
+  EXPECT_GT(a.tokens_in, 0);
+}
+
+TEST(Llm, GeminiBeatsClaude35OnRecall) {
+  // The paper's headline: gemini-flash-2 F1 ~0.98 vs claude-3-5 recall
+  // ~0.54 (returns only a subset of options).
+  const auto app = minimd_app();
+  const auto truth = app.ground_truth();
+  const auto median_metric = [&](const std::string& name, auto metric) {
+    std::vector<double> values;
+    common::Rng rng(42);
+    for (int i = 0; i < 10; ++i) {
+      const auto run = run_extraction(model(name), app.script,
+                                      app.build_script_text, true, rng);
+      values.push_back(metric(score(truth, run.output, false)));
+    }
+    return min_med_max(values).median;
+  };
+  const double gemini_f1 = median_metric(
+      "gemini-flash-2-exp", [](const Metrics& m) { return m.f1; });
+  const double claude_recall = median_metric(
+      "claude-3-5-sonnet-20241022", [](const Metrics& m) { return m.recall; });
+  EXPECT_GT(gemini_f1, 0.9);
+  EXPECT_LT(claude_recall, 0.7);
+}
+
+TEST(Llm, WithoutExamplesPerformanceDrops) {
+  // §6.2 generalization: llama.cpp parsed with no in-context examples.
+  const Application app = apps::make_minillama();
+  const auto truth = app.ground_truth();
+  const auto median_f1 = [&](bool examples) {
+    std::vector<double> values;
+    common::Rng rng(7);
+    for (int i = 0; i < 10; ++i) {
+      const auto run =
+          run_extraction(model("claude-3-7-sonnet-20250219"), app.script,
+                         app.build_script_text, examples, rng);
+      values.push_back(score(truth, run.output, false).f1);
+    }
+    return min_med_max(values).median;
+  };
+  EXPECT_GT(median_f1(true), median_f1(false));
+}
+
+TEST(Llm, NormalizationImprovesScores) {
+  // §6.2: "Normalization improves performance".
+  const Application app = apps::make_minillama();
+  const auto truth = app.ground_truth();
+  double raw_sum = 0.0, norm_sum = 0.0;
+  common::Rng rng(21);
+  for (int i = 0; i < 10; ++i) {
+    const auto run = run_extraction(model("gpt-4o-2024-08-06"), app.script,
+                                    app.build_script_text, false, rng);
+    raw_sum += score(truth, run.output, false).f1;
+    norm_sum += score(truth, run.output, true).f1;
+  }
+  EXPECT_GE(norm_sum, raw_sum);
+}
+
+TEST(Llm, O3MiniProducesManyOutputTokens) {
+  const auto app = minimd_app();
+  common::Rng rng(5);
+  const auto run = run_extraction(model("o3-mini-2025-01-31"), app.script,
+                                  app.build_script_text, true, rng);
+  EXPECT_GT(run.tokens_out, 4000.0);  // reasoning-token heavy (Table 4)
+}
+
+TEST(Llm, CostOrderingGeminiCheapest) {
+  const auto app = minimd_app();
+  const auto mean_cost = [&](const std::string& name) {
+    common::Rng rng(3);
+    double total = 0.0;
+    for (int i = 0; i < 10; ++i) {
+      total += run_extraction(model(name), app.script, app.build_script_text,
+                              true, rng)
+                   .cost_usd;
+    }
+    return total / 10.0;
+  };
+  const double gemini = mean_cost("gemini-flash-1.5-exp");
+  const double sonnet = mean_cost("claude-3-7-sonnet-20250219");
+  EXPECT_LT(gemini, sonnet / 5.0);
+}
+
+}  // namespace
+}  // namespace xaas::discovery

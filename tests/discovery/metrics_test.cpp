@@ -1,0 +1,105 @@
+#include "discovery/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/minimd.hpp"
+
+namespace xaas::discovery {
+namespace {
+
+spec::SpecializationPoints truth() {
+  apps::MinimdOptions options;
+  options.module_count = 2;
+  options.gpu_module_count = 1;
+  return apps::make_minimd(options).ground_truth();
+}
+
+TEST(Metrics, PerfectPredictionScoresOne) {
+  const auto sp = truth();
+  const Metrics m = score(sp, sp, /*normalized=*/false);
+  EXPECT_EQ(m.false_positives, 0);
+  EXPECT_EQ(m.false_negatives, 0);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(Metrics, DroppedItemsLowerRecallNotPrecision) {
+  const auto sp = truth();
+  auto predicted = sp;
+  predicted.gpu_backends.clear();  // drop a whole category
+  const Metrics m = score(sp, predicted, false);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_LT(m.recall, 1.0);
+  EXPECT_EQ(m.false_negatives, static_cast<int>(sp.gpu_backends.size()));
+}
+
+TEST(Metrics, HallucinationsLowerPrecisionNotRecall) {
+  const auto sp = truth();
+  auto predicted = sp;
+  predicted.fft_libraries.push_back({"VkFFT", "-DENABLE_vkfft", "", false});
+  const Metrics m = score(sp, predicted, false);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_LT(m.precision, 1.0);
+  EXPECT_EQ(m.false_positives, 1);
+}
+
+TEST(Metrics, MiscategorizedItemCountsTwice) {
+  const auto sp = truth();
+  auto predicted = sp;
+  // Move an FFT library into BLAS (the §6.2 mixing failure).
+  ASSERT_FALSE(predicted.fft_libraries.empty());
+  predicted.linear_algebra_libraries.push_back(predicted.fft_libraries.back());
+  predicted.fft_libraries.pop_back();
+  const Metrics m = score(sp, predicted, false);
+  EXPECT_EQ(m.false_positives, 1);
+  EXPECT_EQ(m.false_negatives, 1);
+}
+
+TEST(Metrics, NormalizationRepairsFormattingMangles) {
+  const auto sp = truth();
+  auto predicted = sp;
+  // Hyphens for underscores and a stripped -D prefix (§6.2).
+  for (auto& e : predicted.simd_levels) {
+    e.name = common::replace_all(e.name, "_", "-");
+    if (common::starts_with(e.build_flag, "-D")) {
+      e.build_flag = e.build_flag.substr(2);
+    }
+  }
+  const Metrics raw = score(sp, predicted, false);
+  const Metrics normalized = score(sp, predicted, true);
+  EXPECT_LT(raw.f1, 1.0);
+  EXPECT_DOUBLE_EQ(normalized.f1, 1.0);
+}
+
+TEST(Metrics, FlattenCoversEveryCategory) {
+  const auto items = flatten(truth());
+  EXPECT_EQ(items.size(), truth().total_entries());
+}
+
+TEST(Metrics, MinMedMax) {
+  const auto m = min_med_max({0.9, 0.5, 0.7});
+  EXPECT_DOUBLE_EQ(m.min, 0.5);
+  EXPECT_DOUBLE_EQ(m.median, 0.7);
+  EXPECT_DOUBLE_EQ(m.max, 0.9);
+  const auto even = min_med_max({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(even.median, 2.5);
+}
+
+TEST(Metrics, MeanDev) {
+  const auto s = mean_dev({2.0, 4.0, 6.0});
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_NEAR(s.dev, 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(mean_dev({5.0}).dev, 0.0);
+}
+
+TEST(Metrics, EmptyPrediction) {
+  const auto sp = truth();
+  spec::SpecializationPoints empty;
+  const Metrics m = score(sp, empty, false);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+}  // namespace
+}  // namespace xaas::discovery

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "fabric/bandwidth.hpp"
+#include "fabric/mpi_abi.hpp"
+#include "fabric/providers.hpp"
+
+namespace xaas::fabric {
+namespace {
+
+TEST(Providers, Table3ProvidersPresent) {
+  for (const char* name : {"tcp", "verbs", "cxi", "efa", "opx", "shm",
+                           "linkx"}) {
+    EXPECT_TRUE(provider(name).has_value()) << name;
+  }
+  EXPECT_FALSE(provider("gni").has_value());
+}
+
+TEST(Providers, Table3SpotChecks) {
+  // Values straight from Table 3.
+  const Provider cxi = *provider("cxi");
+  EXPECT_EQ(cxi.features.at(Feature::Message), Support::No);
+  EXPECT_EQ(cxi.features.at(Feature::TaggedMessage), Support::Yes);
+  EXPECT_EQ(cxi.features.at(Feature::TriggerOperations), Support::Yes);
+  EXPECT_EQ(cxi.features.at(Feature::AutoProgress), Support::No);
+  EXPECT_EQ(cxi.mem_reg, MemoryRegistration::Scalable);
+
+  const Provider tcp = *provider("tcp");
+  EXPECT_EQ(tcp.features.at(Feature::AtomicOperations), Support::No);
+  EXPECT_EQ(tcp.features.at(Feature::AutoProgress), Support::Yes);
+  EXPECT_EQ(tcp.mem_reg, MemoryRegistration::None);
+
+  const Provider opx = *provider("opx");
+  EXPECT_EQ(opx.features.at(Feature::ScalableEndpoints), Support::Yes);
+  EXPECT_EQ(opx.features.at(Feature::WaitObjects), Support::Unknown);
+
+  const Provider verbs = *provider("verbs");
+  EXPECT_EQ(verbs.features.at(Feature::ReliableDatagram), Support::Partial);
+}
+
+TEST(Providers, PortableFeatureSetIsSmall) {
+  // The paper's point: libfabric is a portable API but feature support
+  // diverges — only a handful of features are universal.
+  const auto portable = portable_features();
+  EXPECT_LT(portable.size(), all_features().size() / 2);
+  // Tagged messages and reliable datagrams are the common core.
+  EXPECT_NE(std::find(portable.begin(), portable.end(),
+                      Feature::TaggedMessage),
+            portable.end());
+}
+
+TEST(Providers, SupportsTreatsPartialAsUsable) {
+  const Provider verbs = *provider("verbs");
+  EXPECT_TRUE(verbs.supports(Feature::ReliableDatagram));  // Partial
+  EXPECT_FALSE(verbs.supports(Feature::DirectedReceive));  // No
+}
+
+TEST(Bandwidth, BareMetalUsesSharedMemory) {
+  // §6.5: bare-metal Cray-MPICH reaches ~64 GB/s on-socket.
+  const MpiStack bare{"bare", "cray-mpich", "cxi", false};
+  EXPECT_NEAR(intra_node_bandwidth_gbps(bare), 64.0, 1.0);
+}
+
+TEST(Bandwidth, ContainerizedCxiLosesSharedMemory) {
+  // §6.5: co-located containers reach only up to 23.5 GB/s through cxi.
+  const MpiStack container{"cont", "openmpi", "cxi", true};
+  EXPECT_NEAR(intra_node_bandwidth_gbps(container), 23.5, 0.1);
+}
+
+TEST(Bandwidth, LinkxRestoresSharedMemoryPath) {
+  // §6.5: LinkX provides 64 (MPICH) and 70 (OpenMPI) GB/s intra-node.
+  const MpiStack mpich{"l", "mpich", "linkx", true};
+  const MpiStack openmpi{"l", "openmpi", "linkx", true};
+  EXPECT_NEAR(intra_node_bandwidth_gbps(mpich), 64.0, 0.1);
+  EXPECT_NEAR(intra_node_bandwidth_gbps(openmpi), 70.0, 0.1);
+}
+
+TEST(Bandwidth, CurveIsMonotoneInMessageSize) {
+  const MpiStack stack{"cont", "mpich", "cxi", true};
+  double prev = 0.0;
+  for (std::size_t size = 1024; size <= (64u << 20); size *= 4) {
+    const double bw = bandwidth_at_message_size(stack, size);
+    EXPECT_GE(bw, prev);
+    prev = bw;
+  }
+  EXPECT_NEAR(prev, 23.5, 1.0);  // saturates at peak
+}
+
+TEST(Bandwidth, TransferTimeScalesWithBytes) {
+  const MpiStack stack{"bare", "cray-mpich", "cxi", false};
+  const double t1 = transfer_seconds(stack, 1 << 20);
+  const double t64 = transfer_seconds(stack, 64 << 20);
+  EXPECT_GT(t64, t1 * 30);
+}
+
+TEST(Bandwidth, ClaridenScenariosOrdering) {
+  const auto scenarios = clariden_scenarios();
+  ASSERT_EQ(scenarios.size(), 5u);
+  const double bare = intra_node_bandwidth_gbps(scenarios[0]);
+  const double cxi_container = intra_node_bandwidth_gbps(scenarios[1]);
+  const double linkx = intra_node_bandwidth_gbps(scenarios[3]);
+  EXPECT_GT(bare, 2.5 * cxi_container);
+  EXPECT_GE(linkx, bare * 0.99);
+}
+
+TEST(MpiAbi, MpichFamilyInterchangeable) {
+  const auto mpich = *mpi("mpich");
+  const auto cray = *mpi("cray-mpich");
+  const auto intel = *mpi("intel-mpi");
+  EXPECT_TRUE(abi_compatible(mpich, cray));
+  EXPECT_TRUE(abi_compatible(mpich, intel));
+  EXPECT_TRUE(abi_compatible(cray, intel));
+}
+
+TEST(MpiAbi, OpenMpiIsDifferentAbi) {
+  const auto mpich = *mpi("mpich");
+  const auto openmpi = *mpi("openmpi");
+  EXPECT_FALSE(abi_compatible(mpich, openmpi));
+  // But Wi4MPI-style translation bridges them (emulation level).
+  EXPECT_TRUE(translatable(mpich, openmpi));
+  EXPECT_FALSE(translatable(mpich, *mpi("cray-mpich")));
+}
+
+}  // namespace
+}  // namespace xaas::fabric

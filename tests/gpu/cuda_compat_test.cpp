@@ -1,0 +1,103 @@
+#include "gpu/cuda_compat.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xaas::gpu {
+namespace {
+
+const CudaDevice kV100{"V100", {7, 0}, {12, 2}};
+const CudaDevice kA100{"A100", {8, 0}, {12, 2}};
+const CudaDevice kH100{"H100", {9, 0}, {12, 4}};
+const CudaDevice kOldDriverV100{"V100-old", {7, 0}, {11, 4}};
+
+TEST(CudaCompat, VersionParse) {
+  ASSERT_TRUE(Version::parse("12.4").has_value());
+  EXPECT_EQ(Version::parse("12.4")->major, 12);
+  EXPECT_EQ(Version::parse("12.4")->minor, 4);
+  EXPECT_EQ(Version::parse("12")->minor, 0);
+  EXPECT_FALSE(Version::parse("").has_value());
+  EXPECT_FALSE(Version::parse("abc").has_value());
+}
+
+TEST(CudaCompat, VersionOrdering) {
+  EXPECT_TRUE(Version({12, 4}) >= Version({12, 1}));
+  EXPECT_TRUE(Version({12, 0}) < Version({12, 1}));
+  EXPECT_TRUE(Version({11, 9}) < Version({12, 0}));
+}
+
+TEST(CudaCompat, MinorVersionCompatibilityWithinMajor) {
+  // CUDA 12.8 runtime on a 12.2 driver: allowed via minor-version compat.
+  std::string reason;
+  EXPECT_TRUE(runtime_compatible({12, 8}, {12, 2}, &reason)) << reason;
+  // CUDA 12.x runtime on an 11.x driver: rejected.
+  EXPECT_FALSE(runtime_compatible({12, 1}, {11, 8}, &reason));
+  EXPECT_NE(reason.find("too old"), std::string::npos);
+  // Newer driver runs older runtimes.
+  EXPECT_TRUE(runtime_compatible({11, 8}, {12, 2}, nullptr));
+}
+
+TEST(CudaCompat, NativeCubinPreferredOverJit) {
+  const FatBinary fat = build_fat_binary({12, 1}, {{7, 0}, {8, 0}}, true);
+  const LoadResult on_v100 = load_fat_binary(fat, kV100);
+  ASSERT_TRUE(on_v100.ok) << on_v100.detail;
+  EXPECT_FALSE(on_v100.used_jit);
+  EXPECT_EQ(on_v100.selected_arch, (ComputeCapability{7, 0}));
+
+  const LoadResult on_a100 = load_fat_binary(fat, kA100);
+  ASSERT_TRUE(on_a100.ok);
+  EXPECT_FALSE(on_a100.used_jit);
+  EXPECT_EQ(on_a100.selected_arch, (ComputeCapability{8, 0}));
+}
+
+TEST(CudaCompat, PtxJitCoversNewerDevices) {
+  // Fat binary built before Hopper existed: cubins for 7.0/8.0, PTX for
+  // 8.0 — H100 falls back to JIT (Fig. 9's forward path).
+  const FatBinary fat = build_fat_binary({12, 1}, {{7, 0}, {8, 0}}, true);
+  const LoadResult on_h100 = load_fat_binary(fat, kH100);
+  ASSERT_TRUE(on_h100.ok) << on_h100.detail;
+  EXPECT_TRUE(on_h100.used_jit);
+  EXPECT_EQ(on_h100.selected_arch, (ComputeCapability{8, 0}));
+}
+
+TEST(CudaCompat, NoPtxNoForwardCompatibility) {
+  const FatBinary fat = build_fat_binary({12, 1}, {{7, 0}, {8, 0}}, false);
+  const LoadResult on_h100 = load_fat_binary(fat, kH100);
+  EXPECT_FALSE(on_h100.ok);
+  EXPECT_NE(on_h100.detail.find("no cubin"), std::string::npos);
+}
+
+TEST(CudaCompat, CubinMajorMustMatch) {
+  // Only an sm_90 cubin: does not run on sm_70/80 devices, no PTX.
+  const FatBinary fat = build_fat_binary({12, 4}, {{9, 0}}, false);
+  EXPECT_FALSE(load_fat_binary(fat, kV100).ok);
+  EXPECT_FALSE(load_fat_binary(fat, kA100).ok);
+  EXPECT_TRUE(load_fat_binary(fat, kH100).ok);
+}
+
+TEST(CudaCompat, RuntimeNewerThanDriverMajorFails) {
+  const FatBinary fat = build_fat_binary({13, 0}, {{7, 0}}, true);
+  const LoadResult r = load_fat_binary(fat, kV100);  // driver 12.2
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(CudaCompat, OldDriverRunsOldRuntime) {
+  const FatBinary fat = build_fat_binary({11, 4}, {{7, 0}}, true);
+  EXPECT_TRUE(load_fat_binary(fat, kOldDriverV100).ok);
+}
+
+TEST(CudaCompat, XaasEmitsAllArchesPlusLatestPtx) {
+  // §4.3 GPU compatibility: device binaries for all architectures and a
+  // PTX for the latest compute capability.
+  const FatBinary fat =
+      build_fat_binary({12, 8}, {{7, 0}, {8, 0}, {9, 0}}, true);
+  EXPECT_EQ(fat.cubins.size(), 3u);
+  ASSERT_TRUE(fat.ptx.has_value());
+  EXPECT_EQ(fat.ptx->virtual_arch, (ComputeCapability{9, 0}));
+}
+
+TEST(CudaCompat, PtxIsaTracksToolkit) {
+  EXPECT_TRUE(ptx_isa_for_runtime({12, 4}) >= ptx_isa_for_runtime({12, 1}));
+}
+
+}  // namespace
+}  // namespace xaas::gpu

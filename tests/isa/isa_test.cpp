@@ -1,0 +1,105 @@
+#include "isa/isa.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xaas::isa {
+namespace {
+
+TEST(Isa, StringRoundTrip) {
+  for (Arch arch : {Arch::X86_64, Arch::AArch64}) {
+    for (VectorIsa v : ladder_for(arch)) {
+      EXPECT_EQ(vector_isa_from_string(to_string(v)), v);
+    }
+    EXPECT_EQ(arch_from_string(to_string(arch)), arch);
+  }
+  EXPECT_FALSE(vector_isa_from_string("nonsense").has_value());
+}
+
+TEST(Isa, LanesMatchHardwareWidths) {
+  EXPECT_EQ(lanes_f64(VectorIsa::None), 1);
+  EXPECT_EQ(lanes_f64(VectorIsa::SSE2), 2);
+  EXPECT_EQ(lanes_f64(VectorIsa::SSE4_1), 2);
+  EXPECT_EQ(lanes_f64(VectorIsa::AVX2_128), 2);
+  EXPECT_EQ(lanes_f64(VectorIsa::AVX_256), 4);
+  EXPECT_EQ(lanes_f64(VectorIsa::AVX2_256), 4);
+  EXPECT_EQ(lanes_f64(VectorIsa::AVX_512), 8);
+  EXPECT_EQ(lanes_f64(VectorIsa::NEON_ASIMD), 2);
+}
+
+TEST(Isa, FmaAvailability) {
+  EXPECT_FALSE(has_fma(VectorIsa::SSE2));
+  EXPECT_FALSE(has_fma(VectorIsa::AVX_256));
+  EXPECT_TRUE(has_fma(VectorIsa::AVX2_256));
+  EXPECT_TRUE(has_fma(VectorIsa::AVX_512));
+  EXPECT_TRUE(has_fma(VectorIsa::NEON_ASIMD));
+}
+
+TEST(Isa, RunsOnIsMonotone) {
+  // Code built for a lower level runs on higher-level hardware...
+  EXPECT_TRUE(runs_on(VectorIsa::SSE2, VectorIsa::AVX_512));
+  EXPECT_TRUE(runs_on(VectorIsa::SSE4_1, VectorIsa::SSE4_1));
+  // ...but not the reverse.
+  EXPECT_FALSE(runs_on(VectorIsa::AVX_512, VectorIsa::SSE4_1));
+  EXPECT_FALSE(runs_on(VectorIsa::AVX2_256, VectorIsa::AVX_256));
+}
+
+TEST(Isa, RunsOnRespectsArchitecture) {
+  EXPECT_FALSE(runs_on(VectorIsa::SSE2, VectorIsa::NEON_ASIMD));
+  EXPECT_FALSE(runs_on(VectorIsa::NEON_ASIMD, VectorIsa::AVX_512));
+  EXPECT_TRUE(runs_on(VectorIsa::NEON_ASIMD, VectorIsa::SVE));
+}
+
+TEST(Isa, ScalarRunsAnywhere) {
+  EXPECT_TRUE(runs_on(VectorIsa::None, VectorIsa::SSE2));
+  EXPECT_TRUE(runs_on(VectorIsa::None, VectorIsa::SVE));
+}
+
+TEST(Isa, BestIsaSkylake) {
+  const std::vector<CpuFeature> skylake = {
+      CpuFeature::sse2, CpuFeature::sse4_1, CpuFeature::avx,
+      CpuFeature::avx2, CpuFeature::fma3,   CpuFeature::avx512f};
+  EXPECT_EQ(best_isa(Arch::X86_64, skylake), VectorIsa::AVX_512);
+}
+
+TEST(Isa, BestIsaZen2StopsAtAvx2) {
+  const std::vector<CpuFeature> zen2 = {CpuFeature::sse2, CpuFeature::sse4_1,
+                                        CpuFeature::avx, CpuFeature::avx2,
+                                        CpuFeature::fma3};
+  EXPECT_EQ(best_isa(Arch::X86_64, zen2), VectorIsa::AVX2_256);
+}
+
+TEST(Isa, BestIsaNoFeatures) {
+  EXPECT_EQ(best_isa(Arch::X86_64, {}), VectorIsa::None);
+}
+
+TEST(Isa, SupportedIsasAreOrderedLadder) {
+  const std::vector<CpuFeature> avx_only = {CpuFeature::sse2,
+                                            CpuFeature::sse4_1,
+                                            CpuFeature::avx};
+  const auto isas = supported_isas(Arch::X86_64, avx_only);
+  EXPECT_EQ(isas, (std::vector<VectorIsa>{VectorIsa::None, VectorIsa::SSE2,
+                                          VectorIsa::SSE4_1,
+                                          VectorIsa::AVX_256}));
+}
+
+TEST(Isa, GraceSupportsSve) {
+  const std::vector<CpuFeature> grace = {CpuFeature::neon, CpuFeature::asimd,
+                                         CpuFeature::sve};
+  EXPECT_EQ(best_isa(Arch::AArch64, grace), VectorIsa::SVE);
+}
+
+TEST(Isa, RequiredFeaturesAvx512IncludeLowerTiers) {
+  const auto req = required_features(VectorIsa::AVX_512);
+  EXPECT_NE(std::find(req.begin(), req.end(), CpuFeature::avx2), req.end());
+  EXPECT_NE(std::find(req.begin(), req.end(), CpuFeature::avx512f), req.end());
+}
+
+TEST(Isa, CpuFeatureStringRoundTrip) {
+  for (CpuFeature f : {CpuFeature::sse2, CpuFeature::avx512f, CpuFeature::sve,
+                       CpuFeature::amx}) {
+    EXPECT_EQ(cpu_feature_from_string(to_string(f)), f);
+  }
+}
+
+}  // namespace
+}  // namespace xaas::isa

@@ -1,0 +1,68 @@
+#include "isa/microarch.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xaas::isa {
+namespace {
+
+TEST(Microarch, DatabaseContainsPaperSystems) {
+  EXPECT_TRUE(find_microarch("skylake_avx512").has_value());
+  EXPECT_TRUE(find_microarch("zen2").has_value());
+  EXPECT_TRUE(find_microarch("neoverse_v2").has_value());
+  EXPECT_TRUE(find_microarch("sapphirerapids").has_value());
+  EXPECT_FALSE(find_microarch("i486").has_value());
+}
+
+TEST(Microarch, LabelPicksMostSpecific) {
+  const std::vector<CpuFeature> skylake = {
+      CpuFeature::sse2, CpuFeature::sse4_1, CpuFeature::avx,
+      CpuFeature::avx2, CpuFeature::fma3,   CpuFeature::avx512f};
+  const auto m = label(Arch::X86_64, skylake);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->name, "skylake_avx512");
+}
+
+TEST(Microarch, LabelHaswellClass) {
+  const std::vector<CpuFeature> haswell = {CpuFeature::sse2,
+                                           CpuFeature::sse4_1, CpuFeature::avx,
+                                           CpuFeature::avx2, CpuFeature::fma3};
+  const auto m = label(Arch::X86_64, haswell);
+  ASSERT_TRUE(m.has_value());
+  // Both haswell and zen2 carry the same feature set; the label must be
+  // one of them (first maximal match).
+  EXPECT_TRUE(m->name == "haswell" || m->name == "zen2");
+}
+
+TEST(Microarch, LabelArm) {
+  const auto m =
+      label(Arch::AArch64, {CpuFeature::neon, CpuFeature::asimd,
+                            CpuFeature::sve});
+  ASSERT_TRUE(m.has_value());
+  EXPECT_TRUE(m->name == "neoverse_v2" || m->name == "a64fx");
+}
+
+TEST(Microarch, CompatibilityFollowsAncestorChain) {
+  const auto haswell = *find_microarch("haswell");
+  const auto skylake = *find_microarch("skylake_avx512");
+  const auto sandybridge = *find_microarch("sandybridge");
+  EXPECT_TRUE(compatible(haswell, skylake));       // haswell code on skylake
+  EXPECT_FALSE(compatible(skylake, haswell));      // not the reverse
+  EXPECT_TRUE(compatible(sandybridge, skylake));
+  EXPECT_TRUE(compatible(skylake, skylake));
+}
+
+TEST(Microarch, CrossArchitectureNeverCompatible) {
+  const auto skylake = *find_microarch("skylake_avx512");
+  const auto grace = *find_microarch("neoverse_v2");
+  EXPECT_FALSE(compatible(skylake, grace));
+  EXPECT_FALSE(compatible(grace, skylake));
+}
+
+TEST(Microarch, Zen4CompatibleWithZen2Code) {
+  const auto zen2 = *find_microarch("zen2");
+  const auto zen4 = *find_microarch("zen4");
+  EXPECT_TRUE(compatible(zen2, zen4));
+}
+
+}  // namespace
+}  // namespace xaas::isa

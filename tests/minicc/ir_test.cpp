@@ -1,0 +1,100 @@
+#include "minicc/ir.hpp"
+
+#include <gtest/gtest.h>
+
+#include "minicc/driver.hpp"
+
+namespace xaas::minicc {
+namespace {
+
+ir::Module compile(const std::string& src, bool openmp = false) {
+  common::Vfs vfs;
+  vfs.write("t.c", src);
+  CompileFlags flags;
+  flags.openmp = openmp;
+  const auto r = compile_to_ir(vfs, "t.c", flags);
+  EXPECT_TRUE(r.ok) << r.error.message;
+  return r.module;
+}
+
+TEST(Ir, PrintParseRoundTrip) {
+  const ir::Module m = compile(
+      "double dot(double* a, double* b, int n) {\n"
+      "  double acc = 0.0;\n"
+      "  for (int i = 0; i < n; i++) { acc += a[i] * b[i]; }\n"
+      "  return acc;\n"
+      "}\n"
+      "void scale(double* a, int n, double s) {\n"
+      "  for (int i = 0; i < n; i++) { a[i] *= s; }\n"
+      "}\n");
+  const std::string text = ir::print(m);
+  const auto parsed = ir::parse_ir(text);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(ir::print(parsed.module), text);
+}
+
+TEST(Ir, RoundTripPreservesLoopMetadata) {
+  const ir::Module m = compile(
+      "void f(double* a, int n) {\n"
+      "#pragma omp parallel for\n"
+      "  for (int i = 0; i < n; i++) { a[i] = 1.0; }\n"
+      "}\n",
+      /*openmp=*/true);
+  const auto parsed = ir::parse_ir(ir::print(m));
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const auto& fn = parsed.module.functions[0];
+  ASSERT_EQ(fn.loops.size(), 1u);
+  EXPECT_TRUE(fn.loops[0].parallel);
+  EXPECT_GE(fn.loops[0].induction_reg, 0);
+  EXPECT_GE(fn.loops[0].bound_reg, 0);
+}
+
+TEST(Ir, RoundTripPreservesGpuKernelFlag) {
+  const ir::Module m = compile(
+      "#pragma xaas gpu_kernel\n"
+      "void k(double* a, int n) { a[0] = 1.0; }\n");
+  const auto parsed = ir::parse_ir(ir::print(m));
+  ASSERT_TRUE(parsed.ok);
+  EXPECT_TRUE(parsed.module.functions[0].gpu_kernel);
+}
+
+TEST(Ir, RoundTripPreservesFloatImmediatesExactly) {
+  const ir::Module m = compile(
+      "double f() { return 0.333333333333333314829616256247390992939472198486328125; }\n");
+  const auto parsed = ir::parse_ir(ir::print(m));
+  ASSERT_TRUE(parsed.ok);
+  EXPECT_EQ(ir::print(parsed.module), ir::print(m));
+}
+
+TEST(Ir, ParseRejectsGarbage) {
+  EXPECT_FALSE(ir::parse_ir("func @f\n  bogus_opcode d0\nendfunc\n").ok);
+  EXPECT_FALSE(ir::parse_ir("param %0 f64 \"x\"\n").ok);
+}
+
+TEST(Ir, ModulePathPreserved) {
+  common::Vfs vfs;
+  vfs.write("src/kernel.c", "void f() { }\n");
+  const auto r = compile_to_ir(vfs, "src/kernel.c", {});
+  ASSERT_TRUE(r.ok);
+  const auto parsed = ir::parse_ir(ir::print(r.module));
+  EXPECT_EQ(parsed.module.source_path, "src/kernel.c");
+}
+
+TEST(Ir, FindFunction) {
+  ir::Module m = compile("void a() { }\nvoid b() { }\n");
+  EXPECT_NE(m.find("a"), nullptr);
+  EXPECT_NE(m.find("b"), nullptr);
+  EXPECT_EQ(m.find("c"), nullptr);
+}
+
+TEST(Ir, IntrinsicClassification) {
+  EXPECT_TRUE(ir::is_intrinsic("sqrt"));
+  EXPECT_TRUE(ir::is_intrinsic("exp"));
+  EXPECT_FALSE(ir::is_intrinsic("my_function"));
+  EXPECT_TRUE(ir::is_vectorizable_intrinsic("sqrt"));
+  EXPECT_TRUE(ir::is_vectorizable_intrinsic("fmin"));
+  EXPECT_FALSE(ir::is_vectorizable_intrinsic("exp"));
+}
+
+}  // namespace
+}  // namespace xaas::minicc

@@ -1,0 +1,208 @@
+// End-to-end correctness: Kernel-C source compiled scalar and executed on
+// the VM must compute the right values.
+#include <gtest/gtest.h>
+
+#include "tests/minicc/test_util.hpp"
+
+namespace xaas {
+namespace {
+
+using testing::run_program;
+using vm::Workload;
+
+TEST(IrgenExec, ReturnsConstant) {
+  Workload w;
+  w.entry = "f";
+  auto r = run_program("double f() { return 2.5; }\n", w);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_DOUBLE_EQ(r.ret_f64, 2.5);
+}
+
+TEST(IrgenExec, IntegerArithmetic) {
+  Workload w;
+  w.entry = "f";
+  w.args = {Workload::Arg::i64(10), Workload::Arg::i64(3)};
+  auto r = run_program(
+      "int f(int a, int b) { return a * b + a / b - a % b; }\n", w);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.ret_i64, 10 * 3 + 10 / 3 - 10 % 3);
+}
+
+TEST(IrgenExec, MixedTypePromotion) {
+  Workload w;
+  w.entry = "f";
+  w.args = {Workload::Arg::i64(3), Workload::Arg::f64(0.5)};
+  auto r = run_program("double f(int a, double b) { return a + b; }\n", w);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_DOUBLE_EQ(r.ret_f64, 3.5);
+}
+
+TEST(IrgenExec, BufferSumLoop) {
+  Workload w;
+  w.entry = "sum";
+  w.f64_buffers["a"] = {1.0, 2.0, 3.0, 4.5};
+  w.args = {Workload::Arg::buf_f64("a"), Workload::Arg::i64(4)};
+  auto r = run_program(
+      "double sum(double* a, int n) {\n"
+      "  double acc = 0.0;\n"
+      "  for (int i = 0; i < n; i++) { acc += a[i]; }\n"
+      "  return acc;\n"
+      "}\n",
+      w);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_DOUBLE_EQ(r.ret_f64, 10.5);
+}
+
+TEST(IrgenExec, BufferWrite) {
+  Workload w;
+  w.entry = "fill";
+  w.f64_buffers["a"] = std::vector<double>(5, 0.0);
+  w.args = {Workload::Arg::buf_f64("a"), Workload::Arg::i64(5)};
+  auto r = run_program(
+      "void fill(double* a, int n) {\n"
+      "  for (int i = 0; i < n; i++) { a[i] = i * 2.0; }\n"
+      "}\n",
+      w);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(w.f64_buffers["a"],
+            (std::vector<double>{0.0, 2.0, 4.0, 6.0, 8.0}));
+}
+
+TEST(IrgenExec, IfElseBothBranches) {
+  const std::string src =
+      "int sign(double x) {\n"
+      "  if (x > 0.0) { return 1; } else { if (x < 0.0) { return -1; } }\n"
+      "  return 0;\n"
+      "}\n";
+  for (const auto& [input, expected] :
+       std::vector<std::pair<double, long long>>{{2.0, 1}, {-2.0, -1}, {0.0, 0}}) {
+    Workload w;
+    w.entry = "sign";
+    w.args = {Workload::Arg::f64(input)};
+    auto r = run_program(src, w);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.ret_i64, expected) << input;
+  }
+}
+
+TEST(IrgenExec, WhileLoop) {
+  Workload w;
+  w.entry = "collatz_steps";
+  w.args = {Workload::Arg::i64(27)};
+  auto r = run_program(
+      "int collatz_steps(int n) {\n"
+      "  int steps = 0;\n"
+      "  while (n != 1) {\n"
+      "    if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }\n"
+      "    steps++;\n"
+      "  }\n"
+      "  return steps;\n"
+      "}\n",
+      w);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.ret_i64, 111);
+}
+
+TEST(IrgenExec, NestedLoops) {
+  Workload w;
+  w.entry = "f";
+  w.args = {Workload::Arg::i64(4)};
+  auto r = run_program(
+      "int f(int n) {\n"
+      "  int total = 0;\n"
+      "  for (int i = 0; i < n; i++) {\n"
+      "    for (int j = 0; j < i; j++) { total += 1; }\n"
+      "  }\n"
+      "  return total;\n"
+      "}\n",
+      w);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.ret_i64, 6);
+}
+
+TEST(IrgenExec, FunctionCalls) {
+  Workload w;
+  w.entry = "main_fn";
+  w.args = {Workload::Arg::f64(3.0)};
+  auto r = run_program(
+      "double square(double x) { return x * x; }\n"
+      "double main_fn(double x) { return square(x) + square(x + 1.0); }\n",
+      w);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_DOUBLE_EQ(r.ret_f64, 9.0 + 16.0);
+}
+
+TEST(IrgenExec, Intrinsics) {
+  Workload w;
+  w.entry = "f";
+  w.args = {Workload::Arg::f64(16.0)};
+  auto r = run_program(
+      "double f(double x) {\n"
+      "  return sqrt(x) + fabs(-x) + fmin(x, 2.0) + fmax(x, 20.0);\n"
+      "}\n",
+      w);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_DOUBLE_EQ(r.ret_f64, 4.0 + 16.0 + 2.0 + 20.0);
+}
+
+TEST(IrgenExec, IntBuffers) {
+  Workload w;
+  w.entry = "count_positive";
+  w.i64_buffers["v"] = {3, -1, 0, 7, -2};
+  w.args = {Workload::Arg::buf_i64("v"), Workload::Arg::i64(5)};
+  auto r = run_program(
+      "int count_positive(int* v, int n) {\n"
+      "  int c = 0;\n"
+      "  for (int i = 0; i < n; i++) { if (v[i] > 0) { c++; } }\n"
+      "  return c;\n"
+      "}\n",
+      w);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.ret_i64, 2);
+}
+
+TEST(IrgenExec, OutOfBoundsLoadTraps) {
+  Workload w;
+  w.entry = "f";
+  w.f64_buffers["a"] = {1.0};
+  w.args = {Workload::Arg::buf_f64("a")};
+  auto r = run_program("double f(double* a) { return a[5]; }\n", w);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("out-of-bounds"), std::string::npos);
+}
+
+TEST(IrgenExec, DivisionByZeroTraps) {
+  Workload w;
+  w.entry = "f";
+  w.args = {Workload::Arg::i64(1), Workload::Arg::i64(0)};
+  auto r = run_program("int f(int a, int b) { return a / b; }\n", w);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(IrgenExec, UndefinedVariableIsCompileError) {
+  common::Vfs vfs;
+  vfs.write("t.c", "int f() { return nope; }\n");
+  const auto r = minicc::compile_to_ir(vfs, "t.c", {});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error.phase, "irgen");
+}
+
+TEST(IrgenExec, CyclesAccumulate) {
+  Workload w;
+  w.entry = "f";
+  w.args = {Workload::Arg::i64(1000)};
+  auto r = run_program(
+      "double f(int n) {\n"
+      "  double acc = 0.0;\n"
+      "  for (int i = 0; i < n; i++) { acc += i * 1.5; }\n"
+      "  return acc;\n"
+      "}\n",
+      w);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_GT(r.cycles_serial, 1000.0);
+  EXPECT_GT(r.instructions, 1000);
+  EXPECT_GT(r.elapsed_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace xaas

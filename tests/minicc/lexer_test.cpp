@@ -1,0 +1,66 @@
+#include "minicc/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xaas::minicc {
+namespace {
+
+TEST(Lexer, Identifiers) {
+  const auto toks = lex("foo _bar baz42");
+  ASSERT_EQ(toks.size(), 4u);  // 3 idents + EOF
+  EXPECT_EQ(toks[0].text, "foo");
+  EXPECT_EQ(toks[1].text, "_bar");
+  EXPECT_EQ(toks[2].text, "baz42");
+  EXPECT_EQ(toks[3].kind, TokKind::Eof);
+}
+
+TEST(Lexer, IntAndFloatLiterals) {
+  const auto toks = lex("42 3.5 1e3 2.5e-2 0");
+  EXPECT_EQ(toks[0].kind, TokKind::IntLit);
+  EXPECT_EQ(toks[0].int_value, 42);
+  EXPECT_EQ(toks[1].kind, TokKind::FloatLit);
+  EXPECT_DOUBLE_EQ(toks[1].float_value, 3.5);
+  EXPECT_DOUBLE_EQ(toks[2].float_value, 1000.0);
+  EXPECT_DOUBLE_EQ(toks[3].float_value, 0.025);
+  EXPECT_EQ(toks[4].int_value, 0);
+}
+
+TEST(Lexer, MultiCharPunctuation) {
+  const auto toks = lex("<= >= == != && || += -= ++ --");
+  const std::vector<std::string> expected = {"<=", ">=", "==", "!=", "&&",
+                                             "||", "+=", "-=", "++", "--"};
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(toks[i].kind, TokKind::Punct);
+    EXPECT_EQ(toks[i].text, expected[i]);
+  }
+}
+
+TEST(Lexer, PragmaCapturesWholeLine) {
+  const auto toks = lex("#pragma omp parallel for\nint x;");
+  ASSERT_GE(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, TokKind::Pragma);
+  EXPECT_EQ(toks[0].text, "pragma omp parallel for");
+  EXPECT_EQ(toks[1].text, "int");
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  const auto toks = lex("a\nb\n\nc");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[2].line, 4);
+}
+
+TEST(Lexer, ReportsUnexpectedCharacter) {
+  std::string error;
+  lex("int x = $;", &error);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Lexer, FloatStartingWithDot) {
+  const auto toks = lex(".5");
+  EXPECT_EQ(toks[0].kind, TokKind::FloatLit);
+  EXPECT_DOUBLE_EQ(toks[0].float_value, 0.5);
+}
+
+}  // namespace
+}  // namespace xaas::minicc

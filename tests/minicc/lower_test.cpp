@@ -1,0 +1,165 @@
+#include "minicc/lower.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/minicc/test_util.hpp"
+
+namespace xaas::minicc {
+namespace {
+
+ir::Module compile_ir(const std::string& src, bool openmp = false) {
+  common::Vfs vfs;
+  vfs.write("t.c", src);
+  CompileFlags flags;
+  flags.openmp = openmp;
+  const auto r = compile_to_ir(vfs, "t.c", flags);
+  EXPECT_TRUE(r.ok) << r.error.message;
+  return r.module;
+}
+
+const std::string kSaxpy =
+    "void saxpy(double* y, double* x, int n, double a) {\n"
+    "  for (int i = 0; i < n; i++) { y[i] = a * x[i] + y[i]; }\n"
+    "}\n";
+
+TEST(Lower, TargetStringIncludesIsaAndOpenmp) {
+  TargetSpec t;
+  t.visa = isa::VectorIsa::AVX_512;
+  t.openmp = true;
+  EXPECT_EQ(t.to_string(), "AVX_512+openmp+O2");
+}
+
+TEST(Lower, ScalarTargetDoesNotVectorize) {
+  TargetSpec t;
+  t.visa = isa::VectorIsa::None;
+  const auto mm = lower(compile_ir(kSaxpy), t);
+  EXPECT_EQ(mm.vectorized_loops, 0);
+}
+
+TEST(Lower, VectorTargetVectorizes) {
+  TargetSpec t;
+  t.visa = isa::VectorIsa::AVX_512;
+  const auto mm = lower(compile_ir(kSaxpy), t);
+  EXPECT_EQ(mm.vectorized_loops, 1);
+}
+
+TEST(Lower, FmaFusedOnlyOnFmaTargets) {
+  TargetSpec avx2;
+  avx2.visa = isa::VectorIsa::AVX2_256;
+  const auto with_fma = lower(compile_ir(kSaxpy), avx2);
+  EXPECT_GT(with_fma.fused_fma, 0);
+
+  TargetSpec avx;
+  avx.visa = isa::VectorIsa::AVX_256;  // AVX without FMA
+  const auto without_fma = lower(compile_ir(kSaxpy), avx);
+  EXPECT_EQ(without_fma.fused_fma, 0);
+}
+
+TEST(Lower, FmaReducesInstructionCount) {
+  const int n = 128;
+  const auto count_cycles = [&](isa::VectorIsa visa) {
+    vm::Workload w;
+    w.entry = "saxpy";
+    w.f64_buffers["y"] = std::vector<double>(n, 1.0);
+    w.f64_buffers["x"] = std::vector<double>(n, 2.0);
+    w.args = {vm::Workload::Arg::buf_f64("y"), vm::Workload::Arg::buf_f64("x"),
+              vm::Workload::Arg::i64(n), vm::Workload::Arg::f64(0.5)};
+    TargetSpec t;
+    t.visa = visa;
+    auto r = xaas::testing::run_program(kSaxpy, w, t, "ault23");
+    EXPECT_TRUE(r.ok) << r.error;
+    return r.cycles_serial;
+  };
+  // AVX_256 (no FMA, 4 lanes) vs AVX2_256 (FMA, 4 lanes): same width,
+  // fused multiply-add must be cheaper.
+  EXPECT_LT(count_cycles(isa::VectorIsa::AVX2_256),
+            count_cycles(isa::VectorIsa::AVX_256));
+}
+
+TEST(Lower, FmaPreservesNumerics) {
+  const int n = 33;
+  const auto run_with = [&](isa::VectorIsa visa) {
+    vm::Workload w;
+    w.entry = "saxpy";
+    std::vector<double> y(n), x(n);
+    for (int i = 0; i < n; ++i) {
+      y[static_cast<std::size_t>(i)] = 0.25 * i;
+      x[static_cast<std::size_t>(i)] = 1.0 / (i + 1);
+    }
+    w.f64_buffers["y"] = y;
+    w.f64_buffers["x"] = x;
+    w.args = {vm::Workload::Arg::buf_f64("y"), vm::Workload::Arg::buf_f64("x"),
+              vm::Workload::Arg::i64(n), vm::Workload::Arg::f64(3.0)};
+    TargetSpec t;
+    t.visa = visa;
+    auto r = xaas::testing::run_program(kSaxpy, w, t, "ault23");
+    EXPECT_TRUE(r.ok) << r.error;
+    return w.f64_buffers["y"];
+  };
+  EXPECT_EQ(run_with(isa::VectorIsa::AVX_256),
+            run_with(isa::VectorIsa::AVX2_256));
+}
+
+TEST(Lower, OpenmpFlagGatesParallelLoops) {
+  const std::string src =
+      "void f(double* a, int n) {\n"
+      "#pragma omp parallel for\n"
+      "  for (int i = 0; i < n; i++) { a[i] = 1.0; }\n"
+      "}\n";
+  // Compiled with -fopenmp: parallel metadata honored at lowering.
+  TargetSpec with;
+  with.openmp = true;
+  const auto mm_with = lower(compile_ir(src, /*openmp=*/true), with);
+  bool any_parallel = false;
+  for (const auto& loop : mm_with.code.functions[0].loops) {
+    any_parallel = any_parallel || loop.parallel;
+  }
+  EXPECT_TRUE(any_parallel);
+
+  // Lowered without OpenMP: parallel flags cleared.
+  TargetSpec without;
+  without.openmp = false;
+  const auto mm_without = lower(compile_ir(src, /*openmp=*/true), without);
+  for (const auto& loop : mm_without.code.functions[0].loops) {
+    EXPECT_FALSE(loop.parallel);
+  }
+}
+
+TEST(Lower, OptLevelZeroSkipsVectorization) {
+  TargetSpec t;
+  t.visa = isa::VectorIsa::AVX_512;
+  t.opt_level = 0;
+  const auto mm = lower(compile_ir(kSaxpy), t);
+  EXPECT_EQ(mm.vectorized_loops, 0);
+}
+
+TEST(Lower, CompileFlagsParseAndCanonicalize) {
+  const auto flags = CompileFlags::parse_args(
+      {"-DGMX_SIMD=AVX_512", "-Iinclude", "-O3", "-fopenmp", "-mAVX_512",
+       "--unknown-flag"});
+  EXPECT_EQ(flags.defines, (std::vector<std::string>{"GMX_SIMD=AVX_512"}));
+  EXPECT_EQ(flags.include_dirs, (std::vector<std::string>{"include"}));
+  EXPECT_EQ(flags.opt_level, 3);
+  EXPECT_TRUE(flags.openmp);
+  ASSERT_TRUE(flags.march.has_value());
+  EXPECT_EQ(*flags.march, isa::VectorIsa::AVX_512);
+
+  // Canonical form is order-independent.
+  const auto a = CompileFlags::parse_args({"-DA", "-DB", "-O2"});
+  const auto b = CompileFlags::parse_args({"-DB", "-O2", "-DA"});
+  EXPECT_EQ(a.canonical(), b.canonical());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Lower, RoundTripFlagsThroughArgs) {
+  CompileFlags flags;
+  flags.defines = {"X=1"};
+  flags.include_dirs = {"inc"};
+  flags.openmp = true;
+  flags.march = isa::VectorIsa::SSE4_1;
+  const auto reparsed = CompileFlags::parse_args(flags.to_args());
+  EXPECT_EQ(reparsed.canonical(), flags.canonical());
+}
+
+}  // namespace
+}  // namespace xaas::minicc

@@ -1,0 +1,187 @@
+#include "minicc/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xaas::minicc {
+namespace {
+
+using ast::Expr;
+using ast::Stmt;
+using ast::Type;
+
+TEST(Parser, EmptyFunction) {
+  const auto r = parse("void f() { }\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.tu.functions.size(), 1u);
+  EXPECT_EQ(r.tu.functions[0].name, "f");
+  EXPECT_EQ(r.tu.functions[0].ret_type, Type::Void);
+  ASSERT_TRUE(r.tu.functions[0].body);
+}
+
+TEST(Parser, Parameters) {
+  const auto r = parse("double dot(double* a, double* b, int n) { return 0.0; }\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  const auto& fn = r.tu.functions[0];
+  ASSERT_EQ(fn.params.size(), 3u);
+  EXPECT_EQ(fn.params[0].type, Type::PtrDouble);
+  EXPECT_EQ(fn.params[0].name, "a");
+  EXPECT_EQ(fn.params[2].type, Type::Int);
+}
+
+TEST(Parser, Declaration) {
+  const auto r = parse("double f();\nint g(int x);\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.tu.functions.size(), 2u);
+  EXPECT_FALSE(r.tu.functions[0].body);
+}
+
+TEST(Parser, ForLoopStructure) {
+  const auto r = parse(
+      "void f(double* a, int n) {\n"
+      "  for (int i = 0; i < n; i++) { a[i] = 2.0 * a[i]; }\n"
+      "}\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  const Stmt* body = r.tu.functions[0].body.get();
+  ASSERT_EQ(body->stmts.size(), 1u);
+  const Stmt* loop = body->stmts[0].get();
+  EXPECT_EQ(loop->kind, Stmt::Kind::For);
+  ASSERT_TRUE(loop->init);
+  ASSERT_TRUE(loop->cond);
+  ASSERT_TRUE(loop->inc);
+  EXPECT_EQ(loop->init->kind, Stmt::Kind::Decl);
+  EXPECT_EQ(loop->cond->bin_op, ast::BinOp::Lt);
+}
+
+TEST(Parser, OmpParallelForPragmaAttaches) {
+  const auto r = parse(
+      "void f(double* a, int n) {\n"
+      "#pragma omp parallel for\n"
+      "  for (int i = 0; i < n; i++) { a[i] = 0.0; }\n"
+      "}\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  const Stmt* loop = r.tu.functions[0].body->stmts[0].get();
+  EXPECT_TRUE(loop->pragma.omp_parallel_for);
+  EXPECT_TRUE(ast::uses_openmp(r.tu));
+}
+
+TEST(Parser, OmpReductionClauseParsed) {
+  const auto r = parse(
+      "double f(double* a, int n) {\n"
+      "  double acc = 0.0;\n"
+      "#pragma omp parallel for reduction(+:acc)\n"
+      "  for (int i = 0; i < n; i++) { acc += a[i]; }\n"
+      "  return acc;\n"
+      "}\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  const Stmt* loop = r.tu.functions[0].body->stmts[1].get();
+  EXPECT_TRUE(loop->pragma.omp_parallel_for);
+  EXPECT_TRUE(loop->pragma.omp_parallel_for_reduction);
+  EXPECT_EQ(loop->pragma.reduction_var, "acc");
+}
+
+TEST(Parser, NoOpenMpWithoutPragma) {
+  const auto r = parse("void f() { for (int i = 0; i < 3; i++) { } }\n");
+  ASSERT_TRUE(r.ok);
+  EXPECT_FALSE(ast::uses_openmp(r.tu));
+}
+
+TEST(Parser, GpuKernelPragma) {
+  const auto r = parse(
+      "#pragma xaas gpu_kernel\n"
+      "void k(double* x, int n) { }\n"
+      "void host() { }\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.tu.functions[0].gpu_kernel);
+  EXPECT_FALSE(r.tu.functions[1].gpu_kernel);
+}
+
+TEST(Parser, OperatorPrecedence) {
+  const auto r = parse("int f() { return 1 + 2 * 3; }\n");
+  ASSERT_TRUE(r.ok);
+  const Expr* e = r.tu.functions[0].body->stmts[0]->ret_value.get();
+  EXPECT_EQ(e->bin_op, ast::BinOp::Add);
+  EXPECT_EQ(e->rhs->bin_op, ast::BinOp::Mul);
+}
+
+TEST(Parser, ParenthesesOverridePrecedence) {
+  const auto r = parse("int f() { return (1 + 2) * 3; }\n");
+  ASSERT_TRUE(r.ok);
+  const Expr* e = r.tu.functions[0].body->stmts[0]->ret_value.get();
+  EXPECT_EQ(e->bin_op, ast::BinOp::Mul);
+  EXPECT_EQ(e->lhs->bin_op, ast::BinOp::Add);
+}
+
+TEST(Parser, CompoundAssignments) {
+  const auto r = parse(
+      "void f(double* a) { a[0] += 1.0; a[1] -= 2.0; a[2] *= 3.0; }\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  const auto& stmts = r.tu.functions[0].body->stmts;
+  ASSERT_EQ(stmts.size(), 3u);
+  EXPECT_FALSE(stmts[0]->plain_assign);
+  EXPECT_EQ(stmts[0]->assign_op, ast::BinOp::Add);
+  EXPECT_EQ(stmts[1]->assign_op, ast::BinOp::Sub);
+  EXPECT_EQ(stmts[2]->assign_op, ast::BinOp::Mul);
+}
+
+TEST(Parser, IfElse) {
+  const auto r = parse(
+      "int f(int x) { if (x > 0) { return 1; } else { return 0; } }\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  const Stmt* s = r.tu.functions[0].body->stmts[0].get();
+  EXPECT_EQ(s->kind, Stmt::Kind::If);
+  ASSERT_TRUE(s->then_branch);
+  ASSERT_TRUE(s->else_branch);
+}
+
+TEST(Parser, WhileLoop) {
+  const auto r = parse("void f(int n) { while (n > 0) { n -= 1; } }\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.tu.functions[0].body->stmts[0]->kind, Stmt::Kind::While);
+}
+
+TEST(Parser, CallExpression) {
+  const auto r = parse(
+      "double g(double x);\n"
+      "double f(double x) { return g(x * 2.0) + sqrt(x); }\n");
+  ASSERT_TRUE(r.ok) << r.error;
+}
+
+TEST(Parser, CallStatement) {
+  const auto r = parse(
+      "void g(int x);\n"
+      "void f() { g(3); }\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.tu.functions[1].body->stmts[0]->kind, Stmt::Kind::ExprStmt);
+}
+
+TEST(Parser, ErrorOnMissingSemicolon) {
+  const auto r = parse("void f() { int x = 1 }\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(Parser, ErrorOnBadAssignTarget) {
+  const auto r = parse("void f() { 3 = 4; }\n");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Parser, ErrorOnUnclosedBrace) {
+  const auto r = parse("void f() { int x = 1;\n");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Parser, UnknownPragmaIgnored) {
+  const auto r = parse("#pragma once something\nvoid f() { }\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_FALSE(r.tu.functions[0].gpu_kernel);
+}
+
+TEST(Parser, LogicalOperators) {
+  const auto r = parse("int f(int a, int b) { return a > 0 && b < 3 || !a; }\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  const Expr* e = r.tu.functions[0].body->stmts[0]->ret_value.get();
+  EXPECT_EQ(e->bin_op, ast::BinOp::Or);
+}
+
+}  // namespace
+}  // namespace xaas::minicc

@@ -1,0 +1,117 @@
+#include "minicc/passes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/minicc/test_util.hpp"
+
+namespace xaas::minicc {
+namespace {
+
+ir::Module compile_ir(const std::string& src, int opt_level = 0) {
+  common::Vfs vfs;
+  vfs.write("t.c", src);
+  CompileFlags flags;
+  flags.opt_level = opt_level;
+  const auto r = compile_to_ir(vfs, "t.c", flags);
+  EXPECT_TRUE(r.ok) << r.error.message;
+  return r.module;
+}
+
+std::size_t count_insts(const ir::Module& m) {
+  std::size_t n = 0;
+  for (const auto& fn : m.functions) {
+    for (const auto& b : fn.blocks) n += b.insts.size();
+  }
+  return n;
+}
+
+TEST(Passes, ConstantFoldingReducesInstructions) {
+  ir::Module m = compile_ir("int f() { return 2 + 3 * 4; }\n");
+  const int folded = fold_constants(m);
+  EXPECT_GE(folded, 2);  // 3*4 then 2+12
+}
+
+TEST(Passes, DceRemovesUnusedComputation) {
+  ir::Module m = compile_ir(
+      "double f(double x) {\n"
+      "  double unused = x * 3.0 + 1.0;\n"
+      "  return x;\n"
+      "}\n");
+  const std::size_t before = count_insts(m);
+  const int removed = eliminate_dead_code(m);
+  EXPECT_GT(removed, 0);
+  EXPECT_LT(count_insts(m), before);
+}
+
+TEST(Passes, DceKeepsStoresAndCalls) {
+  ir::Module m = compile_ir(
+      "void g(double* a) { a[0] = 1.0; }\n"
+      "void f(double* a) { g(a); a[1] = 2.0; }\n");
+  eliminate_dead_code(m);
+  // Stores and calls must survive.
+  bool has_store = false, has_call = false;
+  for (const auto& fn : m.functions) {
+    for (const auto& b : fn.blocks) {
+      for (const auto& i : b.insts) {
+        if (i.op == ir::Opcode::StoreF) has_store = true;
+        if (i.op == ir::Opcode::Call) has_call = true;
+      }
+    }
+  }
+  EXPECT_TRUE(has_store);
+  EXPECT_TRUE(has_call);
+}
+
+TEST(Passes, OptimizationPreservesSemantics) {
+  const std::string src =
+      "double f(double* a, int n) {\n"
+      "  double acc = 0.0;\n"
+      "  double dead = 3.0 * 4.0;\n"
+      "  for (int i = 0; i < n; i++) { acc += a[i] * (1.0 + 1.0); }\n"
+      "  return acc;\n"
+      "}\n";
+  vm::Workload w1, w2;
+  for (auto* w : {&w1, &w2}) {
+    w->entry = "f";
+    w->f64_buffers["a"] = {0.5, 1.5, 2.5};
+    w->args = {vm::Workload::Arg::buf_f64("a"), vm::Workload::Arg::i64(3)};
+  }
+  minicc::CompileFlags o0;
+  o0.opt_level = 0;
+  minicc::CompileFlags o2;
+  o2.opt_level = 2;
+  auto r1 = xaas::testing::run_program(src, w1, {}, "devbox", 1, o0);
+  auto r2 = xaas::testing::run_program(src, w2, {}, "devbox", 1, o2);
+  ASSERT_TRUE(r1.ok) << r1.error;
+  ASSERT_TRUE(r2.ok) << r2.error;
+  EXPECT_DOUBLE_EQ(r1.ret_f64, r2.ret_f64);
+}
+
+TEST(Passes, OptimizeIsIdempotent) {
+  ir::Module m = compile_ir("int f() { return 1 + 2 + 3 + 4; }\n");
+  optimize(m, 2);
+  const std::string once = ir::print(m);
+  optimize(m, 2);
+  EXPECT_EQ(ir::print(m), once);
+}
+
+TEST(Passes, OptLevelZeroIsNoop) {
+  ir::Module m = compile_ir("int f() { return 1 + 2; }\n");
+  const std::string before = ir::print(m);
+  optimize(m, 0);
+  EXPECT_EQ(ir::print(m), before);
+}
+
+TEST(Passes, DcePreservesLoopControlRegisters) {
+  ir::Module m = compile_ir(
+      "void f(double* a, int n) {\n"
+      "  for (int i = 0; i < n; i++) { a[i] = 1.0; }\n"
+      "}\n");
+  optimize(m, 2);
+  const auto& fn = m.functions[0];
+  ASSERT_EQ(fn.loops.size(), 1u);
+  EXPECT_GE(fn.loops[0].induction_reg, 0);
+}
+
+}  // namespace
+}  // namespace xaas::minicc

@@ -1,0 +1,231 @@
+#include "minicc/preprocessor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/strings.hpp"
+
+namespace xaas::minicc {
+namespace {
+
+PreprocessResult pp(const std::string& src, PreprocessOptions options = {},
+                    const common::Vfs* vfs = nullptr) {
+  return preprocess_source(src, options, vfs);
+}
+
+TEST(Preprocessor, PassthroughAndWhitespaceNormalization) {
+  const auto r = pp("  int x = 1;  \n\n  double y;\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.output, "int x = 1;\ndouble y;\n");
+}
+
+TEST(Preprocessor, StripsComments) {
+  const auto r = pp("int a; // trailing\n/* block\ncomment */ int b;\n");
+  ASSERT_TRUE(r.ok);
+  EXPECT_FALSE(common::contains(r.output, "trailing"));
+  EXPECT_FALSE(common::contains(r.output, "comment"));
+  EXPECT_TRUE(common::contains(r.output, "int a;"));
+  EXPECT_TRUE(common::contains(r.output, "int b;"));
+}
+
+TEST(Preprocessor, ObjectMacro) {
+  const auto r = pp("#define N 128\nint x = N;\n");
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(common::contains(r.output, "int x = 128;"));
+}
+
+TEST(Preprocessor, FunctionMacro) {
+  const auto r = pp("#define SQ(x) ((x) * (x))\ndouble y = SQ(a + b);\n");
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(common::contains(r.output, "((a + b) * (a + b))"));
+}
+
+TEST(Preprocessor, FunctionMacroMultipleArgs) {
+  const auto r = pp("#define MAD(a,b,c) (a*b+c)\nd = MAD(x, y, z);\n");
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(common::contains(r.output, "(x*y+z)"));
+}
+
+TEST(Preprocessor, NestedMacroExpansion) {
+  const auto r = pp("#define A B\n#define B 7\nint x = A;\n");
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(common::contains(r.output, "int x = 7;"));
+}
+
+TEST(Preprocessor, RecursiveMacroDoesNotLoop) {
+  const auto r = pp("#define X X\nint X;\n");
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(common::contains(r.output, "int X;"));
+}
+
+TEST(Preprocessor, Undef) {
+  const auto r = pp("#define N 1\n#undef N\nint x = N;\n");
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(common::contains(r.output, "int x = N;"));
+}
+
+TEST(Preprocessor, IfdefTakenAndSkipped) {
+  PreprocessOptions options;
+  options.define("HAVE_CUDA");
+  const std::string src =
+      "#ifdef HAVE_CUDA\nint cuda;\n#endif\n"
+      "#ifdef HAVE_HIP\nint hip;\n#endif\n";
+  const auto r = pp(src, options);
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(common::contains(r.output, "int cuda;"));
+  EXPECT_FALSE(common::contains(r.output, "int hip;"));
+}
+
+TEST(Preprocessor, IfndefElse) {
+  const auto r = pp("#ifndef X\nint a;\n#else\nint b;\n#endif\n");
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(common::contains(r.output, "int a;"));
+  EXPECT_FALSE(common::contains(r.output, "int b;"));
+}
+
+TEST(Preprocessor, IfExpressionArithmetic) {
+  const auto r =
+      pp("#define V 3\n#if V * 2 + 1 == 7\nint yes;\n#else\nint no;\n#endif\n");
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(common::contains(r.output, "int yes;"));
+}
+
+TEST(Preprocessor, IfDefinedOperator) {
+  PreprocessOptions options;
+  options.define("MPI");
+  const std::string src =
+      "#if defined(MPI) && !defined(OPENMP)\nint mpi_only;\n#endif\n";
+  const auto r = pp(src, options);
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(common::contains(r.output, "int mpi_only;"));
+}
+
+TEST(Preprocessor, ElifChain) {
+  const std::string src =
+      "#define MODE 2\n"
+      "#if MODE == 1\nint one;\n"
+      "#elif MODE == 2\nint two;\n"
+      "#elif MODE == 3\nint three;\n"
+      "#else\nint other;\n#endif\n";
+  const auto r = pp(src);
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(common::contains(r.output, "int two;"));
+  EXPECT_FALSE(common::contains(r.output, "int one;"));
+  EXPECT_FALSE(common::contains(r.output, "int three;"));
+  EXPECT_FALSE(common::contains(r.output, "int other;"));
+}
+
+TEST(Preprocessor, NestedConditionals) {
+  PreprocessOptions options;
+  options.define("OUTER");
+  const std::string src =
+      "#ifdef OUTER\n#ifdef INNER\nint both;\n#else\nint outer_only;\n"
+      "#endif\n#endif\n";
+  const auto r = pp(src, options);
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(common::contains(r.output, "int outer_only;"));
+  EXPECT_FALSE(common::contains(r.output, "int both;"));
+}
+
+TEST(Preprocessor, InactiveBranchSkipsDirectives) {
+  const std::string src =
+      "#ifdef NOPE\n#define X 1\n#error should not trigger\n#endif\nint x;\n";
+  const auto r = pp(src);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(common::contains(r.output, "int x;"));
+}
+
+TEST(Preprocessor, ErrorDirective) {
+  const auto r = pp("#error custom failure\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(common::contains(r.error, "custom failure"));
+}
+
+TEST(Preprocessor, UndefinedIdentifierInIfIsZero) {
+  const auto r = pp("#if UNDEFINED_THING\nint a;\n#else\nint b;\n#endif\n");
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(common::contains(r.output, "int b;"));
+}
+
+TEST(Preprocessor, IncludeFromVfs) {
+  common::Vfs vfs;
+  vfs.write("inc/defs.h", "#define SIZE 64\n");
+  vfs.write("main.c", "#include \"inc/defs.h\"\nint buf = SIZE;\n");
+  PreprocessOptions options;
+  const auto r = preprocess(vfs, "main.c", options);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(common::contains(r.output, "int buf = 64;"));
+  ASSERT_EQ(r.included_files.size(), 1u);
+  EXPECT_EQ(r.included_files[0], "inc/defs.h");
+}
+
+TEST(Preprocessor, IncludeSearchPath) {
+  common::Vfs vfs;
+  vfs.write("third_party/lib.h", "int lib;\n");
+  vfs.write("main.c", "#include <lib.h>\n");
+  PreprocessOptions options;
+  options.include_dirs.push_back("third_party");
+  const auto r = preprocess(vfs, "main.c", options);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(common::contains(r.output, "int lib;"));
+}
+
+TEST(Preprocessor, IncludeGuardViaDoubleInclusion) {
+  common::Vfs vfs;
+  vfs.write("h.h", "int once;\n");
+  vfs.write("main.c", "#include \"h.h\"\n#include \"h.h\"\n");
+  const auto r = preprocess(vfs, "main.c", {});
+  ASSERT_TRUE(r.ok);
+  // Included once only.
+  EXPECT_EQ(r.output, "int once;\n");
+}
+
+TEST(Preprocessor, MissingIncludeFails) {
+  common::Vfs vfs;
+  vfs.write("main.c", "#include \"nope.h\"\n");
+  const auto r = preprocess(vfs, "main.c", {});
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(common::contains(r.error, "nope.h"));
+}
+
+TEST(Preprocessor, PragmaSurvives) {
+  const auto r = pp("#pragma omp parallel for\nfor_loop_here\n");
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(common::contains(r.output, "#pragma omp parallel for"));
+}
+
+TEST(Preprocessor, LineContinuation) {
+  const auto r = pp("#define LONG a + \\\n b\nint x = LONG;\n");
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(common::contains(r.output, "a +  b"));
+}
+
+TEST(Preprocessor, DefineFromFlagSpec) {
+  PreprocessOptions options;
+  options.define("MD_SIMD=2");
+  options.define("PLAIN");
+  const auto r = pp("#if MD_SIMD == 2 && PLAIN\nint ok;\n#endif\n", options);
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(common::contains(r.output, "int ok;"));
+}
+
+TEST(Preprocessor, SameInputSameOutputDifferentDefinesDiffer) {
+  const std::string src =
+      "#ifdef USE_MPI\nint with_mpi;\n#else\nint no_mpi;\n#endif\n";
+  PreprocessOptions with;
+  with.define("USE_MPI");
+  const auto a = pp(src, with);
+  const auto b = pp(src);
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_NE(a.output, b.output);
+  // And irrelevant defines do not change the output — the core
+  // observation behind preprocessing-hash dedup (§4.3).
+  PreprocessOptions irrelevant;
+  irrelevant.define("SOMETHING_UNUSED");
+  const auto c = pp(src, irrelevant);
+  ASSERT_TRUE(c.ok);
+  EXPECT_EQ(b.output, c.output);
+}
+
+}  // namespace
+}  // namespace xaas::minicc

@@ -1,0 +1,210 @@
+// Property-style sweeps over the compiler and cost model.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/sha256.hpp"
+#include "tests/minicc/test_util.hpp"
+
+namespace xaas::minicc {
+namespace {
+
+using vm::Workload;
+using xaas::testing::run_program;
+
+// ---- Preprocessor determinism & semantic-hash stability -----------------
+
+class PreprocessorHashStability : public ::testing::TestWithParam<int> {};
+
+TEST_P(PreprocessorHashStability, LayoutChangesDoNotChangeHash) {
+  // Whitespace and comments must not affect the preprocessed hash — the
+  // dedup pipeline depends on this.
+  const int variant = GetParam();
+  std::string src = "double f(double* a, int n) {\n"
+                    "  double acc = 0.0;\n"
+                    "  for (int i = 0; i < n; i++) { acc += a[i]; }\n"
+                    "  return acc;\n"
+                    "}\n";
+  std::string mutated = src;
+  switch (variant % 4) {
+    case 0: mutated = "// leading comment\n" + src; break;
+    case 1: mutated = common::replace_all(src, "  ", "      "); break;
+    case 2: mutated = common::replace_all(src, "{\n", "{  /* c */\n"); break;
+    case 3: mutated = src + "\n\n\n"; break;
+  }
+  const auto a = preprocess_source(src, {});
+  const auto b = preprocess_source(mutated, {});
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_EQ(common::sha256_hex(a.output), common::sha256_hex(b.output));
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, PreprocessorHashStability,
+                         ::testing::Range(0, 8));
+
+// ---- Random straight-line expression programs: scalar == lowered --------
+
+class RandomExpressionPrograms : public ::testing::TestWithParam<int> {};
+
+std::string random_kernel(common::Rng& rng, int ops) {
+  // Build a vectorizable elementwise kernel with a random expression tree
+  // over a[i], two scalars, and vector-safe intrinsics.
+  std::string expr = "a[i]";
+  for (int i = 0; i < ops; ++i) {
+    switch (rng.next_below(6)) {
+      case 0: expr = "(" + expr + " + s1)"; break;
+      case 1: expr = "(" + expr + " * s2)"; break;
+      case 2: expr = "(" + expr + " - 0.25)"; break;
+      case 3: expr = "fabs(" + expr + ")"; break;
+      case 4: expr = "fmin(" + expr + ", 8.0)"; break;
+      case 5: expr = "sqrt(fabs(" + expr + ") + 1.0)"; break;
+    }
+  }
+  return "void k(double* out, double* a, int n, double s1, double s2) {\n"
+         "  for (int i = 0; i < n; i++) { out[i] = " +
+         expr + "; }\n}\n";
+}
+
+TEST_P(RandomExpressionPrograms, VectorizedMatchesScalarBitExact) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+  const std::string src = random_kernel(rng, 3 + static_cast<int>(rng.next_below(5)));
+  const int n = 17 + static_cast<int>(rng.next_below(200));
+
+  const auto run_with = [&](isa::VectorIsa visa) {
+    Workload w;
+    w.entry = "k";
+    std::vector<double> a(static_cast<std::size_t>(n));
+    for (auto& v : a) v = rng.uniform(-4.0, 4.0);
+    // Same inputs for both runs: reseed deterministically.
+    common::Rng fill(static_cast<std::uint64_t>(GetParam()) + 1);
+    for (auto& v : a) v = fill.uniform(-4.0, 4.0);
+    w.f64_buffers["out"] = std::vector<double>(static_cast<std::size_t>(n), 0.0);
+    w.f64_buffers["a"] = a;
+    w.args = {Workload::Arg::buf_f64("out"), Workload::Arg::buf_f64("a"),
+              Workload::Arg::i64(n), Workload::Arg::f64(1.5),
+              Workload::Arg::f64(0.75)};
+    minicc::TargetSpec t;
+    t.visa = visa;
+    auto r = run_program(src, w, t, "ault23");
+    EXPECT_TRUE(r.ok) << r.error << "\n" << src;
+    return w.f64_buffers["out"];
+  };
+
+  const auto scalar = run_with(isa::VectorIsa::None);
+  for (isa::VectorIsa visa :
+       {isa::VectorIsa::SSE2, isa::VectorIsa::AVX2_256,
+        isa::VectorIsa::AVX_512}) {
+    EXPECT_EQ(run_with(visa), scalar)
+        << "ISA " << isa::to_string(visa) << "\n" << src;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomExpressionPrograms,
+                         ::testing::Range(0, 12));
+
+// ---- Cost-model monotonicity ---------------------------------------------
+
+TEST(CostModel, CyclesScaleLinearlyWithTripCount) {
+  const std::string src =
+      "double f(double* a, int n) {\n"
+      "  double acc = 0.0;\n"
+      "  for (int i = 0; i < n; i++) { acc += a[i] * 1.5; }\n"
+      "  return acc;\n"
+      "}\n";
+  const auto cycles_for = [&](int n) {
+    Workload w;
+    w.entry = "f";
+    w.f64_buffers["a"] = std::vector<double>(static_cast<std::size_t>(n), 1.0);
+    w.args = {Workload::Arg::buf_f64("a"), Workload::Arg::i64(n)};
+    auto r = run_program(src, w);
+    EXPECT_TRUE(r.ok);
+    return r.cycles_serial + r.cycles_parallel;
+  };
+  const double c1 = cycles_for(1000);
+  const double c4 = cycles_for(4000);
+  EXPECT_NEAR(c4 / c1, 4.0, 0.1);
+}
+
+TEST(CostModel, WiderIsaNeverSlower) {
+  const std::string src =
+      "void k(double* a, int n) {\n"
+      "  for (int i = 0; i < n; i++) { a[i] = a[i] * 2.0 + 1.0; }\n"
+      "}\n";
+  double previous = 1e100;
+  for (isa::VectorIsa visa :
+       {isa::VectorIsa::None, isa::VectorIsa::SSE2, isa::VectorIsa::AVX_256,
+        isa::VectorIsa::AVX_512}) {
+    Workload w;
+    w.entry = "k";
+    w.f64_buffers["a"] = std::vector<double>(512, 1.0);
+    w.args = {Workload::Arg::buf_f64("a"), Workload::Arg::i64(512)};
+    minicc::TargetSpec t;
+    t.visa = visa;
+    auto r = run_program(src, w, t, "ault23");
+    ASSERT_TRUE(r.ok) << r.error;
+    const double cycles = r.cycles_serial + r.cycles_parallel;
+    EXPECT_LE(cycles, previous * 1.01) << isa::to_string(visa);
+    previous = cycles;
+  }
+}
+
+TEST(CostModel, MoreThreadsNeverSlowerForParallelLoops) {
+  const std::string src =
+      "void k(double* a, int n) {\n"
+      "#pragma omp parallel for\n"
+      "  for (int i = 0; i < n; i++) { a[i] = sqrt(a[i] + 1.0); }\n"
+      "}\n";
+  minicc::CompileFlags flags;
+  flags.openmp = true;
+  minicc::TargetSpec t;
+  t.openmp = true;
+  double previous = 1e100;
+  for (int threads : {1, 2, 4, 8, 16}) {
+    Workload w;
+    w.entry = "k";
+    w.f64_buffers["a"] = std::vector<double>(20000, 2.0);
+    w.args = {Workload::Arg::buf_f64("a"), Workload::Arg::i64(20000)};
+    auto r = run_program(src, w, t, "ault23", threads, flags);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_LE(r.elapsed_seconds, previous * 1.001) << threads;
+    previous = r.elapsed_seconds;
+  }
+}
+
+// ---- IR round-trip over the whole app corpus ------------------------------
+
+TEST(IrRoundTrip, EveryMinimdIrFileSurvivesPrintParsePrint) {
+  common::Vfs vfs;
+  // Reuse the shipped mini-app sources as a corpus.
+  const auto app_src = R"(
+double mix(double* a, double* b, int n) {
+  double acc = 0.0;
+#pragma omp parallel for reduction(+:acc)
+  for (int i = 0; i < n; i++) {
+    double t = a[i] * b[i];
+    acc += fmin(t, 100.0);
+  }
+  return acc;
+}
+int select(int x) {
+  if (x > 10) { return 1; }
+  int y = 0;
+  while (y < x) { y += 2; }
+  return y;
+}
+)";
+  vfs.write("m.c", app_src);
+  minicc::CompileFlags flags;
+  flags.openmp = true;
+  const auto compiled = compile_to_ir(vfs, "m.c", flags);
+  ASSERT_TRUE(compiled.ok) << compiled.error.message;
+  const std::string once = ir::print(compiled.module);
+  const auto parsed = ir::parse_ir(once);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(ir::print(parsed.module), once);
+  // And the reparsed module still lowers and vectorizes.
+  const auto lowered = lower(parsed.module, {isa::VectorIsa::AVX_512, true, 2});
+  EXPECT_GE(lowered.vectorized_loops, 1);
+}
+
+}  // namespace
+}  // namespace xaas::minicc

@@ -1,0 +1,43 @@
+// Shared helpers: compile Kernel-C snippets and run them on the VM.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/vfs.hpp"
+#include "minicc/driver.hpp"
+#include "vm/executor.hpp"
+#include "vm/node.hpp"
+#include "vm/program.hpp"
+
+namespace xaas::testing {
+
+inline minicc::MachineModule compile_one(
+    const std::string& src, const minicc::TargetSpec& target = {},
+    const minicc::CompileFlags& flags = {}) {
+  common::Vfs vfs;
+  vfs.write("test.c", src);
+  const auto r = minicc::compile_to_target(vfs, "test.c", flags, target);
+  EXPECT_TRUE(r.ok) << r.error.phase << ": " << r.error.message;
+  return r.machine;
+}
+
+inline vm::RunResult run_program(const std::string& src, vm::Workload& w,
+                                 const minicc::TargetSpec& target = {},
+                                 const std::string& node_name = "devbox",
+                                 int threads = 1,
+                                 const minicc::CompileFlags& flags = {}) {
+  std::vector<minicc::MachineModule> modules;
+  modules.push_back(compile_one(src, target, flags));
+  std::string link_error;
+  const vm::Program program = vm::Program::link(std::move(modules), &link_error);
+  EXPECT_TRUE(program.ok()) << link_error;
+  vm::ExecutorOptions options;
+  options.threads = threads;
+  const vm::Executor exec(program, vm::node(node_name), options);
+  return exec.run(w);
+}
+
+}  // namespace xaas::testing

@@ -1,0 +1,89 @@
+#include "spec/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/minimd.hpp"
+
+namespace xaas::spec {
+namespace {
+
+SpecializationPoints minimd_truth() {
+  apps::MinimdOptions options;
+  options.module_count = 2;
+  options.gpu_module_count = 1;
+  return apps::make_minimd(options).ground_truth();
+}
+
+TEST(Spec, GroundTruthCategories) {
+  const SpecializationPoints sp = minimd_truth();
+  EXPECT_EQ(sp.application, "minimd");
+  EXPECT_TRUE(sp.gpu_build);
+  // CUDA/HIP/SYCL/OPENCL (OFF is skipped).
+  EXPECT_EQ(sp.gpu_backends.size(), 4u);
+  // MPI + OpenMP.
+  EXPECT_EQ(sp.parallel_libraries.size(), 2u);
+  // fftpack/fftw3/mkl.
+  EXPECT_EQ(sp.fft_libraries.size(), 3u);
+  // internal/openblas/mkl.
+  EXPECT_EQ(sp.linear_algebra_libraries.size(), 3u);
+  // Nine SIMD levels including None.
+  EXPECT_EQ(sp.simd_levels.size(), 9u);
+  // fftpack + miniblas internal builds.
+  EXPECT_EQ(sp.internal_builds.size(), 2u);
+}
+
+TEST(Spec, BuildFlagsFollowOptionNames) {
+  const SpecializationPoints sp = minimd_truth();
+  bool found_cuda = false;
+  for (const auto& e : sp.gpu_backends) {
+    if (e.name == "CUDA") {
+      found_cuda = true;
+      EXPECT_EQ(e.build_flag, "-DMD_GPU=CUDA");
+      EXPECT_EQ(e.minimum_version, "12.1");  // from require_dependency
+    }
+  }
+  EXPECT_TRUE(found_cuda);
+}
+
+TEST(Spec, DefaultsMarked) {
+  const SpecializationPoints sp = minimd_truth();
+  int defaults = 0;
+  for (const auto& e : sp.simd_levels) {
+    if (e.used_as_default) {
+      ++defaults;
+      EXPECT_EQ(e.name, "SSE2");
+    }
+  }
+  EXPECT_EQ(defaults, 1);
+}
+
+TEST(Spec, JsonRoundTrip) {
+  const SpecializationPoints sp = minimd_truth();
+  const auto j = sp.to_json();
+  const SpecializationPoints back = SpecializationPoints::from_json(j);
+  EXPECT_EQ(back.application, sp.application);
+  EXPECT_EQ(back.gpu_backends.size(), sp.gpu_backends.size());
+  EXPECT_EQ(back.simd_levels.size(), sp.simd_levels.size());
+  EXPECT_EQ(back.fft_libraries.size(), sp.fft_libraries.size());
+  EXPECT_EQ(back.to_json().dump(), j.dump());
+}
+
+TEST(Spec, JsonUsesPaperSchemaKeys) {
+  const auto j = minimd_truth().to_json();
+  EXPECT_TRUE(j.contains("gpu_build"));
+  EXPECT_TRUE(j.contains("gpu_backends"));
+  EXPECT_TRUE(j.contains("parallel_programming_libraries"));
+  EXPECT_TRUE(j.contains("linear_algebra_libraries"));
+  EXPECT_TRUE(j.contains("FFT_libraries"));
+  EXPECT_TRUE(j.contains("simd_vectorization"));
+  EXPECT_TRUE(j.contains("build_system"));
+  EXPECT_TRUE(j.contains("internal_build"));
+}
+
+TEST(Spec, TotalEntriesCountsAllCategories) {
+  const SpecializationPoints sp = minimd_truth();
+  EXPECT_EQ(sp.total_entries(), 4u + 2u + 3u + 3u + 9u + 0u + 2u);
+}
+
+}  // namespace
+}  // namespace xaas::spec

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "apps/minimd.hpp"
+#include "spec/intersect.hpp"
+#include "spec/system.hpp"
+#include "vm/node.hpp"
+
+namespace xaas::spec {
+namespace {
+
+SpecializationPoints minimd_truth() {
+  apps::MinimdOptions options;
+  options.module_count = 2;
+  options.gpu_module_count = 1;
+  return apps::make_minimd(options).ground_truth();
+}
+
+TEST(SystemDiscovery, Ault23Features) {
+  const SystemFeatures sf = discover_system(vm::node("ault23"));
+  EXPECT_EQ(sf.system_name, "ault23");
+  EXPECT_EQ(sf.microarch, "skylake_avx512");
+  EXPECT_EQ(sf.gpu_name, "V100");
+  EXPECT_EQ(sf.gpu_runtimes.at("cuda"), "12.1");
+  // Augmentation: CUDA implies cuFFT/cuBLAS (§4.1).
+  EXPECT_TRUE(sf.libraries.count("cufft"));
+  EXPECT_TRUE(sf.libraries.count("cublas"));
+  EXPECT_TRUE(sf.libraries.count("mkl"));
+  EXPECT_TRUE(sf.compilers.count("gcc"));
+}
+
+TEST(SystemDiscovery, AuroraOneapiImpliesMklAndSycl) {
+  const SystemFeatures sf = discover_system(vm::node("aurora"));
+  EXPECT_TRUE(sf.libraries.count("mkl"));
+  EXPECT_TRUE(sf.gpu_runtimes.count("sycl"));
+  EXPECT_TRUE(sf.gpu_runtimes.count("level-zero"));
+}
+
+TEST(SystemDiscovery, JsonShapeMatchesFig4b) {
+  const auto j = discover_system(vm::node("ault23")).to_json();
+  EXPECT_TRUE(j.contains("CPU Info"));
+  EXPECT_TRUE(j.find("CPU Info")->contains("Vectorization"));
+  EXPECT_TRUE(j.contains("GPU Backends"));
+}
+
+TEST(Intersect, GpuBackendsLimitedToSystemRuntimes) {
+  const auto common =
+      intersect(minimd_truth(), discover_system(vm::node("ault23")));
+  // minimd supports CUDA/HIP/SYCL/OPENCL; ault23 offers cuda + opencl.
+  std::vector<std::string> names;
+  for (const auto& e : common.gpu_backends) names.push_back(e.name);
+  EXPECT_NE(std::find(names.begin(), names.end(), "CUDA"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "OPENCL"), names.end());
+  EXPECT_EQ(std::find(names.begin(), names.end(), "HIP"), names.end());
+}
+
+TEST(Intersect, SimdLevelsRespectCpu) {
+  const auto on_zen2 =
+      intersect(minimd_truth(), discover_system(vm::node("ault25")));
+  for (const auto& e : on_zen2.simd_levels) {
+    EXPECT_NE(e.name, "AVX_512") << "Zen2 must not offer AVX-512";
+    EXPECT_NE(e.name, "ARM_SVE");
+  }
+  const auto on_skylake =
+      intersect(minimd_truth(), discover_system(vm::node("ault23")));
+  bool has_avx512 = false;
+  for (const auto& e : on_skylake.simd_levels) {
+    if (e.name == "AVX_512") has_avx512 = true;
+  }
+  EXPECT_TRUE(has_avx512);
+}
+
+TEST(Intersect, ArmSystemGetsArmSimd) {
+  const auto common =
+      intersect(minimd_truth(), discover_system(vm::node("clariden")));
+  std::vector<std::string> names;
+  for (const auto& e : common.simd_levels) names.push_back(e.name);
+  EXPECT_NE(std::find(names.begin(), names.end(), "ARM_SVE"), names.end());
+  EXPECT_EQ(std::find(names.begin(), names.end(), "AVX_512"), names.end());
+}
+
+TEST(Intersect, FftLibrariesGatedByAvailability) {
+  // devbox has fftw but no MKL.
+  const auto common =
+      intersect(minimd_truth(), discover_system(vm::node("devbox")));
+  std::vector<std::string> names;
+  for (const auto& e : common.fft_libraries) names.push_back(e.name);
+  EXPECT_NE(std::find(names.begin(), names.end(), "fftw3"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "fftpack"), names.end());
+  EXPECT_EQ(std::find(names.begin(), names.end(), "mkl"), names.end());
+}
+
+TEST(Intersect, BestChoicesFollowPolicy) {
+  const auto common =
+      intersect(minimd_truth(), discover_system(vm::node("ault23")));
+  EXPECT_EQ(common.best_gpu_backend().name, "CUDA");
+  EXPECT_EQ(common.best_simd_level().name, "AVX_512");
+}
+
+TEST(Intersect, JsonShapeMatchesFig4c) {
+  const auto common =
+      intersect(minimd_truth(), discover_system(vm::node("ault23")));
+  const auto j = common.to_json();
+  ASSERT_TRUE(j.contains("common_specialization"));
+  const auto* cs = j.find("common_specialization");
+  EXPECT_TRUE(cs->contains("vectorization_flags"));
+  EXPECT_TRUE(cs->contains("gpu_backends"));
+}
+
+TEST(Intersect, CudaMinimumVersionGates) {
+  // minimd requires CUDA >= 12.1; a node with CUDA 11 must not offer it.
+  SystemFeatures sf = discover_system(vm::node("ault23"));
+  sf.gpu_runtimes["cuda"] = "11.8";
+  const auto common = intersect(minimd_truth(), sf);
+  for (const auto& e : common.gpu_backends) {
+    EXPECT_NE(e.name, "CUDA");
+  }
+}
+
+}  // namespace
+}  // namespace xaas::spec

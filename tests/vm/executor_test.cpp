@@ -1,0 +1,206 @@
+#include "vm/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/minicc/test_util.hpp"
+
+namespace xaas::vm {
+namespace {
+
+using xaas::testing::run_program;
+
+const std::string kParallelFill =
+    "void fill(double* a, int n) {\n"
+    "#pragma omp parallel for\n"
+    "  for (int i = 0; i < n; i++) { a[i] = sqrt(i * 1.0); }\n"
+    "}\n";
+
+Workload fill_workload(int n) {
+  Workload w;
+  w.entry = "fill";
+  w.f64_buffers["a"] = std::vector<double>(static_cast<std::size_t>(n), 0.0);
+  w.args = {Workload::Arg::buf_f64("a"), Workload::Arg::i64(n)};
+  return w;
+}
+
+TEST(Executor, OpenmpScalesElapsedTime) {
+  minicc::CompileFlags flags;
+  flags.openmp = true;
+  minicc::TargetSpec target;
+  target.openmp = true;
+
+  Workload w1 = fill_workload(20000);
+  auto r1 = run_program(kParallelFill, w1, target, "ault23", 1, flags);
+  ASSERT_TRUE(r1.ok) << r1.error;
+
+  Workload w16 = fill_workload(20000);
+  auto r16 = run_program(kParallelFill, w16, target, "ault23", 16, flags);
+  ASSERT_TRUE(r16.ok) << r16.error;
+
+  EXPECT_EQ(r16.threads_used, 16);
+  // Parallel cycles dominate; expect near-linear scaling (efficiency 0.92).
+  EXPECT_LT(r16.elapsed_seconds, r1.elapsed_seconds / 8.0);
+  EXPECT_GT(r16.fork_joins, 0);
+}
+
+TEST(Executor, WithoutOpenmpNoScaling) {
+  // Same source, compiled without -fopenmp: the pragma is ignored.
+  Workload w1 = fill_workload(5000);
+  auto r1 = run_program(kParallelFill, w1, {}, "ault23", 1);
+  ASSERT_TRUE(r1.ok) << r1.error;
+  Workload w16 = fill_workload(5000);
+  auto r16 = run_program(kParallelFill, w16, {}, "ault23", 16);
+  ASSERT_TRUE(r16.ok) << r16.error;
+  EXPECT_DOUBLE_EQ(r16.elapsed_seconds, r1.elapsed_seconds);
+  EXPECT_EQ(r1.fork_joins, 0);
+}
+
+TEST(Executor, ThreadsCappedAtNodeCores) {
+  minicc::TargetSpec target;
+  target.openmp = true;
+  minicc::CompileFlags flags;
+  flags.openmp = true;
+  Workload w = fill_workload(1000);
+  auto r = run_program(kParallelFill, w, target, "ault23", 512, flags);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.threads_used, node("ault23").cpu.cores);
+}
+
+TEST(Executor, GpuKernelRunsOnGpuNode) {
+  const std::string src =
+      "#pragma xaas gpu_kernel\n"
+      "void k(double* a, int n) {\n"
+      "  for (int i = 0; i < n; i++) { a[i] = a[i] * 2.0 + 1.0; }\n"
+      "}\n"
+      "void launch(double* a, int n) { k(a, n); }\n";
+  Workload w;
+  w.entry = "launch";
+  w.f64_buffers["a"] = std::vector<double>(1000, 1.0);
+  w.args = {Workload::Arg::buf_f64("a"), Workload::Arg::i64(1000)};
+  auto r = run_program(src, w, {}, "ault23");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_GT(r.cycles_gpu, 0.0);
+  EXPECT_DOUBLE_EQ(w.f64_buffers["a"][0], 3.0);
+}
+
+TEST(Executor, GpuKernelTrapsWithoutGpu) {
+  const std::string src =
+      "#pragma xaas gpu_kernel\n"
+      "void k(double* a, int n) { a[0] = 1.0; }\n"
+      "void launch(double* a, int n) { k(a, n); }\n";
+  Workload w;
+  w.entry = "launch";
+  w.f64_buffers["a"] = std::vector<double>(4, 0.0);
+  w.args = {Workload::Arg::buf_f64("a"), Workload::Arg::i64(4)};
+  auto r = run_program(src, w, {}, "ault01");  // CPU-only partition
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("without a GPU"), std::string::npos);
+}
+
+TEST(Executor, GpuIsFasterThanCpuForLargeKernels) {
+  const std::string gpu_src =
+      "#pragma xaas gpu_kernel\n"
+      "void k(double* a, int n) {\n"
+      "  for (int i = 0; i < n; i++) { a[i] = sqrt(a[i]) * 2.0; }\n"
+      "}\n"
+      "void run(double* a, int n) { k(a, n); }\n";
+  const std::string cpu_src =
+      "void k(double* a, int n) {\n"
+      "  for (int i = 0; i < n; i++) { a[i] = sqrt(a[i]) * 2.0; }\n"
+      "}\n"
+      "void run(double* a, int n) { k(a, n); }\n";
+  const auto elapsed = [&](const std::string& src) {
+    Workload w;
+    w.entry = "run";
+    w.f64_buffers["a"] = std::vector<double>(100000, 2.0);
+    w.args = {Workload::Arg::buf_f64("a"), Workload::Arg::i64(100000)};
+    auto r = run_program(src, w, {}, "ault23");
+    EXPECT_TRUE(r.ok) << r.error;
+    return r.elapsed_seconds;
+  };
+  EXPECT_LT(elapsed(gpu_src), elapsed(cpu_src));
+}
+
+TEST(Executor, IllegalInstructionOnWeakerHost) {
+  minicc::TargetSpec avx512;
+  avx512.visa = isa::VectorIsa::AVX_512;
+  Workload w;
+  w.entry = "f";
+  w.args = {Workload::Arg::f64(1.0)};
+  // ault25 is Zen2: AVX2 only.
+  auto r = run_program("double f(double x) { return x; }\n", w, avx512,
+                       "ault25");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("illegal instruction"), std::string::npos);
+}
+
+TEST(Executor, ExecFormatErrorAcrossArchitectures) {
+  minicc::TargetSpec sse;
+  sse.visa = isa::VectorIsa::SSE2;
+  Workload w;
+  w.entry = "f";
+  w.args = {Workload::Arg::f64(1.0)};
+  auto r = run_program("double f(double x) { return x; }\n", w, sse,
+                       "clariden");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("exec format error"), std::string::npos);
+}
+
+TEST(Executor, ScalarCodeRunsAnywhere) {
+  Workload w;
+  w.entry = "f";
+  w.args = {Workload::Arg::f64(2.0)};
+  for (const char* n : {"ault23", "ault25", "clariden", "aurora"}) {
+    Workload wc = w;
+    auto r = run_program("double f(double x) { return x * x; }\n", wc, {}, n);
+    EXPECT_TRUE(r.ok) << n << ": " << r.error;
+    EXPECT_DOUBLE_EQ(r.ret_f64, 4.0);
+  }
+}
+
+TEST(Executor, NeonCodeRunsOnClariden) {
+  minicc::TargetSpec neon;
+  neon.visa = isa::VectorIsa::NEON_ASIMD;
+  Workload w;
+  w.entry = "f";
+  w.args = {Workload::Arg::f64(3.0)};
+  auto r = run_program("double f(double x) { return x + 1.0; }\n", w, neon,
+                       "clariden");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_DOUBLE_EQ(r.ret_f64, 4.0);
+}
+
+TEST(Executor, MissingEntryFunction) {
+  Workload w;
+  w.entry = "no_such";
+  auto r = run_program("void f() { }\n", w);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Executor, UnknownBufferName) {
+  Workload w;
+  w.entry = "f";
+  w.args = {Workload::Arg::buf_f64("ghost")};
+  auto r = run_program("void f(double* a) { }\n", w);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unknown buffer"), std::string::npos);
+}
+
+TEST(Executor, InstructionBudgetStopsRunaways) {
+  const std::string src =
+      "void f() { while (1 == 1) { } }\n";
+  std::vector<minicc::MachineModule> modules;
+  modules.push_back(xaas::testing::compile_one(src));
+  const Program program = Program::link(std::move(modules));
+  ExecutorOptions options;
+  options.max_instructions = 10000;
+  const Executor exec(program, node("devbox"), options);
+  Workload w;
+  w.entry = "f";
+  auto r = exec.run(w);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("instruction budget"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xaas::vm

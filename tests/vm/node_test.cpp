@@ -1,0 +1,65 @@
+#include "vm/node.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xaas::vm {
+namespace {
+
+TEST(Node, RegistryContainsPaperSystems) {
+  const auto names = node_names();
+  for (const char* expected :
+       {"ault23", "ault25", "ault01", "clariden", "aurora", "devbox"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(Node, UnknownNodeThrows) {
+  EXPECT_THROW(node("summit"), std::runtime_error);
+}
+
+TEST(Node, Ault23IsSkylakeWithV100) {
+  const NodeSpec& n = node("ault23");
+  EXPECT_EQ(n.cpu.microarch, "skylake_avx512");
+  EXPECT_EQ(n.best_vector_isa(), isa::VectorIsa::AVX_512);
+  ASSERT_TRUE(n.gpu.has_value());
+  EXPECT_EQ(n.gpu->name, "V100");
+  EXPECT_EQ(n.gpu->cc_major, 7);
+}
+
+TEST(Node, Ault25IsZen2CappedAtAvx2) {
+  const NodeSpec& n = node("ault25");
+  EXPECT_EQ(n.best_vector_isa(), isa::VectorIsa::AVX2_256);
+  ASSERT_TRUE(n.gpu.has_value());
+  EXPECT_EQ(n.gpu->name, "A100");
+}
+
+TEST(Node, ClaridenIsArmWithSve) {
+  const NodeSpec& n = node("clariden");
+  EXPECT_EQ(n.cpu.arch, isa::Arch::AArch64);
+  EXPECT_EQ(n.best_vector_isa(), isa::VectorIsa::SVE);
+  EXPECT_TRUE(n.supports_image_build);  // built on compute nodes (§6.1)
+}
+
+TEST(Node, AuroraHasIntelGpuAndApptainer) {
+  const NodeSpec& n = node("aurora");
+  ASSERT_TRUE(n.gpu.has_value());
+  EXPECT_EQ(n.gpu->vendor, "Intel");
+  EXPECT_EQ(n.container_runtime, "apptainer");
+  EXPECT_FALSE(n.supports_image_build);
+}
+
+TEST(Node, HasModuleMatchesPrefix) {
+  const NodeSpec& n = node("ault23");
+  EXPECT_TRUE(n.has_module("cuda"));
+  EXPECT_TRUE(n.has_module("cuda/12.1"));
+  EXPECT_TRUE(n.has_module("mkl"));
+  EXPECT_FALSE(n.has_module("rocm"));
+}
+
+TEST(Node, Ault01HasNoGpu) {
+  EXPECT_FALSE(node("ault01").gpu.has_value());
+}
+
+}  // namespace
+}  // namespace xaas::vm

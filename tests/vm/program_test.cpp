@@ -1,0 +1,78 @@
+#include "vm/program.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/minicc/test_util.hpp"
+
+namespace xaas::vm {
+namespace {
+
+using xaas::testing::compile_one;
+
+TEST(Program, LinksMultipleModules) {
+  std::vector<minicc::MachineModule> modules;
+  modules.push_back(compile_one("double helper(double x) { return x * 2.0; }\n"));
+  modules.push_back(
+      compile_one("double helper(double x);\n"
+                  "double main_fn(double x) { return helper(x) + 1.0; }\n"));
+  // Declarations produce no code, so no duplicate symbol.
+  std::string error;
+  const Program p = Program::link(std::move(modules), &error);
+  ASSERT_TRUE(p.ok()) << error;
+  EXPECT_NE(p.find_function("helper"), nullptr);
+  EXPECT_NE(p.find_function("main_fn"), nullptr);
+  EXPECT_EQ(p.find_function("absent"), nullptr);
+  EXPECT_EQ(p.num_modules(), 2u);
+}
+
+TEST(Program, DuplicateSymbolFails) {
+  std::vector<minicc::MachineModule> modules;
+  modules.push_back(compile_one("void f() { }\n"));
+  modules.push_back(compile_one("void f() { }\n"));
+  std::string error;
+  const Program p = Program::link(std::move(modules), &error);
+  EXPECT_FALSE(p.ok());
+  EXPECT_NE(error.find("duplicate symbol"), std::string::npos);
+}
+
+TEST(Program, UnresolvedSymbolFails) {
+  std::vector<minicc::MachineModule> modules;
+  modules.push_back(
+      compile_one("double missing(double x);\n"
+                  "double f(double x) { return missing(x); }\n"));
+  std::string error;
+  const Program p = Program::link(std::move(modules), &error);
+  EXPECT_FALSE(p.ok());
+  EXPECT_NE(error.find("unresolved symbol"), std::string::npos);
+}
+
+TEST(Program, MixedTargetIsaFailsToLink) {
+  minicc::TargetSpec sse;
+  sse.visa = isa::VectorIsa::SSE2;
+  minicc::TargetSpec avx;
+  avx.visa = isa::VectorIsa::AVX_512;
+  std::vector<minicc::MachineModule> modules;
+  modules.push_back(compile_one("void a() { }\n", sse));
+  modules.push_back(compile_one("void b() { }\n", avx));
+  std::string error;
+  const Program p = Program::link(std::move(modules), &error);
+  EXPECT_FALSE(p.ok());
+  EXPECT_NE(error.find("target ISA mismatch"), std::string::npos);
+}
+
+TEST(Program, IntrinsicsNeedNoDefinition) {
+  std::vector<minicc::MachineModule> modules;
+  modules.push_back(compile_one("double f(double x) { return sqrt(x); }\n"));
+  std::string error;
+  const Program p = Program::link(std::move(modules), &error);
+  EXPECT_TRUE(p.ok()) << error;
+}
+
+TEST(Program, EmptyLinkFails) {
+  std::string error;
+  const Program p = Program::link({}, &error);
+  EXPECT_FALSE(p.ok());
+}
+
+}  // namespace
+}  // namespace xaas::vm

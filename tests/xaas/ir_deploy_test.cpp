@@ -1,0 +1,167 @@
+#include "xaas/ir_deploy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/minilulesh.hpp"
+#include "apps/minimd.hpp"
+#include "xaas/ir_pipeline.hpp"
+#include "xaas/source_container.hpp"
+
+namespace xaas {
+namespace {
+
+IrContainerBuild build_lulesh_ir() {
+  const Application app = apps::make_minilulesh();
+  IrBuildOptions options;
+  options.points = {{"LULESH_MPI", {"OFF", "ON"}},
+                    {"LULESH_OPENMP", {"OFF", "ON"}}};
+  return build_ir_container(app, isa::Arch::X86_64, options);
+}
+
+TEST(IrDeploy, DeploysSelectedConfigAndRuns) {
+  const auto build = build_lulesh_ir();
+  ASSERT_TRUE(build.ok) << build.error;
+
+  IrDeployOptions options;
+  options.selections = {{"LULESH_MPI", "OFF"}, {"LULESH_OPENMP", "ON"}};
+  const DeployedApp deployed =
+      deploy_ir_container(build.image, vm::node("ault23"), options);
+  ASSERT_TRUE(deployed.ok) << deployed.error;
+  EXPECT_TRUE(deployed.target.openmp);
+
+  vm::Workload w = apps::minilulesh_workload(200, 8);
+  const auto r = deployed.run(w, 8);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_GT(r.ret_f64, 0.0);
+}
+
+TEST(IrDeploy, AmbiguousSelectionRejected) {
+  const auto build = build_lulesh_ir();
+  ASSERT_TRUE(build.ok);
+  IrDeployOptions options;
+  options.selections = {{"LULESH_MPI", "OFF"}};  // OpenMP unspecified
+  const DeployedApp deployed =
+      deploy_ir_container(build.image, vm::node("ault23"), options);
+  EXPECT_FALSE(deployed.ok);
+  EXPECT_NE(deployed.error.find("ambiguous"), std::string::npos);
+}
+
+TEST(IrDeploy, UnknownSelectionRejected) {
+  const auto build = build_lulesh_ir();
+  ASSERT_TRUE(build.ok);
+  IrDeployOptions options;
+  options.selections = {{"LULESH_MPI", "MAYBE"}, {"LULESH_OPENMP", "ON"}};
+  const DeployedApp deployed =
+      deploy_ir_container(build.image, vm::node("ault23"), options);
+  EXPECT_FALSE(deployed.ok);
+}
+
+TEST(IrDeploy, WrongArchitectureRejected) {
+  const auto build = build_lulesh_ir();
+  ASSERT_TRUE(build.ok);
+  IrDeployOptions options;
+  options.selections = {{"LULESH_MPI", "OFF"}, {"LULESH_OPENMP", "ON"}};
+  const DeployedApp deployed =
+      deploy_ir_container(build.image, vm::node("clariden"), options);
+  EXPECT_FALSE(deployed.ok);
+}
+
+TEST(IrDeploy, MpiConfigCompilesSystemDependentSources) {
+  apps::MinimdOptions app_options;
+  app_options.module_count = 6;
+  app_options.gpu_module_count = 1;
+  const Application app = apps::make_minimd(app_options);
+  IrBuildOptions build_options;
+  build_options.points = {{"MD_MPI", {"OFF", "ON"}}};
+  const auto build = build_ir_container(app, isa::Arch::X86_64, build_options);
+  ASSERT_TRUE(build.ok) << build.error;
+
+  IrDeployOptions options;
+  options.selections = {{"MD_MPI", "ON"}};
+  const DeployedApp deployed =
+      deploy_ir_container(build.image, vm::node("ault23"), options);
+  ASSERT_TRUE(deployed.ok) << deployed.error;
+
+  vm::Workload w = apps::minimd_workload({48, 8, 3, 32});
+  const auto r = deployed.run(w, 2);
+  ASSERT_TRUE(r.ok) << r.error;
+}
+
+TEST(IrDeploy, LoweringTargetFollowsMarchOverride) {
+  const auto build = build_lulesh_ir();
+  ASSERT_TRUE(build.ok);
+  IrDeployOptions options;
+  options.selections = {{"LULESH_MPI", "OFF"}, {"LULESH_OPENMP", "ON"}};
+  options.march = isa::VectorIsa::SSE4_1;
+  const DeployedApp deployed =
+      deploy_ir_container(build.image, vm::node("ault23"), options);
+  ASSERT_TRUE(deployed.ok) << deployed.error;
+  EXPECT_EQ(deployed.target.visa, isa::VectorIsa::SSE4_1);
+}
+
+TEST(IrDeploy, VectorizationLevelChangesModeledRuntime) {
+  apps::MinimdOptions app_options;
+  app_options.module_count = 4;
+  app_options.gpu_module_count = 1;
+  const Application app = apps::make_minimd(app_options);
+  IrBuildOptions build_options;
+  build_options.points = {{"MD_SIMD", {"SSE4.1", "AVX_512"}}};
+  const auto build = build_ir_container(app, isa::Arch::X86_64, build_options);
+  ASSERT_TRUE(build.ok) << build.error;
+
+  const auto time_for = [&](const std::string& simd) {
+    IrDeployOptions options;
+    options.selections = {{"MD_SIMD", simd}};
+    const DeployedApp deployed =
+        deploy_ir_container(build.image, vm::node("ault01"), options);
+    EXPECT_TRUE(deployed.ok) << deployed.error;
+    vm::Workload w = apps::minimd_workload({128, 16, 4, 128});
+    const auto r = deployed.run(w, 1);
+    EXPECT_TRUE(r.ok) << r.error;
+    return r.elapsed_seconds;
+  };
+  // AVX-512 deployment beats SSE4.1 of the *same* IR container (Fig. 12).
+  EXPECT_LT(time_for("AVX_512"), time_for("SSE4.1") * 0.75);
+}
+
+TEST(IrDeploy, SameIrNumericsAcrossVectorLevels) {
+  apps::MinimdOptions app_options;
+  app_options.module_count = 4;
+  app_options.gpu_module_count = 1;
+  const Application app = apps::make_minimd(app_options);
+  IrBuildOptions build_options;
+  build_options.points = {{"MD_SIMD", {"SSE4.1", "AVX2_256"}}};
+  const auto build = build_ir_container(app, isa::Arch::X86_64, build_options);
+  ASSERT_TRUE(build.ok) << build.error;
+
+  const auto energy_for = [&](const std::string& simd) {
+    IrDeployOptions options;
+    options.selections = {{"MD_SIMD", simd}};
+    const DeployedApp deployed =
+        deploy_ir_container(build.image, vm::node("ault01"), options);
+    EXPECT_TRUE(deployed.ok) << deployed.error;
+    vm::Workload w = apps::minimd_workload({64, 8, 3, 64});
+    const auto r = deployed.run(w, 1);
+    EXPECT_TRUE(r.ok) << r.error;
+    return r.ret_f64;
+  };
+  const double e_sse = energy_for("SSE4.1");
+  const double e_avx = energy_for("AVX2_256");
+  EXPECT_NEAR(e_sse, e_avx, 1e-6 * (std::abs(e_sse) + 1.0));
+}
+
+TEST(IrDeploy, DeployedImageIsNativeArchitecture) {
+  const auto build = build_lulesh_ir();
+  ASSERT_TRUE(build.ok);
+  IrDeployOptions options;
+  options.selections = {{"LULESH_MPI", "OFF"}, {"LULESH_OPENMP", "OFF"}};
+  const DeployedApp deployed =
+      deploy_ir_container(build.image, vm::node("ault23"), options);
+  ASSERT_TRUE(deployed.ok) << deployed.error;
+  EXPECT_EQ(deployed.image.architecture, container::kArchAmd64);
+  EXPECT_EQ(deployed.image.annotations.at(container::kAnnotationKind),
+            "deployed-ir");
+}
+
+}  // namespace
+}  // namespace xaas

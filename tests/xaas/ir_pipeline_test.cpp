@@ -1,0 +1,156 @@
+#include "xaas/ir_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/minilulesh.hpp"
+#include "apps/minimd.hpp"
+#include "xaas/ir_deploy.hpp"
+
+namespace xaas {
+namespace {
+
+IrBuildOptions lulesh_points() {
+  IrBuildOptions options;
+  options.points = {{"LULESH_MPI", {"OFF", "ON"}},
+                    {"LULESH_OPENMP", {"OFF", "ON"}}};
+  return options;
+}
+
+TEST(IrPipeline, LuleshWorkedExampleTwentyTusFourteenIrs) {
+  // The paper's §4.3 walkthrough: LULESH with MPI x OpenMP gives four
+  // configurations of five files = 20 TUs; preprocessing keeps all 20
+  // distinct on the MPI axis, and AST OpenMP detection merges the files
+  // without OpenMP constructs, leaving 14 IRs.
+  const Application app = apps::make_minilulesh();
+  const auto build = build_ir_container(app, isa::Arch::X86_64, lulesh_points());
+  ASSERT_TRUE(build.ok) << build.error;
+  EXPECT_EQ(build.stats.configurations, 4);
+  EXPECT_EQ(build.stats.total_tus, 20);
+  EXPECT_EQ(build.stats.unique_irs, 14);
+}
+
+TEST(IrPipeline, WithoutOpenmpDetectionLuleshNeedsMoreIrs) {
+  const Application app = apps::make_minilulesh();
+  IrBuildOptions options = lulesh_points();
+  options.detect_openmp = false;
+  const auto build = build_ir_container(app, isa::Arch::X86_64, options);
+  ASSERT_TRUE(build.ok) << build.error;
+  // Every file now splits on the OpenMP flag: 5 files x 2 MPI x 2 OMP.
+  EXPECT_EQ(build.stats.unique_irs, 20);
+}
+
+TEST(IrPipeline, HypothesisOneHolds) {
+  // T' < sum(T_i): deduplicated IR count strictly below total TUs.
+  const Application app = apps::make_minilulesh();
+  const auto build = build_ir_container(app, isa::Arch::X86_64, lulesh_points());
+  ASSERT_TRUE(build.ok);
+  EXPECT_LT(build.stats.unique_irs, build.stats.total_tus);
+  EXPECT_GT(build.stats.reduction_pct, 0.0);
+}
+
+TEST(IrPipeline, ArtifactsRecordSharingAcrossConfigs) {
+  const Application app = apps::make_minilulesh();
+  const auto build = build_ir_container(app, isa::Arch::X86_64, lulesh_points());
+  ASSERT_TRUE(build.ok);
+  // boundary.c has no MPI-conditional code beyond the header and no
+  // OpenMP: its two IRs (MPI on/off) are each shared by two configs.
+  int shared = 0;
+  for (const auto& artifact : build.artifacts) {
+    if (artifact.used_by.size() > 1) ++shared;
+  }
+  EXPECT_GT(shared, 0);
+}
+
+TEST(IrPipeline, MinimdVectorizationFamilySharesAlmostEverything) {
+  apps::MinimdOptions app_options;
+  app_options.module_count = 60;
+  app_options.gpu_module_count = 2;
+  const Application app = apps::make_minimd(app_options);
+
+  IrBuildOptions options;
+  options.points = {{"MD_SIMD",
+                     {"SSE4.1", "AVX2_128", "AVX_256", "AVX2_256", "AVX_512"}}};
+  const auto build = build_ir_container(app, isa::Arch::X86_64, options);
+  ASSERT_TRUE(build.ok) << build.error;
+  EXPECT_EQ(build.stats.configurations, 5);
+  // Reduction must be large: only SIMD-width-sensitive files split.
+  EXPECT_GT(build.stats.reduction_pct, 55.0);
+  // Nearly every semantically identical group differs only in -m tuning.
+  EXPECT_GT(build.stats.tuning_only_pct, 80.0);
+  // Build-dir include paths make raw flags incompatible nearly everywhere.
+  EXPECT_GT(build.stats.flag_incompatible_pct, 80.0);
+  EXPECT_LT(build.stats.flag_incompatible_pct, 100.0);  // md_tools target
+}
+
+TEST(IrPipeline, DelayingVectorizationEnablesSharing) {
+  apps::MinimdOptions app_options;
+  app_options.module_count = 20;
+  app_options.gpu_module_count = 1;
+  const Application app = apps::make_minimd(app_options);
+
+  IrBuildOptions delayed;
+  delayed.points = {{"MD_SIMD", {"SSE4.1", "AVX_512"}}};
+  const auto with_delay = build_ir_container(app, isa::Arch::X86_64, delayed);
+  ASSERT_TRUE(with_delay.ok) << with_delay.error;
+
+  IrBuildOptions eager = delayed;
+  eager.delay_vectorization = false;
+  const auto without_delay = build_ir_container(app, isa::Arch::X86_64, eager);
+  ASSERT_TRUE(without_delay.ok) << without_delay.error;
+
+  EXPECT_LT(with_delay.stats.unique_irs, without_delay.stats.unique_irs);
+}
+
+TEST(IrPipeline, SystemDependentFilesAreNotCompiledToIr) {
+  apps::MinimdOptions app_options;
+  app_options.module_count = 4;
+  app_options.gpu_module_count = 1;
+  const Application app = apps::make_minimd(app_options);
+  IrBuildOptions options;
+  options.points = {{"MD_MPI", {"OFF", "ON"}}};
+  const auto build = build_ir_container(app, isa::Arch::X86_64, options);
+  ASSERT_TRUE(build.ok) << build.error;
+  EXPECT_GT(build.stats.system_dependent, 0);
+  for (const auto& artifact : build.artifacts) {
+    EXPECT_NE(artifact.source, "src/mpi_comm.c");
+  }
+}
+
+TEST(IrPipeline, ImageIsIrArchitectureWithManifest) {
+  const Application app = apps::make_minilulesh();
+  const auto build = build_ir_container(app, isa::Arch::X86_64, lulesh_points());
+  ASSERT_TRUE(build.ok);
+  EXPECT_EQ(build.image.architecture, container::kArchLlvmIrAmd64);
+  const common::Vfs root = build.image.flatten();
+  EXPECT_TRUE(root.exists("xaas/manifest.json"));
+  EXPECT_TRUE(root.exists("app/xbuild.txt"));
+  // IR files present and parseable.
+  int ir_files = 0;
+  for (const auto& [path, contents] : root) {
+    if (common::starts_with(path, "ir/")) {
+      ++ir_files;
+      EXPECT_TRUE(minicc::ir::parse_ir(contents).ok) << path;
+    }
+  }
+  EXPECT_EQ(ir_files, build.stats.unique_irs);
+}
+
+TEST(IrPipeline, ConfigurationIdsExposedByImage) {
+  const Application app = apps::make_minilulesh();
+  const auto build = build_ir_container(app, isa::Arch::X86_64, lulesh_points());
+  ASSERT_TRUE(build.ok);
+  const auto ids = ir_image_configurations(build.image);
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+TEST(IrPipeline, DeterministicAcrossRebuilds) {
+  const Application app = apps::make_minilulesh();
+  const auto a = build_ir_container(app, isa::Arch::X86_64, lulesh_points());
+  const auto b = build_ir_container(app, isa::Arch::X86_64, lulesh_points());
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_EQ(a.image.digest(), b.image.digest());
+}
+
+}  // namespace
+}  // namespace xaas

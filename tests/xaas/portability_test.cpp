@@ -1,0 +1,40 @@
+#include "xaas/portability.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xaas {
+namespace {
+
+TEST(Portability, TableMatchesPaperRows) {
+  const auto& rows = portability_table();
+  ASSERT_EQ(rows.size(), 6u);
+  EXPECT_EQ(rows[0].level, PortabilityLevel::Building);
+  EXPECT_EQ(rows[0].technology, "Spack, EasyBuild");
+  EXPECT_EQ(rows[1].level, PortabilityLevel::Linking);
+  EXPECT_EQ(rows.back().level, PortabilityLevel::Emulation);
+  EXPECT_EQ(rows.back().technology, "Wi4MPI, mpixlate");
+}
+
+TEST(Portability, ThreeLoweringRows) {
+  int lowering = 0;
+  for (const auto& row : portability_table()) {
+    if (row.level == PortabilityLevel::Lowering) ++lowering;
+  }
+  EXPECT_EQ(lowering, 3);  // Popcorn, H-containers, PTX
+}
+
+TEST(Portability, LevelNames) {
+  EXPECT_EQ(to_string(PortabilityLevel::Building), "Building");
+  EXPECT_EQ(to_string(PortabilityLevel::Linking), "Linking");
+  EXPECT_EQ(to_string(PortabilityLevel::Lowering), "Lowering");
+  EXPECT_EQ(to_string(PortabilityLevel::Emulation), "Emulation");
+}
+
+TEST(Portability, PositioningMentionsBothContainerKinds) {
+  const std::string text = xaas_positioning();
+  EXPECT_NE(text.find("source containers"), std::string::npos);
+  EXPECT_NE(text.find("IR containers"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xaas
