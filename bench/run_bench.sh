@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Runs the google-benchmark microbench suite (bench/perf_microbench.cpp)
+# in JSON mode and records the results, establishing the performance
+# trajectory baseline that future PRs compare against.
+#
+# Usage:
+#   bench/run_bench.sh [path/to/perf_microbench]
+# Environment:
+#   BENCH_OUT     output path (default: <repo>/BENCH_results.json)
+#   BENCH_FILTER  --benchmark_filter regex (default: all benchmarks)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BIN="${1:-$ROOT/build/perf_microbench}"
+OUT="${BENCH_OUT:-$ROOT/BENCH_results.json}"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not found or not executable." >&2
+  echo "build it first: cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+args=(--benchmark_out="$OUT" --benchmark_out_format=json)
+if [[ -n "${BENCH_FILTER:-}" ]]; then
+  args+=(--benchmark_filter="$BENCH_FILTER")
+fi
+
+"$BIN" "${args[@]}"
+echo "wrote $OUT"

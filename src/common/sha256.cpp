@@ -34,7 +34,8 @@ void Sha256::update(const void* data, std::size_t len) {
   assert(!finalized_);
   const auto* bytes = static_cast<const std::uint8_t*>(data);
   total_bytes_ += len;
-  while (len > 0) {
+  // Top up a partially filled buffer first.
+  if (buffer_len_ > 0) {
     const std::size_t take = std::min(len, buffer_.size() - buffer_len_);
     std::memcpy(buffer_.data() + buffer_len_, bytes, take);
     buffer_len_ += take;
@@ -44,6 +45,18 @@ void Sha256::update(const void* data, std::size_t len) {
       process_block(buffer_.data());
       buffer_len_ = 0;
     }
+  }
+  // Whole blocks are compressed straight from the caller's memory — no
+  // staging copy. This is the hot path for the IR pipeline, which hashes
+  // every preprocessed translation unit.
+  while (len >= buffer_.size()) {
+    process_block(bytes);
+    bytes += buffer_.size();
+    len -= buffer_.size();
+  }
+  if (len > 0) {
+    std::memcpy(buffer_.data(), bytes, len);
+    buffer_len_ = len;
   }
 }
 

@@ -50,21 +50,53 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
+  parallel_for_chunks(
+      n,
+      [&fn](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      },
+      grain);
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t grain) {
   if (n == 0) return;
-  const std::size_t chunks = std::min(n, workers_.size() * 4);
+  if (grain == 0) grain = 1;
+  const std::size_t max_chunks = (n + grain - 1) / grain;
+  const std::size_t chunks = std::min(max_chunks, workers_.size() * 4);
+  if (chunks <= 1 || workers_.size() <= 1) {
+    fn(0, n);  // inline: no queue round-trip, no future allocation
+    return;
+  }
   const std::size_t chunk_size = (n + chunks - 1) / chunks;
   std::vector<std::future<void>> futures;
-  futures.reserve(chunks);
-  for (std::size_t c = 0; c < chunks; ++c) {
+  futures.reserve(chunks - 1);
+  for (std::size_t c = 1; c < chunks; ++c) {
     const std::size_t begin = c * chunk_size;
     const std::size_t end = std::min(n, begin + chunk_size);
     if (begin >= end) break;
-    futures.push_back(submit([begin, end, &fn] {
-      for (std::size_t i = begin; i < end; ++i) fn(i);
-    }));
+    futures.push_back(submit([begin, end, &fn] { fn(begin, end); }));
   }
-  for (auto& f : futures) f.get();
+  // The first chunk runs on the calling thread while workers drain the
+  // rest. Every future is drained before any exception propagates —
+  // queued tasks reference `fn`, which dies when this frame unwinds.
+  std::exception_ptr first_error;
+  try {
+    fn(0, std::min(n, chunk_size));
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace xaas::common

@@ -31,8 +31,20 @@ public:
   std::future<void> submit(std::function<void()> task);
 
   /// Run fn(i) for i in [0, n) across the pool and wait for completion.
-  /// Work is divided into contiguous chunks for cache friendliness.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  /// Work is divided into contiguous chunks for cache friendliness;
+  /// `grain` is the minimum indices per chunk, so cheap per-index bodies
+  /// are not drowned in task-dispatch overhead. Small ranges (and any
+  /// range on a single-worker pool) run inline on the calling thread with
+  /// no queue round-trip at all.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 1);
+
+  /// Chunk-granular variant: fn(begin, end) per contiguous chunk, letting
+  /// callers hoist per-chunk state out of the index loop.
+  void parallel_for_chunks(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t)>& fn,
+      std::size_t grain = 1);
 
 private:
   void worker_loop();

@@ -24,6 +24,12 @@ public:
     return it->second;
   }
 
+  /// Pointer to the stored contents (no copy), or nullptr when absent.
+  const std::string* find(std::string_view path) const {
+    const auto it = files_.find(std::string(path));
+    return it == files_.end() ? nullptr : &it->second;
+  }
+
   bool exists(std::string_view path) const {
     return files_.count(std::string(path)) > 0;
   }

@@ -89,8 +89,8 @@ ImageBuilder& ImageBuilder::config(const std::string& key, Json value) {
   return *this;
 }
 
-Image ImageBuilder::build() const {
-  return image_;
+Image ImageBuilder::build() {
+  return std::move(image_);
 }
 
 }  // namespace xaas::container

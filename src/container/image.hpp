@@ -82,7 +82,9 @@ public:
   ImageBuilder& annotation(const std::string& key, const std::string& value);
   ImageBuilder& architecture(const std::string& arch);
   ImageBuilder& config(const std::string& key, common::Json value);
-  Image build() const;
+  /// Finalize and return the image. Consumes the builder's staged state
+  /// (layers can be large — a copy here is measurable in the pipeline).
+  Image build();
 
 private:
   Image image_;

@@ -83,6 +83,16 @@ struct LoopInfo {
   int latch = -1;
   int exit = -1;
   std::vector<int> blocks;   // all blocks strictly inside the loop (incl. body/latch)
+
+  /// Membership test for the block list (the pre-decoded executor folds
+  /// this into per-loop bitmaps at decode time; see vm/decoded.hpp).
+  bool contains(int block) const {
+    for (int b : blocks) {
+      if (b == block) return true;
+    }
+    return false;
+  }
+
   int induction_reg = -1;
   int bound_reg = -1;        // register compared against in the header
   bool parallel = false;     // #pragma omp parallel for (honored iff -fopenmp)

@@ -1,29 +1,33 @@
 #include "minicc/lexer.hpp"
 
-#include <cctype>
 #include <cstdlib>
 
 namespace xaas::minicc {
 
 namespace {
 
-bool is_ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+// Locale-independent ASCII classification: the glibc <cctype> functions
+// go through a thread-local table pointer per call, which dominates
+// lexing cost at ~85k tokens per pipeline build.
+inline bool is_ascii_alpha(char c) {
+  return (static_cast<unsigned char>(c) | 32u) - 'a' < 26u;
 }
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+inline bool is_ascii_digit(char c) {
+  return static_cast<unsigned char>(c) - '0' < 10u;
 }
-
-// Multi-character punctuators, longest first.
-const char* kPuncts[] = {"<<=", ">>=", "<=", ">=", "==", "!=", "&&", "||",
-                         "+=", "-=", "*=", "/=", "%=", "++", "--", "<<",
-                         ">>"};
+inline bool is_ident_start(char c) { return is_ascii_alpha(c) || c == '_'; }
+inline bool is_ident_char(char c) {
+  return is_ascii_alpha(c) || is_ascii_digit(c) || c == '_';
+}
+inline bool is_space(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f';
+}
 
 }  // namespace
 
 std::vector<Token> lex(const std::string& source, std::string* error) {
   std::vector<Token> tokens;
+  tokens.reserve(source.size() / 3 + 8);
   std::size_t i = 0;
   int line = 1;
   const std::size_t n = source.size();
@@ -35,7 +39,7 @@ std::vector<Token> lex(const std::string& source, std::string* error) {
       ++i;
       continue;
     }
-    if (std::isspace(static_cast<unsigned char>(c))) {
+    if (is_space(c)) {
       ++i;
       continue;
     }
@@ -44,9 +48,8 @@ std::vector<Token> lex(const std::string& source, std::string* error) {
       // preprocessing.
       std::size_t end = source.find('\n', i);
       if (end == std::string::npos) end = n;
-      std::string text(source.substr(i + 1, end - i - 1));
-      Token t{TokKind::Pragma, text, 0, 0.0, line};
-      tokens.push_back(std::move(t));
+      tokens.push_back(
+          {TokKind::Pragma, source.substr(i + 1, end - i - 1), 0, 0.0, line});
       i = end;
       continue;
     }
@@ -57,14 +60,13 @@ std::vector<Token> lex(const std::string& source, std::string* error) {
           {TokKind::Ident, source.substr(start, i - start), 0, 0.0, line});
       continue;
     }
-    if (std::isdigit(static_cast<unsigned char>(c)) ||
-        (c == '.' && i + 1 < n &&
-         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+    if (is_ascii_digit(c) ||
+        (c == '.' && i + 1 < n && is_ascii_digit(source[i + 1]))) {
       const std::size_t start = i;
       bool is_float = false;
       while (i < n) {
         const char d = source[i];
-        if (std::isdigit(static_cast<unsigned char>(d))) {
+        if (is_ascii_digit(d)) {
           ++i;
         } else if (d == '.') {
           is_float = true;
@@ -88,22 +90,48 @@ std::vector<Token> lex(const std::string& source, std::string* error) {
       tokens.push_back(std::move(t));
       continue;
     }
-    // Punctuation.
-    bool matched = false;
-    for (const char* p : kPuncts) {
-      const std::size_t len = std::char_traits<char>::length(p);
-      if (source.compare(i, len, p) == 0) {
-        tokens.push_back({TokKind::Punct, p, 0, 0.0, line});
-        i += len;
-        matched = true;
+    // Punctuation: dispatch on the first character, then check the only
+    // multi-character forms that can start with it (longest first).
+    const char next = i + 1 < n ? source[i + 1] : '\0';
+    const char next2 = i + 2 < n ? source[i + 2] : '\0';
+    std::size_t len = 0;
+    switch (c) {
+      case '<':
+        if (next == '<' && next2 == '=') len = 3;        // <<=
+        else if (next == '<' || next == '=') len = 2;    // << <=
+        else len = 1;
         break;
-      }
+      case '>':
+        if (next == '>' && next2 == '=') len = 3;        // >>=
+        else if (next == '>' || next == '=') len = 2;    // >> >=
+        else len = 1;
+        break;
+      case '=': case '!': case '*': case '/': case '%':
+        len = next == '=' ? 2 : 1;                       // == != *= /= %=
+        break;
+      case '+':
+        len = (next == '+' || next == '=') ? 2 : 1;      // ++ +=
+        break;
+      case '-':
+        len = (next == '-' || next == '=') ? 2 : 1;      // -- -=
+        break;
+      case '&':
+        len = next == '&' ? 2 : 1;                       // &&
+        break;
+      case '|':
+        len = next == '|' ? 2 : 1;                       // ||
+        break;
+      case '^': case '~': case '(': case ')': case '{': case '}':
+      case '[': case ']': case ';': case ',': case '.': case '?':
+      case ':':
+        len = 1;
+        break;
+      default:
+        break;
     }
-    if (matched) continue;
-    static const std::string kSingle = "+-*/%<>=!&|^~(){}[];,.?:";
-    if (kSingle.find(c) != std::string::npos) {
-      tokens.push_back({TokKind::Punct, std::string(1, c), 0, 0.0, line});
-      ++i;
+    if (len > 0) {
+      tokens.push_back({TokKind::Punct, source.substr(i, len), 0, 0.0, line});
+      i += len;
       continue;
     }
     if (error) {

@@ -9,6 +9,25 @@ namespace xaas::minicc {
 
 using common::trim;
 
+const std::string* resolve_include(const common::Vfs& vfs,
+                                   const std::string& file,
+                                   const std::vector<std::string>& include_dirs,
+                                   std::string* resolved) {
+  if (const std::string* c = vfs.find(file)) {
+    *resolved = file;
+    return c;
+  }
+  for (const auto& dir : include_dirs) {
+    const std::string candidate =
+        dir.empty() || dir.back() == '/' ? dir + file : dir + "/" + file;
+    if (const std::string* c = vfs.find(candidate)) {
+      *resolved = candidate;
+      return c;
+    }
+  }
+  return nullptr;
+}
+
 void PreprocessOptions::define(const std::string& spec) {
   const auto eq = spec.find('=');
   MacroDef def;
@@ -25,12 +44,21 @@ void PreprocessOptions::define(const std::string& spec) {
 
 namespace {
 
-bool is_ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+// Locale-independent ASCII classification (the glibc <cctype> functions
+// cost a thread-local table lookup per call, which adds up at hundreds of
+// preprocessed TUs per container build).
+inline bool is_ident_start(char c) {
+  return (static_cast<unsigned char>(c) | 32u) - 'a' < 26u || c == '_';
 }
 
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+inline bool is_ident_char(char c) {
+  return (static_cast<unsigned char>(c) | 32u) - 'a' < 26u ||
+         static_cast<unsigned char>(c) - '0' < 10u || c == '_';
+}
+
+inline bool is_ws(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f' ||
+         c == '\n';
 }
 
 // Strip // and /* */ comments, preserving newlines inside block comments
@@ -58,30 +86,13 @@ std::string strip_comments(const std::string& src) {
   return out;
 }
 
-// Merge backslash-continued lines.
-std::vector<std::string> split_logical_lines(const std::string& src) {
-  std::vector<std::string> lines;
-  std::string current;
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    if (src[i] == '\\' && i + 1 < src.size() && src[i + 1] == '\n') {
-      ++i;  // continuation
-      continue;
-    }
-    if (src[i] == '\n') {
-      lines.push_back(current);
-      current.clear();
-    } else {
-      current.push_back(src[i]);
-    }
-  }
-  if (!current.empty()) lines.push_back(current);
-  return lines;
-}
+
 
 class Preprocessor {
 public:
   Preprocessor(const common::Vfs* vfs, const PreprocessOptions& options)
-      : vfs_(vfs), macros_(options.defines), options_(options) {}
+      : vfs_(vfs), macros_(options.defines.begin(), options.defines.end()),
+        options_(options) {}
 
   PreprocessResult run_file(const std::string& path) {
     PreprocessResult result;
@@ -89,7 +100,7 @@ public:
       result.error = "no filesystem for #include resolution";
       return result;
     }
-    const auto contents = vfs_->read(path);
+    const std::string* contents = vfs_->find(path);
     if (!contents) {
       result.error = "file not found: " + path;
       return result;
@@ -132,34 +143,64 @@ private:
       return fail(result, "#include nesting too deep");
     }
     const std::string stripped = strip_comments(raw);
-    for (const std::string& line : split_logical_lines(stripped)) {
-      const std::string_view t = trim(line);
-      if (!t.empty() && t[0] == '#') {
-        if (!handle_directive(std::string(t.substr(1)), out, result)) {
-          return false;
+    // Iterate logical lines as views; backslash continuations (rare) fall
+    // back to a merged buffer.
+    const std::size_t size = stripped.size();
+    std::string merged;
+    std::size_t pos = 0;
+    while (pos < size) {
+      std::size_t end = stripped.find('\n', pos);
+      if (end == std::string::npos) end = size;
+      std::string_view line(stripped.data() + pos, end - pos);
+      if (!line.empty() && line.back() == '\\' && end < size) {
+        merged.assign(line.data(), line.size() - 1);
+        pos = end + 1;
+        while (pos < size) {
+          end = stripped.find('\n', pos);
+          if (end == std::string::npos) end = size;
+          std::string_view cont(stripped.data() + pos, end - pos);
+          const bool more = !cont.empty() && cont.back() == '\\' && end < size;
+          merged.append(cont.data(), cont.size() - (more ? 1 : 0));
+          pos = end < size ? end + 1 : size;
+          if (!more) break;
         }
-      } else if (active()) {
-        std::string expanded = expand(line, {});
-        const std::string_view et = trim(expanded);
-        if (!et.empty()) {
-          out.append(et);
-          out.push_back('\n');
-        }
+        line = merged;
+      } else {
+        pos = end < size ? end + 1 : size;
+      }
+      if (!process_line(line, out, result)) return false;
+    }
+    return true;
+  }
+
+  bool process_line(std::string_view line, std::string& out,
+                    PreprocessResult& result) {
+    const std::string_view t = trim(line);
+    if (!t.empty() && t[0] == '#') {
+      return handle_directive(t.substr(1), out, result);
+    }
+    if (active()) {
+      std::string expanded = expand(line);
+      const std::string_view et = trim(expanded);
+      if (!et.empty()) {
+        out.append(et);
+        out.push_back('\n');
       }
     }
     return true;
   }
 
-  bool handle_directive(const std::string& directive, std::string& out,
+  bool handle_directive(std::string_view directive, std::string& out,
                         PreprocessResult& result) {
     const std::string_view body = trim(directive);
     const std::size_t sp = body.find_first_of(" \t");
-    const std::string name(body.substr(0, sp));
-    const std::string rest =
-        sp == std::string_view::npos ? "" : std::string(trim(body.substr(sp)));
+    const std::string_view name = body.substr(0, sp);
+    const std::string_view rest =
+        sp == std::string_view::npos ? std::string_view()
+                                     : trim(body.substr(sp));
 
     if (name == "ifdef" || name == "ifndef") {
-      const bool defined = macros_.count(rest) > 0;
+      const bool defined = macros_.count(rest) > 0;  // transparent lookup
       const bool taken = active() && (name == "ifdef" ? defined : !defined);
       cond_stack_.push_back({active(), taken, taken});
       return true;
@@ -207,27 +248,30 @@ private:
       return handle_define(rest, result);
     }
     if (name == "undef") {
-      macros_.erase(rest);
+      const auto it = macros_.find(rest);
+      if (it != macros_.end()) macros_.erase(it);
       return true;
     }
     if (name == "include") {
       return handle_include(rest, out, result);
     }
     if (name == "pragma") {
-      out += "#pragma " + rest + "\n";
+      out += "#pragma ";
+      out += rest;
+      out += '\n';
       return true;
     }
     if (name == "error") {
-      return fail(result, "#error: " + rest);
+      return fail(result, "#error: " + std::string(rest));
     }
-    return fail(result, "unknown directive: #" + name);
+    return fail(result, "unknown directive: #" + std::string(name));
   }
 
-  bool handle_define(const std::string& rest, PreprocessResult& result) {
+  bool handle_define(std::string_view rest, PreprocessResult& result) {
     std::size_t i = 0;
     while (i < rest.size() && is_ident_char(rest[i])) ++i;
     if (i == 0) return fail(result, "#define requires a name");
-    const std::string name = rest.substr(0, i);
+    const std::string name(rest.substr(0, i));
     MacroDef def;
     if (i < rest.size() && rest[i] == '(') {
       def.function_like = true;
@@ -246,35 +290,27 @@ private:
       if (!trim(param).empty()) def.params.push_back(std::string(trim(param)));
       ++i;  // ')'
     }
-    def.body = std::string(trim(rest.substr(i)));
+    def.body = std::string(trim(rest.substr(i)));  // owned copy
     macros_[name] = std::move(def);
     return true;
   }
 
-  bool handle_include(const std::string& rest, std::string& out,
+  bool handle_include(std::string_view rest, std::string& out,
                       PreprocessResult& result) {
     if (rest.size() < 2) return fail(result, "malformed #include");
     const char open = rest[0];
     const char close = open == '<' ? '>' : '"';
     if (open != '<' && open != '"') return fail(result, "malformed #include");
     const std::size_t end = rest.find(close, 1);
-    if (end == std::string::npos) return fail(result, "malformed #include");
-    const std::string file = rest.substr(1, end - 1);
+    if (end == std::string_view::npos) {
+      return fail(result, "malformed #include");
+    }
+    const std::string file(rest.substr(1, end - 1));
     if (!vfs_) return fail(result, "#include without a filesystem: " + file);
 
-    std::optional<std::string> contents = vfs_->read(file);
-    std::string resolved = file;
-    if (!contents) {
-      for (const auto& dir : options_.include_dirs) {
-        const std::string candidate =
-            dir.empty() || dir.back() == '/' ? dir + file : dir + "/" + file;
-        contents = vfs_->read(candidate);
-        if (contents) {
-          resolved = candidate;
-          break;
-        }
-      }
-    }
+    std::string resolved;
+    const std::string* contents =
+        resolve_include(*vfs_, file, options_.include_dirs, &resolved);
     if (!contents) return fail(result, "include not found: " + file);
     if (included_once_.count(resolved)) return true;  // simple include guard
     included_once_.insert(resolved);
@@ -287,30 +323,40 @@ private:
 
   // ---- Macro expansion ------------------------------------------------
 
-  std::string expand(const std::string& text,
-                     const std::set<std::string>& in_progress) {
+  std::string expand(std::string_view text) {
     std::string out;
+    expand_into(text, out);
+    return out;
+  }
+
+  /// True when `name` is already being expanded on the current path
+  /// (recursion guard; the stack is tiny).
+  bool in_expansion(std::string_view name) const {
+    for (const auto& n : expansion_stack_) {
+      if (n == name) return true;
+    }
+    return false;
+  }
+
+  void expand_into(std::string_view text, std::string& out) {
     std::size_t i = 0;
     while (i < text.size()) {
       if (is_ident_start(text[i])) {
         const std::size_t start = i;
         while (i < text.size() && is_ident_char(text[i])) ++i;
-        const std::string ident = text.substr(start, i - start);
+        const std::string_view ident = text.substr(start, i - start);
         const auto it = macros_.find(ident);
-        if (it == macros_.end() || in_progress.count(ident)) {
-          out += ident;
+        if (it == macros_.end() || in_expansion(ident)) {
+          out.append(ident);
           continue;
         }
         const MacroDef& def = it->second;
         if (def.function_like) {
           // Require '(' to expand; otherwise leave as-is.
           std::size_t j = i;
-          while (j < text.size() &&
-                 std::isspace(static_cast<unsigned char>(text[j]))) {
-            ++j;
-          }
+          while (j < text.size() && is_ws(text[j])) ++j;
           if (j >= text.size() || text[j] != '(') {
-            out += ident;
+            out.append(ident);
             continue;
           }
           std::vector<std::string> args;
@@ -337,21 +383,20 @@ private:
             args.push_back(std::string(trim(arg)));
           }
           i = j;
-          std::string body = substitute_params(def, args);
-          auto next = in_progress;
-          next.insert(ident);
-          out += expand(body, next);
+          const std::string body = substitute_params(def, args);
+          expansion_stack_.push_back(it->first);  // map key: stable view
+          expand_into(body, out);
+          expansion_stack_.pop_back();
         } else {
-          auto next = in_progress;
-          next.insert(ident);
-          out += expand(def.body, next);
+          expansion_stack_.push_back(it->first);
+          expand_into(def.body, out);
+          expansion_stack_.pop_back();
         }
       } else {
         out.push_back(text[i]);
         ++i;
       }
     }
-    return out;
   }
 
   static std::string substitute_params(const MacroDef& def,
@@ -383,7 +428,7 @@ private:
 
   // ---- #if expression evaluation ---------------------------------------
 
-  bool eval_expression(const std::string& raw, long long& value,
+  bool eval_expression(std::string_view raw, long long& value,
                        PreprocessResult& result) {
     // Replace defined(X) / defined X before macro expansion.
     std::string text;
@@ -392,41 +437,32 @@ private:
       if (is_ident_start(raw[i])) {
         const std::size_t start = i;
         while (i < raw.size() && is_ident_char(raw[i])) ++i;
-        const std::string ident = raw.substr(start, i - start);
+        const std::string_view ident = raw.substr(start, i - start);
         if (ident == "defined") {
-          while (i < raw.size() &&
-                 std::isspace(static_cast<unsigned char>(raw[i]))) {
-            ++i;
-          }
+          while (i < raw.size() && is_ws(raw[i])) ++i;
           bool paren = false;
           if (i < raw.size() && raw[i] == '(') {
             paren = true;
             ++i;
-            while (i < raw.size() &&
-                   std::isspace(static_cast<unsigned char>(raw[i]))) {
-              ++i;
-            }
+            while (i < raw.size() && is_ws(raw[i])) ++i;
           }
           const std::size_t ns = i;
           while (i < raw.size() && is_ident_char(raw[i])) ++i;
-          const std::string name = raw.substr(ns, i - ns);
+          const std::string_view name = raw.substr(ns, i - ns);
           if (paren) {
-            while (i < raw.size() &&
-                   std::isspace(static_cast<unsigned char>(raw[i]))) {
-              ++i;
-            }
+            while (i < raw.size() && is_ws(raw[i])) ++i;
             if (i < raw.size() && raw[i] == ')') ++i;
           }
           text += macros_.count(name) ? "1" : "0";
         } else {
-          text += ident;
+          text.append(ident);
         }
       } else {
         text.push_back(raw[i]);
         ++i;
       }
     }
-    std::string expanded = expand(text, {});
+    std::string expanded = expand(text);
     // Remaining identifiers evaluate to 0 (C semantics).
     std::string final_text;
     i = 0;
@@ -442,11 +478,14 @@ private:
     ExprEval eval{final_text, 0, true, ""};
     value = eval.parse_or();
     if (!eval.ok) {
-      return fail(result, "bad #if expression '" + raw + "': " + eval.error);
+      return fail(result,
+                  "bad #if expression '" + std::string(raw) + "': " +
+                      eval.error);
     }
     eval.skip_ws();
     if (eval.pos != eval.text.size()) {
-      return fail(result, "trailing tokens in #if expression: " + raw);
+      return fail(result,
+                  "trailing tokens in #if expression: " + std::string(raw));
     }
     return true;
   }
@@ -587,7 +626,9 @@ private:
   };
 
   const common::Vfs* vfs_;
-  std::map<std::string, MacroDef> macros_;
+  // Transparent comparator: lookups take string_views without allocating.
+  std::map<std::string, MacroDef, std::less<>> macros_;
+  std::vector<std::string_view> expansion_stack_;
   PreprocessOptions options_;
   std::vector<Cond> cond_stack_;
   std::set<std::string> included_once_;

@@ -39,6 +39,16 @@ struct PreprocessResult {
   std::vector<std::string> included_files;
 };
 
+/// Resolve an #include target exactly the way the preprocessor does:
+/// the literal path first, then each include dir in order. Returns a
+/// pointer to the stored contents (no copy) and sets *resolved to the
+/// path that matched, or nullptr when nothing does. Shared with the IR
+/// pipeline's macro-relevance scan so the two can never diverge.
+const std::string* resolve_include(const common::Vfs& vfs,
+                                   const std::string& file,
+                                   const std::vector<std::string>& include_dirs,
+                                   std::string* resolved);
+
 /// Preprocess `path` within the virtual filesystem.
 PreprocessResult preprocess(const common::Vfs& vfs, const std::string& path,
                             const PreprocessOptions& options);

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "vm/decoded.hpp"
+
 namespace xaas::vm {
 
 using minicc::ir::Block;
@@ -28,87 +30,16 @@ struct Buffer {
   std::vector<long long>* i = nullptr;
 };
 
+// Costs accumulate in integer 1/20-cycle units (see decoded.hpp): exact,
+// associative arithmetic shared with the pre-decoded interpreter so the
+// two stay bit-identical.
 struct Cost {
-  double serial = 0.0;
-  double parallel = 0.0;
-  double gpu = 0.0;
+  long long serial = 0;    // units
+  long long parallel = 0;  // units
+  double gpu = 0.0;        // cycles
   long long fork_joins = 0;
   long long instructions = 0;
-
-  void absorb(const Cost& child) {
-    serial += child.serial;
-    parallel += child.parallel;
-    gpu += child.gpu;
-    fork_joins += child.fork_joins;
-    instructions += child.instructions;
-  }
 };
-
-double op_cost(const Inst& inst) {
-  switch (inst.op) {
-    case Opcode::ConstF:
-    case Opcode::ConstI:
-    case Opcode::Mov:
-      return 0.25;
-    case Opcode::FAdd:
-    case Opcode::FSub:
-    case Opcode::FMul:
-    case Opcode::Fma:
-      return 1.0;
-    case Opcode::FNeg:
-      return 0.5;
-    case Opcode::FDiv:
-      return 8.0;
-    case Opcode::IAdd:
-    case Opcode::ISub:
-      return 0.3;
-    case Opcode::IMul:
-      return 1.0;
-    case Opcode::IDiv:
-    case Opcode::IMod:
-      return 10.0;
-    case Opcode::INeg:
-      return 0.3;
-    case Opcode::ICmp:
-    case Opcode::FCmp:
-    case Opcode::LAnd:
-    case Opcode::LOr:
-    case Opcode::LNot:
-      return 0.3;
-    case Opcode::SiToFp:
-    case Opcode::FpToSi:
-      return 1.0;
-    case Opcode::LoadF:
-    case Opcode::LoadI:
-    case Opcode::StoreF:
-    case Opcode::StoreI:
-      return 1.0;
-    case Opcode::Call:
-      return 5.0;
-    case Opcode::Br:
-      return 0.3;
-    case Opcode::CBr:
-      return 0.5;
-    case Opcode::Ret:
-      return 1.0;
-    case Opcode::VSplat:
-      return 1.0;
-    case Opcode::HReduceAdd:
-      return 3.0;
-  }
-  return 1.0;
-}
-
-double intrinsic_cost(const std::string& name) {
-  if (name == "sqrt") return 10.0;
-  if (name == "rsqrt") return 4.0;
-  if (name == "exp") return 20.0;
-  if (name == "fabs") return 0.5;
-  if (name == "fmin" || name == "fmax") return 1.0;
-  if (name == "floor") return 2.0;
-  if (name == "pow2") return 1.0;
-  return 10.0;
-}
 
 class Machine {
 public:
@@ -173,8 +104,8 @@ public:
     result.ok = true;
     result.ret_f64 = ret.f[0];
     result.ret_i64 = ret.i[0];
-    result.cycles_serial = cost.serial;
-    result.cycles_parallel = cost.parallel;
+    result.cycles_serial = units_to_cycles(cost.serial);
+    result.cycles_parallel = units_to_cycles(cost.parallel);
     result.cycles_gpu = cost.gpu;
     result.fork_joins = cost.fork_joins;
     result.instructions = cost.instructions;
@@ -243,10 +174,7 @@ private:
         const auto hit = info.parallel_headers.find(block_id);
         if (hit != info.parallel_headers.end()) {
           for (const auto* loop : hit->second) {
-            const bool from_inside =
-                std::find(loop->blocks.begin(), loop->blocks.end(),
-                          prev_block) != loop->blocks.end();
-            if (!from_inside) ++cost.fork_joins;
+            if (!loop->contains(prev_block)) ++cost.fork_joins;
           }
         }
       }
@@ -258,7 +186,7 @@ private:
         if (++cost.instructions > options_.max_instructions) {
           trap("instruction budget exceeded in " + fn.name);
         }
-        double cycles = op_cost(inst);
+        long long cycles = op_cost_units(inst.op);
         const int w = std::min(inst.width, kMaxLanes);
 
         const auto lane_f = [&](int reg, int lane) -> double {
@@ -457,7 +385,7 @@ private:
           }
           case Opcode::Call: {
             if (minicc::ir::is_intrinsic(inst.callee)) {
-              cycles = intrinsic_cost(inst.callee);
+              cycles = intrinsic_cost_units(intrinsic_tag(inst.callee));
               for (int l = 0; l < w; ++l) {
                 const double x =
                     inst.args.empty() ? 0.0 : lane_f(inst.args[0], l);
@@ -493,13 +421,15 @@ private:
                                   child);
                 // All device cycles run at GPU throughput; host pays the
                 // launch overhead.
-                cost.gpu += (child.serial + child.parallel) /
-                                node_.gpu->speedup_vs_core +
-                            child.gpu;
+                cost.gpu += gpu_offload_cycles(child.serial, child.parallel,
+                                               child.gpu,
+                                               node_.gpu->speedup_vs_core);
+                const long long launch =
+                    cycles_to_units(node_.gpu->launch_overhead_cycles);
                 if (parallel_here) {
-                  cost.parallel += node_.gpu->launch_overhead_cycles;
+                  cost.parallel += launch;
                 } else {
-                  cost.serial += node_.gpu->launch_overhead_cycles;
+                  cost.serial += launch;
                 }
                 cost.instructions += child.instructions;
                 out = r;
@@ -576,6 +506,8 @@ Executor::Executor(const Program& program, const NodeSpec& node,
                    ExecutorOptions options)
     : program_(program), node_(node), options_(options) {}
 
+Executor::~Executor() = default;
+
 RunResult Executor::run(Workload& workload) const {
   RunResult result;
   if (!program_.ok()) {
@@ -602,8 +534,16 @@ RunResult Executor::run(Workload& workload) const {
     }
   }
 
-  Machine machine(program_, node_, options_, workload);
-  result = machine.run(workload);
+  if (options_.reference_interpreter) {
+    Machine machine(program_, node_, options_, workload);
+    result = machine.run(workload);
+  } else {
+    std::call_once(decode_once_, [this] {
+      decoded_ = std::make_shared<const DecodedProgram>(
+          DecodedProgram::build(program_));
+    });
+    result = run_decoded(*decoded_, node_, options_, workload);
+  }
   if (!result.ok) return result;
 
   const int threads = std::max(1, std::min(options_.threads, node_.cpu.cores));

@@ -16,6 +16,8 @@
 #pragma once
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -23,6 +25,8 @@
 #include "vm/program.hpp"
 
 namespace xaas::vm {
+
+class DecodedProgram;
 
 /// Named input/output buffers plus entry-point arguments.
 struct Workload {
@@ -73,12 +77,18 @@ struct ExecutorOptions {
   long long max_instructions = 4'000'000'000LL;
   double parallel_efficiency = 0.92;
   double fork_join_overhead_cycles = 2000.0;
+  /// Run on the per-instruction reference interpreter instead of the
+  /// pre-decoded one. The two produce bit-identical results (asserted by
+  /// tests/vm/decoded_equivalence_test.cpp); the reference exists as the
+  /// executable specification of the cost model.
+  bool reference_interpreter = false;
 };
 
 class Executor {
 public:
   Executor(const Program& program, const NodeSpec& node,
            ExecutorOptions options = {});
+  ~Executor();
 
   /// Run the workload's entry function; buffers are mutated in place.
   RunResult run(Workload& workload) const;
@@ -87,6 +97,10 @@ private:
   const Program& program_;
   const NodeSpec& node_;
   ExecutorOptions options_;
+  // Pre-decoded form of program_, built on first run() and reused by
+  // every later run (the benchmark / portability-sweep pattern).
+  mutable std::shared_ptr<const DecodedProgram> decoded_;
+  mutable std::once_flag decode_once_;
 };
 
 }  // namespace xaas::vm

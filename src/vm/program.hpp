@@ -30,6 +30,10 @@ public:
   const minicc::TargetSpec& target() const { return target_; }
   std::size_t num_modules() const { return modules_.size(); }
   std::size_t num_functions() const { return symbols_.size(); }
+  /// Resolved symbol table (name -> function), for pre-decoding.
+  const std::map<std::string, const minicc::ir::Function*>& symbols() const {
+    return symbols_;
+  }
 
 private:
   bool ok_ = false;

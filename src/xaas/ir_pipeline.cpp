@@ -1,14 +1,23 @@
 #include "xaas/ir_pipeline.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <mutex>
-#include <set>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "common/json.hpp"
 #include "common/sha256.hpp"
 #include "common/strings.hpp"
 #include "common/thread_pool.hpp"
+#include "minicc/ast.hpp"
 #include "minicc/driver.hpp"
+#include "minicc/irgen.hpp"
+#include "minicc/parser.hpp"
+#include "minicc/passes.hpp"
 #include "minicc/vectorizer.hpp"
 
 namespace xaas {
@@ -16,6 +25,18 @@ namespace xaas {
 using common::Json;
 
 namespace {
+struct StageTimer {
+  using C = std::chrono::steady_clock;
+  C::time_point last = C::now();
+  bool on = std::getenv("XAAS_PIPELINE_TRACE") != nullptr;
+  void lap(const char* name) {
+    if (!on) return;
+    auto now = C::now();
+    std::fprintf(stderr, "[stage] %-22s %8.3f ms\n", name,
+                 std::chrono::duration<double, std::milli>(now - last).count());
+    last = now;
+  }
+};
 
 // Dependency environment for container builds: the pipeline assembles
 // dependency layers itself, so every dependency the script can request is
@@ -40,13 +61,202 @@ std::string sanitize(const std::string& path) {
 
 struct TuInstance {
   std::size_t config_index;
-  std::string config_id;
+  std::size_t flag_info;            // per-(config, target) key data index
   std::string source;
   minicc::CompileFlags flags;       // as produced by the configuration
-  std::string raw_args;             // pre-normalization textual flags
+  std::size_t pp_unit = 0;          // distinct preprocess input (memo slot)
+  bool openmp_relevant = false;     // source's closure references _OPENMP
   std::string pp_hash;              // preprocessed-content hash
   bool openmp_effective = false;
   std::string dedup_key;
+};
+
+// ---- Preprocessing memoization ------------------------------------------
+//
+// The N-configs x M-TUs loop hands the preprocessor near-identical inputs
+// over and over: most configuration-specific defines are never referenced
+// by most translation units. We scan each source's textual include
+// closure once for the identifiers it mentions; a -D flag whose macro
+// name never appears in that closure cannot change the preprocessed
+// output (the preprocessor has no token pasting), so the memo key keeps
+// only the *macro-relevant* defines. Instances agreeing on
+// (source, relevant defines, include dirs) share one preprocess run.
+
+struct SourceScan {
+  /// An #include target failed to resolve in the scan: fall back to
+  /// treating every define as relevant (never merges incorrectly).
+  bool conservative = false;
+  /// Views into the Vfs-owned file contents (stable for the build).
+  std::unordered_set<std::string_view> idents;
+
+  bool relevant(std::string_view macro_name) const {
+    return conservative || idents.count(macro_name) > 0;
+  }
+};
+
+void scan_idents(std::string_view text,
+                 std::unordered_set<std::string_view>& out) {
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  while (i < n) {
+    const char c = text[i];
+    if ((static_cast<unsigned char>(c) | 32u) - 'a' < 26u || c == '_') {
+      std::size_t j = i + 1;
+      while (j < n) {
+        const char d = text[j];
+        if (!((static_cast<unsigned char>(d) | 32u) - 'a' < 26u ||
+              (static_cast<unsigned char>(d) - '0') < 10u || d == '_')) {
+          break;
+        }
+        ++j;
+      }
+      out.emplace(text.substr(i, j - i));
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+}
+
+/// Every #include target in the text, regardless of conditional nesting
+/// (an over-approximation of what preprocessing may pull in).
+std::vector<std::string> scan_includes(std::string_view text) {
+  std::vector<std::string> out;
+  std::string joined_storage;
+  if (text.find("\\\n") != std::string_view::npos) {
+    joined_storage = common::replace_all(std::string(text), "\\\n", "");
+    text = joined_storage;
+  }
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view t = common::trim(text.substr(pos, end - pos));
+    pos = end + 1;
+    if (t.empty() || t[0] != '#') continue;
+    t.remove_prefix(1);
+    t = common::trim(t);
+    if (!common::starts_with(t, "include")) continue;
+    t.remove_prefix(7);
+    t = common::trim(t);
+    if (t.size() < 2) continue;
+    const char close = t[0] == '<' ? '>' : (t[0] == '"' ? '"' : '\0');
+    if (close == '\0') continue;
+    const std::size_t delim = t.find(close, 1);
+    if (delim == std::string_view::npos) continue;
+    out.emplace_back(t.substr(1, delim - 1));
+  }
+  return out;
+}
+
+SourceScan build_scan(const common::Vfs& vfs, const std::string& source,
+                      const std::vector<std::string>& include_dirs) {
+  SourceScan scan;
+  std::unordered_set<std::string> visited;
+  std::vector<std::string> queue{source};
+  visited.insert(source);
+  while (!queue.empty()) {
+    const std::string path = std::move(queue.back());
+    queue.pop_back();
+    const std::string* content = vfs.find(path);
+    if (!content) {
+      scan.conservative = true;
+      continue;
+    }
+    scan_idents(*content, scan.idents);
+    for (const auto& inc : scan_includes(*content)) {
+      std::string resolved;
+      // Shared with the preprocessor so the scan can never diverge from
+      // real #include resolution.
+      if (minicc::resolve_include(vfs, inc, include_dirs, &resolved)) {
+        if (visited.insert(resolved).second) queue.push_back(resolved);
+      } else {
+        scan.conservative = true;
+      }
+    }
+  }
+  return scan;
+}
+
+/// Precomputed key material shared by every TU of one (configuration,
+/// target): the effective define list (name-sorted, last definition wins,
+/// as in PreprocessOptions) and the include-dir suffix. Memo keys per
+/// instance then reduce to filtering this list against the source's scan.
+struct TargetFlagInfo {
+  std::vector<std::pair<std::string, std::string>> defines;  // name, spec
+  /// Identifiers appearing in the *bodies* of the command-line defines:
+  /// a define referenced only through another define's body (-DGRID=BASE
+  /// -DBASE=8) never shows up in the source scan, so names in this set
+  /// count as referenced too (over-approximates chains — sound, it only
+  /// splits memo keys further).
+  std::unordered_set<std::string> body_idents;
+  std::string dirs_suffix;
+
+  bool relevant(const SourceScan& scan, std::string_view name) const {
+    return scan.relevant(name) ||
+           body_idents.count(std::string(name)) > 0;
+  }
+};
+
+TargetFlagInfo make_flag_info(const minicc::CompileFlags& flags) {
+  TargetFlagInfo info;
+  std::map<std::string, std::string> effective;
+  for (const auto& spec : flags.defines) {
+    const auto eq = spec.find('=');
+    effective[eq == std::string::npos ? spec : spec.substr(0, eq)] = spec;
+  }
+  if (flags.openmp) effective["_OPENMP"] = "_OPENMP=202111";
+  info.defines.assign(effective.begin(), effective.end());
+  std::unordered_set<std::string_view> body_views;
+  for (const auto& [name, spec] : info.defines) {
+    const auto eq = spec.find('=');
+    if (eq != std::string::npos) {
+      scan_idents(std::string_view(spec).substr(eq + 1), body_views);
+    }
+  }
+  for (const auto v : body_views) info.body_idents.emplace(v);
+  info.dirs_suffix += '\x1f';
+  for (const auto& dir : flags.include_dirs) {
+    info.dirs_suffix += dir;
+    info.dirs_suffix += '\x1e';
+  }
+  return info;
+}
+
+/// Memo key for one preprocess input: source + macro-relevant defines +
+/// include dirs.
+std::string preprocess_key(const std::string& source,
+                           const TargetFlagInfo& info,
+                           const SourceScan& scan) {
+  std::string key;
+  key.reserve(source.size() + info.dirs_suffix.size() + 32);
+  key = source;
+  key += '\x1f';
+  for (const auto& [name, spec] : info.defines) {
+    if (info.relevant(scan, name)) {
+      key += spec;
+      key += '\x1e';
+    }
+  }
+  key += info.dirs_suffix;
+  return key;
+}
+
+/// One distinct preprocess input and its cached result.
+struct PpUnit {
+  std::string source;
+  minicc::CompileFlags flags;  // flags of the first instance with this key
+  bool ok = false;
+  std::string error;
+  std::string output;
+  std::string hash;
+};
+
+/// Parse result cached by preprocessed-content hash: OpenMP detection and
+/// IR generation for identical inputs share one AST.
+struct ParsedUnit {
+  minicc::ParseResult parsed;
+  bool openmp_constructs = false;
 };
 
 }  // namespace
@@ -55,6 +265,7 @@ IrContainerBuild build_ir_container(const Application& app, isa::Arch arch,
                                     const IrBuildOptions& options) {
   IrContainerBuild result;
   DedupStats& stats = result.stats;
+  StageTimer timer_;
 
   // ---- Generation: one configuration per point combination ------------
   const auto assignments =
@@ -62,7 +273,7 @@ IrContainerBuild build_ir_container(const Application& app, isa::Arch arch,
   stats.configurations = static_cast<int>(assignments.size());
 
   std::vector<buildsys::Configuration> configs;
-  std::vector<buildsys::Configuration> configs_divergent;  // metric only
+  configs.reserve(assignments.size());
   for (std::size_t i = 0; i < assignments.size(); ++i) {
     const std::string norm_dir =
         options.containerized_builds ? "/xaas/build"
@@ -77,14 +288,19 @@ IrContainerBuild build_ir_container(const Application& app, isa::Arch arch,
       return result;
     }
     configs.push_back(std::move(c));
-    // What flags would look like without the containerized mount — used
-    // for the §6.4 "incompatible flags" diagnostic.
-    configs_divergent.push_back(buildsys::configure(
-        app.script, assignments[i],
-        container_build_env(app.script, "/build/cfg" + std::to_string(i))));
     result.configuration_ids.push_back(configs.back().id());
   }
 
+  timer_.lap("configure");
+  // The compile-command database is computed once per configuration and
+  // reused for instance collection and manifest assembly below.
+  std::vector<std::vector<buildsys::CompileCommand>> commands_per_config;
+  commands_per_config.reserve(configs.size());
+  for (const auto& config : configs) {
+    commands_per_config.push_back(config.compile_commands(app.source_tree));
+  }
+
+  timer_.lap("compile_commands");
   // Defines derived from the SIMD option belong to the CPU-tuning bucket
   // (like the -m flags), not the raw-incompatibility diagnostic.
   std::vector<std::string> simd_define_prefixes;
@@ -93,49 +309,72 @@ IrContainerBuild build_ir_container(const Application& app, isa::Arch arch,
   }
 
   // ---- Collect TU instances -------------------------------------------
+  //
+  // The §6.4 "incompatible raw flags" diagnostic wants the flags a
+  // *non*-containerized build would produce (divergent /build/cfg<i>
+  // directories). The build dir reaches compile commands in exactly one
+  // place — include_build_dir emits "-I<build_dir>/include" — so the
+  // divergent variant is derived textually from the containerized
+  // expansion instead of running a second `configure` per configuration.
   std::vector<TuInstance> instances;
-  std::map<std::pair<std::string, std::string>, std::set<std::string>>
-      raw_flags_per_tu;  // (target, source) -> raw flag strings (divergent dirs)
-  std::set<std::string> sd_sources;
+  std::unordered_map<std::string, std::unordered_set<std::string>>
+      raw_flags_per_tu;  // (target \x1f source) -> raw flag strings
+  const std::string norm_build_inc = "-I/xaas/build/include";
+  std::vector<minicc::CompileFlags> target_flags;
+  std::vector<TargetFlagInfo> flag_infos;  // parallel to target_flags
 
   for (std::size_t i = 0; i < configs.size(); ++i) {
-    const auto commands = configs[i].compile_commands(app.source_tree);
-    const auto raw_commands =
-        configs_divergent[i].compile_commands(app.source_tree);
-    for (std::size_t k = 0; k < commands.size(); ++k) {
-      const auto& cmd = commands[k];
+    const auto& commands = commands_per_config[i];
+    // Raw-diagnostic strings and parsed flags are per (config, target):
+    // every source in a target shares its argument list.
+    std::unordered_map<std::string, std::string> raw_by_target;
+    std::unordered_map<std::string, std::size_t> flags_by_target;
+    const std::string divergent_inc =
+        "-I/build/cfg" + std::to_string(i) + "/include";
+    for (const auto& cmd : commands) {
       ++stats.total_tus;
-      // CPU tuning flags are tracked in their own §6.4 bucket; the raw
-      // incompatibility diagnostic isolates everything else (build-dir
-      // include paths being the dominant cause).
-      const auto& raw_cmd = k < raw_commands.size() ? raw_commands[k] : cmd;
-      std::string raw_no_tuning;
-      for (const auto& arg : raw_cmd.args) {
-        if (common::starts_with(arg, "-m")) continue;
-        bool simd_define = false;
-        for (const auto& prefix : simd_define_prefixes) {
-          if (common::starts_with(arg, prefix)) simd_define = true;
+      auto raw_it = raw_by_target.find(cmd.target);
+      if (raw_it == raw_by_target.end()) {
+        std::string raw_no_tuning;
+        for (const auto& arg : cmd.args) {
+          // CPU tuning flags are tracked in their own §6.4 bucket; the
+          // raw incompatibility diagnostic isolates everything else
+          // (build-dir include paths being the dominant cause).
+          if (common::starts_with(arg, "-m")) continue;
+          bool simd_define = false;
+          for (const auto& prefix : simd_define_prefixes) {
+            if (common::starts_with(arg, prefix)) simd_define = true;
+          }
+          if (simd_define) continue;
+          if (options.containerized_builds && arg == norm_build_inc) {
+            raw_no_tuning += divergent_inc;
+          } else {
+            raw_no_tuning += arg;
+          }
+          raw_no_tuning += ' ';
         }
-        if (simd_define) continue;
-        raw_no_tuning += arg;
-        raw_no_tuning += ' ';
+        raw_it = raw_by_target.emplace(cmd.target, std::move(raw_no_tuning))
+                     .first;
+        flags_by_target.emplace(cmd.target, target_flags.size());
+        target_flags.push_back(minicc::CompileFlags::parse_args(cmd.args));
+        flag_infos.push_back(make_flag_info(target_flags.back()));
       }
-      raw_flags_per_tu[{cmd.target, cmd.source}].insert(raw_no_tuning);
+      raw_flags_per_tu[cmd.target + '\x1f' + cmd.source].insert(
+          raw_it->second);
       if (app.is_system_dependent(cmd.source)) {
         ++stats.system_dependent;
-        sd_sources.insert(cmd.source);
         continue;
       }
       TuInstance inst;
       inst.config_index = i;
-      inst.config_id = configs[i].id();
+      inst.flag_info = flags_by_target.at(cmd.target);
       inst.source = cmd.source;
-      inst.raw_args = cmd.args_string();
-      inst.flags = minicc::CompileFlags::parse_args(cmd.args);
+      inst.flags = target_flags[inst.flag_info];
       instances.push_back(std::move(inst));
     }
   }
 
+  timer_.lap("collect_instances");
   // §6.4 diagnostic: fraction of TUs with incompatible raw flags across
   // configurations (driven by build-dir header paths).
   {
@@ -150,33 +389,93 @@ IrContainerBuild build_ir_container(const Application& app, isa::Arch arch,
         multi > 0 ? 100.0 * incompatible / multi : 0.0;
   }
 
-  // ---- Preprocessing + OpenMP detection (parallel) ---------------------
-  common::ThreadPool pool(options.threads);
-  std::string pp_error;
-  std::mutex error_mutex;
-  pool.parallel_for(instances.size(), [&](std::size_t idx) {
-    TuInstance& inst = instances[idx];
-    minicc::CompileFlags pp_flags = inst.flags;
-    const auto pp =
-        minicc::preprocess_file(app.source_tree, inst.source, pp_flags);
-    if (!pp.ok) {
-      std::lock_guard lock(error_mutex);
-      if (pp_error.empty()) {
-        pp_error = inst.source + ": " + pp.error;
-      }
-      return;
+  timer_.lap("diag");
+  // ---- Preprocessing + OpenMP detection (memoized, parallel) -----------
+  // Macro-relevance scans, one per (source, include dirs).
+  std::unordered_map<std::string, SourceScan> scans;
+  std::vector<PpUnit> units;
+  std::unordered_map<std::string, std::size_t> unit_index;
+  for (auto& inst : instances) {
+    const TargetFlagInfo& info = flag_infos[inst.flag_info];
+    std::string scan_key = inst.source + info.dirs_suffix;
+    auto scan_it = scans.find(scan_key);
+    if (scan_it == scans.end()) {
+      scan_it = scans.emplace(std::move(scan_key),
+                              build_scan(app.source_tree, inst.source,
+                                         inst.flags.include_dirs))
+                    .first;
     }
-    inst.pp_hash = common::sha256_hex(pp.output);
-    inst.openmp_effective = inst.flags.openmp;
-    if (inst.flags.openmp && options.detect_openmp) {
-      inst.openmp_effective = minicc::detect_openmp_constructs(pp.output);
+    const SourceScan& scan = scan_it->second;
+    inst.openmp_relevant = flag_infos[inst.flag_info].relevant(scan, "_OPENMP");
+    const std::string key = preprocess_key(inst.source, info, scan);
+    const auto [it, inserted] = unit_index.emplace(key, units.size());
+    if (inserted) {
+      PpUnit unit;
+      unit.source = inst.source;
+      unit.flags = inst.flags;
+      units.push_back(std::move(unit));
     }
-  });
-  if (!pp_error.empty()) {
-    result.error = "preprocessing failed: " + pp_error;
-    return result;
+    inst.pp_unit = it->second;
   }
 
+  timer_.lap("scans_keys");
+  common::ThreadPool pool(options.threads);
+  pool.parallel_for(units.size(), [&](std::size_t idx) {
+    PpUnit& unit = units[idx];
+    const auto pp =
+        minicc::preprocess_file(app.source_tree, unit.source, unit.flags);
+    if (!pp.ok) {
+      unit.error = pp.error;
+      return;
+    }
+    unit.ok = true;
+    unit.output = pp.output;
+    unit.hash = common::sha256_hex(pp.output);
+  });
+  timer_.lap("preprocess");
+  for (const auto& unit : units) {
+    if (!unit.ok) {
+      result.error = "preprocessing failed: " + unit.source + ": " +
+                     unit.error;
+      return result;
+    }
+  }
+
+  timer_.lap("pp_errcheck");
+  // Parse each distinct preprocessed content once; OpenMP detection and
+  // the IR builds below share the AST.
+  std::unordered_map<std::string, ParsedUnit> parsed_by_hash;
+  {
+    std::vector<ParsedUnit*> to_parse;
+    std::vector<const PpUnit*> to_parse_unit;
+    for (const auto& inst : instances) {
+      const PpUnit& unit = units[inst.pp_unit];
+      if (!(inst.flags.openmp && options.detect_openmp)) continue;
+      const auto [it, inserted] = parsed_by_hash.try_emplace(unit.hash);
+      if (inserted) {
+        to_parse.push_back(&it->second);
+        to_parse_unit.push_back(&unit);
+      }
+    }
+    pool.parallel_for(to_parse.size(), [&](std::size_t idx) {
+      ParsedUnit& p = *to_parse[idx];
+      p.parsed = minicc::parse(to_parse_unit[idx]->output);
+      p.openmp_constructs =
+          p.parsed.ok && minicc::ast::uses_openmp(p.parsed.tu);
+    });
+  }
+
+  timer_.lap("detect_parse");
+  for (auto& inst : instances) {
+    const PpUnit& unit = units[inst.pp_unit];
+    inst.pp_hash = unit.hash;
+    inst.openmp_effective = inst.flags.openmp;
+    if (inst.flags.openmp && options.detect_openmp) {
+      inst.openmp_effective = parsed_by_hash.at(unit.hash).openmp_constructs;
+    }
+  }
+
+  timer_.lap("assign_effective");
   // ---- Dedup keys -------------------------------------------------------
   for (auto& inst : instances) {
     minicc::CompileFlags key_flags = inst.flags;
@@ -203,11 +502,11 @@ IrContainerBuild build_ir_container(const Application& app, isa::Arch arch,
   // preproc_distinct: among surplus TU instances (beyond one per source),
   // how many still need their own IR after hashing.
   {
-    std::set<std::string> sources;
-    std::set<std::pair<std::string, std::string>> source_hash;
+    std::unordered_set<std::string> sources;
+    std::unordered_set<std::string> source_hash;
     for (const auto& inst : instances) {
       sources.insert(inst.source);
-      source_hash.insert({inst.source, inst.pp_hash});
+      source_hash.insert(inst.source + '\x1f' + inst.pp_hash);
     }
     const long long surplus_total =
         static_cast<long long>(instances.size()) -
@@ -225,7 +524,8 @@ IrContainerBuild build_ir_container(const Application& app, isa::Arch arch,
   // carried different CPU tuning flags (resolved by delaying
   // vectorization).
   {
-    std::map<std::string, std::pair<std::set<std::string>, int>>
+    std::unordered_map<std::string,
+                       std::pair<std::unordered_set<std::string>, int>>
         march_per_group;
     for (const auto& inst : instances) {
       const std::string semantic_key =
@@ -251,8 +551,9 @@ IrContainerBuild build_ir_container(const Application& app, isa::Arch arch,
     stats.tuning_only_pct = multi > 0 ? 100.0 * tuned / multi : 0.0;
   }
 
+  timer_.lap("dedup_stats");
   // ---- Build unique IRs (parallel) --------------------------------------
-  std::map<std::string, std::size_t> key_to_artifact;
+  std::unordered_map<std::string, std::size_t> key_to_artifact;
   std::vector<TuInstance*> representatives;
   for (auto& inst : instances) {
     const auto [it, inserted] =
@@ -275,7 +576,8 @@ IrContainerBuild build_ir_container(const Application& app, isa::Arch arch,
       artifact.flags = f.canonical();
       result.artifacts.push_back(std::move(artifact));
     }
-    result.artifacts[it->second].used_by.push_back(inst.config_id);
+    result.artifacts[it->second].used_by.push_back(
+        result.configuration_ids[inst.config_index]);
   }
   stats.unique_irs = static_cast<int>(result.artifacts.size());
   stats.reduction_pct =
@@ -285,36 +587,94 @@ IrContainerBuild build_ir_container(const Application& app, isa::Arch arch,
                                static_cast<double>(stats.total_tus))
           : 0.0;
 
+  timer_.lap("artifact_list");
+  // Compile the surviving representatives, reusing the memoized
+  // preprocessed text and cached ASTs instead of re-running the front
+  // end per artifact (the seed re-preprocessed and re-parsed every one).
   std::vector<std::string> ir_texts(representatives.size());
   std::string compile_error;
+  std::mutex error_mutex;
   pool.parallel_for(representatives.size(), [&](std::size_t idx) {
     const TuInstance& inst = *representatives[idx];
     minicc::CompileFlags flags = inst.flags;
     flags.openmp = inst.openmp_effective;
     if (options.delay_vectorization) flags.march.reset();
-    auto compiled = minicc::compile_to_ir(app.source_tree, inst.source, flags);
-    if (!compiled.ok) {
+
+    const auto fail = [&](const std::string& phase, const std::string& msg) {
       std::lock_guard lock(error_mutex);
       if (compile_error.empty()) {
-        compile_error = inst.source + " (" + compiled.error.phase +
-                        "): " + compiled.error.message;
+        compile_error = inst.source + " (" + phase + "): " + msg;
       }
+    };
+
+    // Locate the preprocessed text for the *effective* flags. Dropping
+    // -fopenmp only changes preprocessing when the TU's include closure
+    // references _OPENMP; everything else reuses the memoized unit.
+    const std::string* pp_text = nullptr;
+    const std::string* pp_hash = nullptr;
+    minicc::PreprocessResult local_pp;
+    std::string local_hash;
+    if (flags.openmp == inst.flags.openmp || !inst.openmp_relevant) {
+      pp_text = &units[inst.pp_unit].output;
+      pp_hash = &units[inst.pp_unit].hash;
+    } else {
+      local_pp = minicc::preprocess_file(app.source_tree, inst.source, flags);
+      if (!local_pp.ok) {
+        fail("preprocess", local_pp.error);
+        return;
+      }
+      local_hash = common::sha256_hex(local_pp.output);
+      pp_text = &local_pp.output;
+      pp_hash = &local_hash;
+    }
+
+    // Parse: shared AST when OpenMP detection already parsed this text.
+    const ParsedUnit* cached = nullptr;
+    if (const auto it = parsed_by_hash.find(*pp_hash);
+        it != parsed_by_hash.end() && it->second.parsed.ok) {
+      cached = &it->second;
+    }
+    minicc::ParseResult local_parse;
+    const minicc::ParseResult* parsed = nullptr;
+    if (cached) {
+      parsed = &cached->parsed;
+    } else {
+      local_parse = minicc::parse(*pp_text);
+      parsed = &local_parse;
+    }
+    if (!parsed->ok) {
+      fail("parse", parsed->error + " [" + inst.source + "]");
       return;
     }
+
+    minicc::IrGenOptions gen_options;
+    gen_options.openmp = flags.openmp;
+    gen_options.source_path = inst.source;
+    minicc::IrGenResult gen = minicc::generate_ir(parsed->tu, gen_options);
+    if (!gen.ok) {
+      fail("irgen", gen.error);
+      return;
+    }
+    // Target-independent cleanup only; vectorization and FMA fusion wait
+    // for deployment.
+    minicc::optimize(gen.module, std::min(flags.opt_level, 1));
+
     if (!options.delay_vectorization && inst.flags.march) {
       // Ablation mode: premature target-specific optimization at
       // container-build time. The IR is vectorized now and cannot be
       // efficiently re-vectorized at deployment (§4.3).
-      minicc::vectorize_module(compiled.module,
+      minicc::vectorize_module(gen.module,
                                isa::lanes_f64(*inst.flags.march));
     }
-    ir_texts[idx] = minicc::ir::print(compiled.module);
+    ir_texts[idx] = minicc::ir::print(gen.module);
   });
+  timer_.lap("compile");
   if (!compile_error.empty()) {
     result.error = "IR compilation failed: " + compile_error;
     return result;
   }
 
+  timer_.lap("compile_err");
   // ---- Assemble the image ------------------------------------------------
   common::Vfs toolchain;
   toolchain.write("opt/toolchain/minicc.json",
@@ -333,9 +693,9 @@ IrContainerBuild build_ir_container(const Application& app, isa::Arch arch,
 
   // Manifest: per configuration, the IR (or source) each TU resolves to,
   // plus the per-config link/lowering parameters.
-  std::map<std::pair<std::size_t, std::string>, std::size_t> instance_lookup;
+  std::unordered_map<std::string, std::size_t> instance_lookup;
   for (const auto& inst : instances) {
-    instance_lookup[{inst.config_index, inst.source}] =
+    instance_lookup[std::to_string(inst.config_index) + '\x1f' + inst.source] =
         key_to_artifact[inst.dedup_key];
   }
   Json manifest = Json::object();
@@ -344,7 +704,7 @@ IrContainerBuild build_ir_container(const Application& app, isa::Arch arch,
   Json config_list = Json::array();
   for (std::size_t i = 0; i < configs.size(); ++i) {
     Json c = Json::object();
-    c["id"] = configs[i].id();
+    c["id"] = result.configuration_ids[i];
     Json values = Json::object();
     for (const auto& [name, value] : configs[i].option_values) {
       values[name] = value;
@@ -366,23 +726,23 @@ IrContainerBuild build_ir_container(const Application& app, isa::Arch arch,
     }
     c["march"] = march;
 
-    Json units = Json::array();
-    const auto commands = configs[i].compile_commands(app.source_tree);
-    for (const auto& cmd : commands) {
+    Json units_json = Json::array();
+    for (const auto& cmd : commands_per_config[i]) {
       Json unit = Json::object();
       unit["source"] = cmd.source;
       if (app.is_system_dependent(cmd.source)) {
         unit["system_dependent"] = true;
         unit["flags"] = cmd.args_string();
       } else {
-        const auto it = instance_lookup.find({i, cmd.source});
+        const auto it = instance_lookup.find(std::to_string(i) + '\x1f' +
+                                             cmd.source);
         if (it != instance_lookup.end()) {
           unit["ir"] = result.artifacts[it->second].path;
         }
       }
-      units.push_back(std::move(unit));
+      units_json.push_back(std::move(unit));
     }
-    c["translation_units"] = std::move(units);
+    c["translation_units"] = std::move(units_json);
     config_list.push_back(std::move(c));
   }
   manifest["configurations"] = std::move(config_list);
@@ -402,6 +762,7 @@ IrContainerBuild build_ir_container(const Application& app, isa::Arch arch,
           .annotation(container::kAnnotationSpecPoints,
                       app.ground_truth().to_json().dump())
           .build();
+  timer_.lap("assemble_image");
   result.ok = true;
   return result;
 }

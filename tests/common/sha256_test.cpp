@@ -51,6 +51,44 @@ TEST(Sha256, ExactBlockBoundary) {
   }
 }
 
+// Known-answer vectors (NIST CAVP SHA256ShortMsg / FIPS 180-4 examples)
+// exercising the direct-from-input block path at various alignments.
+TEST(Sha256, KnownAnswerVectors) {
+  // 896-bit FIPS 180-4 example: two blocks via the direct path.
+  EXPECT_EQ(
+      sha256_hex("abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
+                 "hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"),
+      "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1");
+  EXPECT_EQ(sha256_hex("a"),
+            "ca978112ca1bbdcafac231b39a23dc4da786eff8147c4e72b9807785afee48bb");
+  EXPECT_EQ(sha256_hex("message digest"),
+            "f7846f55cf23e14eebeab5b4e1550cad5b509e3348fbc4efa3a1413d393cb650");
+  EXPECT_EQ(sha256_hex("abcdefghijklmnopqrstuvwxyz"),
+            "71c480df93d6ae2f1efad1447c66c9525e316218cf51fc8d9ed832f2daf18b73");
+  // Exactly one block (64 bytes) and two blocks (128 bytes) of zeros.
+  EXPECT_EQ(sha256_hex(std::string(64, '\0')),
+            "f5a5fd42d16a20302798ef6ed309979b43003d2320d9f0e8ea9831a92759fb4b");
+  EXPECT_EQ(sha256_hex(std::string(128, '\0')),
+            "38723a2e5e8a17aa7950dc008209944e898f69a7bd10a23c839d341e935fd5ca");
+}
+
+TEST(Sha256, MixedChunkSizesMatchOneShot) {
+  // Feed the same 1000-byte message in awkward chunk sizes so updates
+  // straddle the staging buffer / direct-block boundary in every way.
+  std::string data(1000, '\0');
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<char>((i * 131 + 7) & 0xFF);
+  }
+  const std::string expect = sha256_hex(data);
+  for (std::size_t chunk : {1u, 3u, 63u, 64u, 65u, 127u, 128u, 200u, 999u}) {
+    Sha256 h;
+    for (std::size_t off = 0; off < data.size(); off += chunk) {
+      h.update(data.substr(off, chunk));
+    }
+    EXPECT_EQ(h.hex_digest(), expect) << chunk;
+  }
+}
+
 TEST(Sha256, DifferentInputsDiffer) {
   EXPECT_NE(sha256_hex("a"), sha256_hex("b"));
   EXPECT_NE(sha256_hex("content-a"), sha256_hex("content-b"));

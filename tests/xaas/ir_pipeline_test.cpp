@@ -39,6 +39,42 @@ TEST(IrPipeline, WithoutOpenmpDetectionLuleshNeedsMoreIrs) {
   EXPECT_EQ(build.stats.unique_irs, 20);
 }
 
+TEST(IrPipeline, ChainedDefinesStayDistinct) {
+  // Preprocess memoization regression: a define referenced only through
+  // another define's body (-DGRID=BASE with BASE=8 vs BASE=16) never
+  // appears in the source text, but still changes the preprocessed
+  // output. The memo must not merge the two configurations.
+  Application app;
+  app.name = "tiny";
+  app.entry_point = "f";
+  app.source_tree.write("a.c", "double f(double x) { return x * GRID; }\n");
+  app.build_script_text =
+      "project(tiny)\n"
+      "option_multichoice(SIZE \"grid size\" small small big)\n"
+      "add_target(t)\n"
+      "target_sources(t a.c)\n"
+      "add_define(GRID=BASE)\n"
+      "if(SIZE STREQUAL small)\n"
+      "  add_define(BASE=8)\n"
+      "endif()\n"
+      "if(SIZE STREQUAL big)\n"
+      "  add_define(BASE=16)\n"
+      "endif()\n";
+  const auto parsed = buildsys::parse_script(app.build_script_text);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  app.script = parsed.script;
+
+  IrBuildOptions options;
+  options.points = {{"SIZE", {"small", "big"}}};
+  const auto build = build_ir_container(app, isa::Arch::X86_64, options);
+  ASSERT_TRUE(build.ok) << build.error;
+  EXPECT_EQ(build.stats.configurations, 2);
+  EXPECT_EQ(build.stats.total_tus, 2);
+  // GRID=BASE expands to 8 vs 16: the preprocessed TUs differ, so both
+  // IRs must survive deduplication.
+  EXPECT_EQ(build.stats.unique_irs, 2);
+}
+
 TEST(IrPipeline, HypothesisOneHolds) {
   // T' < sum(T_i): deduplicated IR count strictly below total TUs.
   const Application app = apps::make_minilulesh();
