@@ -9,6 +9,7 @@
 #include "common/sha256.hpp"
 #include "minicc/driver.hpp"
 #include "minicc/vectorizer.hpp"
+#include "service/deploy_scheduler.hpp"
 #include "vm/executor.hpp"
 #include "vm/program.hpp"
 #include "xaas/ir_pipeline.hpp"
@@ -131,6 +132,90 @@ void BM_IrContainerBuildMinimd(benchmark::State& state) {
                           2 * (state.range(0) + 11));
 }
 BENCHMARK(BM_IrContainerBuildMinimd)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
+
+// Fleet deployment of one IR image to N homogeneous simulated nodes —
+// uncached (every node lowers from scratch) vs the DeployScheduler's
+// specialization cache (one lowering, N-1 hits). The ratio of these two
+// benchmarks is the serving-layer speedup recorded in BENCH_results.json.
+struct FleetFixture {
+  bool build_ok = false;
+  container::Image image;
+  std::vector<vm::NodeSpec> fleet;
+  IrDeployOptions selection;
+
+  static const FleetFixture& get() {
+    static const FleetFixture fixture = [] {
+      FleetFixture f;
+      apps::MinimdOptions app_options;
+      app_options.module_count = 24;
+      app_options.gpu_module_count = 2;
+      const Application app = apps::make_minimd(app_options);
+      IrBuildOptions options;
+      options.points = {{"MD_SIMD", {"SSE4.1", "AVX_512"}}};
+      auto built = build_ir_container(app, isa::Arch::X86_64, options);
+      f.build_ok = built.ok;
+      f.image = std::move(built.image);
+      f.selection.selections = {{"MD_SIMD", "AVX_512"}};
+      f.fleet = vm::simulated_fleet(vm::node("ault23"), 64, "fleet-");
+      return f;
+    }();
+    return fixture;
+  }
+};
+
+void BM_FleetDeployUncached(benchmark::State& state) {
+  const auto& f = FleetFixture::get();
+  const int nodes = static_cast<int>(state.range(0));
+  if (!f.build_ok || nodes > static_cast<int>(f.fleet.size())) {
+    state.SkipWithError("fleet fixture invalid (build failed or >64 nodes)");
+    return;
+  }
+  for (auto _ : state) {
+    for (int i = 0; i < nodes; ++i) {
+      // Gate on ok so a deploy regression can't silently turn this into
+      // a benchmark of the early-return error path.
+      const auto deployed = deploy_ir_container(f.image, f.fleet[i],
+                                                f.selection);
+      if (!deployed.ok) state.SkipWithError(deployed.error.c_str());
+      benchmark::DoNotOptimize(deployed);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          nodes);
+}
+BENCHMARK(BM_FleetDeployUncached)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_FleetDeployCached(benchmark::State& state) {
+  const auto& f = FleetFixture::get();
+  const int nodes = static_cast<int>(state.range(0));
+  if (!f.build_ok || nodes > static_cast<int>(f.fleet.size())) {
+    state.SkipWithError("fleet fixture invalid (build failed or >64 nodes)");
+    return;
+  }
+  for (auto _ : state) {
+    // The cache lives per iteration: each iteration pays one lowering
+    // plus (nodes - 1) cache hits, the fleet-bootstrap cost.
+    service::ShardedRegistry registry;
+    registry.push(f.image, "bench:ir");
+    // Pin the pool size so per-iteration thread spawn/join stays constant
+    // across machines instead of scaling with hardware_concurrency().
+    service::DeploySchedulerOptions sched_options;
+    sched_options.threads = 4;
+    service::DeployScheduler scheduler(registry, sched_options);
+    std::vector<service::FleetDeployRequest> requests;
+    for (int i = 0; i < nodes; ++i) {
+      requests.push_back({f.fleet[i], "bench:ir", f.selection});
+    }
+    const auto results = scheduler.deploy_batch(std::move(requests));
+    for (const auto& r : results) {
+      if (!r.ok) state.SkipWithError(r.error.c_str());
+    }
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          nodes);
+}
+BENCHMARK(BM_FleetDeployCached)->Arg(32)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

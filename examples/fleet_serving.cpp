@@ -1,0 +1,77 @@
+// Fleet serving example: the registry-of-IR-containers end state
+// (§4.3/§5.2). A build machine pushes one IR container to a sharded
+// registry; a mixed fleet — Skylake-AVX512 batch nodes and Haswell-class
+// edge nodes — requests deployments through the DeployScheduler. Each
+// distinct (image, selection, target) specializes once; every other node
+// shares the cached image and pre-decoded program, then runs the workload
+// locally.
+#include <cstdio>
+
+#include "apps/minimd.hpp"
+#include "common/table.hpp"
+#include "service/deploy_scheduler.hpp"
+#include "xaas/ir_pipeline.hpp"
+
+using namespace xaas;
+
+int main() {
+  // Build machine: bake the IR container with its SIMD specialization
+  // points and push it.
+  apps::MinimdOptions app_options;
+  app_options.module_count = 8;
+  app_options.gpu_module_count = 1;
+  const Application app = apps::make_minimd(app_options);
+  IrBuildOptions build_options;
+  build_options.points = {{"MD_SIMD", {"SSE4.1", "AVX2_256", "AVX_512"}}};
+  const auto build = build_ir_container(app, isa::Arch::X86_64, build_options);
+  if (!build.ok) {
+    std::printf("IR build failed: %s\n", build.error.c_str());
+    return 1;
+  }
+
+  service::ShardedRegistry registry;
+  const std::string digest = registry.push(build.image, "spcl/minimd:ir");
+  std::printf("pushed spcl/minimd:ir (%s, %zu configurations)\n",
+              digest.substr(0, 19).c_str(),
+              ir_image_configurations(build.image).size());
+
+  // The fleet: 6 Skylake batch nodes and 2 Haswell edge nodes, all asking
+  // for the AVX-512 build. The edge nodes can't execute AVX-512 — the
+  // scheduler clamps their recorded tuning to AVX2 instead of shipping a
+  // program that would trap.
+  std::vector<service::FleetDeployRequest> requests;
+  IrDeployOptions selection;
+  selection.selections = {{"MD_SIMD", "AVX_512"}};
+  for (auto& n : vm::simulated_fleet(vm::node("ault23"), 6, "batch-")) {
+    requests.push_back({std::move(n), "spcl/minimd:ir", selection});
+  }
+  for (auto& n : vm::simulated_fleet(vm::node("devbox"), 2, "edge-")) {
+    requests.push_back({std::move(n), "spcl/minimd:ir", selection});
+  }
+
+  service::DeploySchedulerOptions sched_options;
+  sched_options.threads = 4;
+  service::DeployScheduler scheduler(registry, sched_options);
+  const auto results = scheduler.deploy_batch(requests);
+
+  common::Table table({"Node", "Target", "Cache", "Energy", "Modeled ms"});
+  for (const auto& r : results) {
+    if (!r.ok) {
+      table.add_row({r.node_name, "-", "-", "failed: " + r.error, "-"});
+      continue;
+    }
+    vm::Workload w = apps::minimd_workload({64, 8, 4, 64});
+    const auto run = r.run(w, 8);
+    table.add_row({r.node_name, r.app->target.to_string(),
+                   r.cache_hit ? "hit" : "lowered",
+                   run.ok ? common::Table::num(run.ret_f64, 3) : run.error,
+                   run.ok ? common::Table::num(run.elapsed_seconds * 1e3, 2)
+                          : "-"});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "lowerings: %zu for %zu nodes (cache hits: %zu)\n",
+      scheduler.cache().lowerings(), results.size(),
+      scheduler.cache().hits());
+  return 0;
+}

@@ -11,12 +11,18 @@ std::string Registry::push(const Image& image, const std::string& reference) {
 
 std::optional<Image> Registry::pull(
     const std::string& reference_or_digest) const {
+  const auto digest = resolve(reference_or_digest);
+  if (!digest) return std::nullopt;
+  return images_.find(*digest)->second;
+}
+
+std::optional<std::string> Registry::resolve(
+    const std::string& reference_or_digest) const {
   std::string digest = reference_or_digest;
   const auto tag_it = tags_.find(reference_or_digest);
   if (tag_it != tags_.end()) digest = tag_it->second;
-  const auto it = images_.find(digest);
-  if (it == images_.end()) return std::nullopt;
-  return it->second;
+  if (!images_.count(digest)) return std::nullopt;
+  return digest;
 }
 
 std::vector<std::string> Registry::tags() const {
@@ -39,10 +45,14 @@ std::vector<std::string> Registry::tags_for_architecture(
 
 std::optional<std::string> Registry::annotation(const std::string& reference,
                                                 const std::string& key) const {
-  const auto image = pull(reference);
-  if (!image) return std::nullopt;
-  const auto it = image->annotations.find(key);
-  if (it == image->annotations.end()) return std::nullopt;
+  // Annotation reads are the §5.2 "query before pulling" path: look at
+  // the stored manifest metadata in place instead of copying every layer
+  // out of the registry just to read one string.
+  const auto digest = resolve(reference);
+  if (!digest) return std::nullopt;
+  const Image& image = images_.find(*digest)->second;
+  const auto it = image.annotations.find(key);
+  if (it == image.annotations.end()) return std::nullopt;
   return it->second;
 }
 

@@ -21,6 +21,11 @@ public:
   /// Pull by tag reference or by "sha256:..." digest.
   std::optional<Image> pull(const std::string& reference_or_digest) const;
 
+  /// Resolve a tag reference (or digest) to the stored image digest
+  /// without copying the image.
+  std::optional<std::string> resolve(
+      const std::string& reference_or_digest) const;
+
   /// All tags, sorted.
   std::vector<std::string> tags() const;
 

@@ -1,0 +1,124 @@
+#include "service/deploy_scheduler.hpp"
+
+#include "common/hashing.hpp"
+#include "vm/decoded.hpp"
+
+namespace xaas::service {
+
+DeployScheduler::DeployScheduler(ShardedRegistry& registry,
+                                 DeploySchedulerOptions options)
+    : registry_(registry),
+      options_(options),
+      cache_(options.cache_shards),
+      pool_(options.threads) {}
+
+vm::RunResult FleetDeployResult::run(vm::Workload& workload,
+                                     int threads) const {
+  vm::RunResult failed;
+  if (!app) {
+    failed.error = "deployment has no program: " + error;
+    return failed;
+  }
+  return app->run_on(node, workload, threads);
+}
+
+FleetDeployResult DeployScheduler::deploy(const FleetDeployRequest& request) {
+  FleetDeployResult result;
+  result.node_name = request.node.name;
+  result.node = request.node;
+
+  const auto digest = registry_.resolve(request.image_reference);
+  if (!digest) {
+    result.error = "image not found in registry: " + request.image_reference;
+    return result;
+  }
+  const auto image = registry_.pull(*digest);  // shared, no layer copy
+
+  const auto manifest = manifest_for(*digest, *image);
+  const IrDeployPlan plan = plan_ir_deploy(*manifest, request.node,
+                                           request.options);
+  if (!plan.ok) {
+    result.error = plan.error;
+    return result;
+  }
+  result.configuration = plan.configuration;
+
+  SpecKey key;
+  key.digest = *digest;
+  key.selections = common::canonical_selections(request.options.selections);
+  key.target = plan.target;
+
+  const auto app = cache_.get_or_deploy(
+      key,
+      [&]() -> std::shared_ptr<const DeployedApp> {
+        auto deployed = std::make_shared<DeployedApp>(
+            deploy_ir_container(*image, request.node, request.options));
+        // The cached deployment is shared by every node whose plan
+        // resolves to this key, so it must not remember the node that
+        // happened to deploy first: DeployedApp::run() on a cleared name
+        // fails loudly instead of silently simulating the wrong node
+        // (fleet callers run through FleetDeployResult::run / run_on).
+        deployed->node_name.clear();
+        if (deployed->ok && options_.predecode) {
+          // Decode once here; every executor on every node of the fleet
+          // reuses this DecodedProgram.
+          deployed->decoded = std::make_shared<const vm::DecodedProgram>(
+              vm::DecodedProgram::build(deployed->program));
+        }
+        return deployed;
+      },
+      &result.cache_hit);
+
+  if (!app) {
+    result.error = "deployment failed";
+    return result;
+  }
+  result.app = app;
+  result.ok = app->ok;
+  if (!app->ok) result.error = app->error;
+  return result;
+}
+
+std::shared_ptr<const IrImageManifest> DeployScheduler::manifest_for(
+    const std::string& digest, const container::Image& image) {
+  {
+    std::lock_guard lock(manifests_mutex_);
+    const auto it = manifests_.find(digest);
+    if (it != manifests_.end()) return it->second;
+  }
+  // Parse outside the lock; concurrent first requests may both parse,
+  // the map keeps whichever lands first (they are identical by digest).
+  auto parsed =
+      std::make_shared<const IrImageManifest>(read_ir_image_manifest(image));
+  std::lock_guard lock(manifests_mutex_);
+  return manifests_.emplace(digest, std::move(parsed)).first->second;
+}
+
+std::future<FleetDeployResult> DeployScheduler::submit(
+    FleetDeployRequest request) {
+  auto promise = std::make_shared<std::promise<FleetDeployResult>>();
+  auto future = promise->get_future();
+  pool_.submit([this, promise, request = std::move(request)]() {
+    try {
+      promise->set_value(deploy(request));
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  });
+  return future;
+}
+
+std::vector<FleetDeployResult> DeployScheduler::deploy_batch(
+    std::vector<FleetDeployRequest> requests) {
+  std::vector<std::future<FleetDeployResult>> futures;
+  futures.reserve(requests.size());
+  for (auto& request : requests) {
+    futures.push_back(submit(std::move(request)));
+  }
+  std::vector<FleetDeployResult> results;
+  results.reserve(futures.size());
+  for (auto& future : futures) results.push_back(future.get());
+  return results;
+}
+
+}  // namespace xaas::service

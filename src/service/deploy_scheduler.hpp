@@ -1,0 +1,105 @@
+// Fleet deployment scheduler: fans deploy_ir_container out over a
+// ThreadPool for batches of (node, image, selection) requests, with a
+// SpecializationCache in front so a fleet of identical microarchitectures
+// lowers once and shares the deployed image and its DecodedProgram.
+//
+// This is the serving layer the paper's registry-of-IR-containers vision
+// implies (§4.3/§5.2): a request names an image by tag or digest in a
+// ShardedRegistry plus the node it should be specialized for; the
+// scheduler resolves the deployment plan (configuration + clamped
+// target), consults the cache, and only cache-missing specializations
+// pay the lowering.
+#pragma once
+
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "service/sharded_registry.hpp"
+#include "service/spec_cache.hpp"
+#include "vm/node.hpp"
+#include "xaas/ir_deploy.hpp"
+
+namespace xaas::service {
+
+struct FleetDeployRequest {
+  vm::NodeSpec node;
+  std::string image_reference;  // tag or "sha256:..." digest
+  IrDeployOptions options;
+};
+
+struct FleetDeployResult {
+  bool ok = false;
+  std::string error;
+
+  std::string node_name;
+  /// The node this request was deployed for (run() executes on it).
+  vm::NodeSpec node;
+  std::string configuration;  // selected configuration id
+  /// Whether this node reused a cached specialization instead of lowering.
+  bool cache_hit = false;
+  /// The shared deployment (image + program + decoded program). Multiple
+  /// results of one fleet point at the same object, so the app itself is
+  /// node-agnostic (its node_name is cleared); always execute through
+  /// run() here or app->run_on(node, ...), never app->run().
+  std::shared_ptr<const DeployedApp> app;
+
+  /// Execute a workload on this request's node via the shared program.
+  vm::RunResult run(vm::Workload& workload, int threads = 1) const;
+};
+
+struct DeploySchedulerOptions {
+  /// Worker threads for deploy fan-out (0 = hardware concurrency).
+  std::size_t threads = 0;
+  /// Shards of the specialization cache.
+  std::size_t cache_shards = 16;
+  /// Pre-decode each cached program for the VM once at deploy time, so
+  /// fleet executors share the DecodedProgram instead of re-decoding.
+  bool predecode = true;
+};
+
+class DeployScheduler {
+public:
+  explicit DeployScheduler(ShardedRegistry& registry,
+                           DeploySchedulerOptions options = {});
+
+  DeployScheduler(const DeployScheduler&) = delete;
+  DeployScheduler& operator=(const DeployScheduler&) = delete;
+
+  /// Asynchronously deploy one request on the pool.
+  std::future<FleetDeployResult> submit(FleetDeployRequest request);
+
+  /// Deploy a batch, fanning out over the pool; results are returned in
+  /// request order after all complete.
+  std::vector<FleetDeployResult> deploy_batch(
+      std::vector<FleetDeployRequest> requests);
+
+  /// Synchronous single deploy (the pool is bypassed; the cache is not).
+  FleetDeployResult deploy(const FleetDeployRequest& request);
+
+  const SpecializationCache& cache() const { return cache_; }
+  SpecializationCache& cache() { return cache_; }
+
+private:
+  /// Parsed manifest for `digest`, cached so repeated requests (every
+  /// cache hit of a fleet) skip the image flatten + JSON parse.
+  std::shared_ptr<const IrImageManifest> manifest_for(
+      const std::string& digest, const container::Image& image);
+
+  ShardedRegistry& registry_;
+  DeploySchedulerOptions options_;
+  SpecializationCache cache_;
+
+  std::mutex manifests_mutex_;
+  std::map<std::string, std::shared_ptr<const IrImageManifest>> manifests_;
+
+  // Declared last, destroyed first: ~ThreadPool drains queued deploy
+  // tasks, which still use cache_ and manifests_ above.
+  common::ThreadPool pool_;
+};
+
+}  // namespace xaas::service

@@ -1,0 +1,136 @@
+#include "service/sharded_registry.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/hashing.hpp"
+#include "common/strings.hpp"
+
+namespace xaas::service {
+
+ShardedRegistry::ShardedRegistry(std::size_t shard_count) {
+  shard_count = std::max<std::size_t>(1, shard_count);
+  blob_shards_.reserve(shard_count);
+  tag_shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    blob_shards_.push_back(std::make_unique<BlobShard>());
+    tag_shards_.push_back(std::make_unique<TagShard>());
+  }
+}
+
+ShardedRegistry::BlobShard& ShardedRegistry::blob_shard_for(
+    const std::string& digest) {
+  return *blob_shards_[common::shard_index(digest, blob_shards_.size())];
+}
+
+const ShardedRegistry::BlobShard& ShardedRegistry::blob_shard_for(
+    const std::string& digest) const {
+  return *blob_shards_[common::shard_index(digest, blob_shards_.size())];
+}
+
+ShardedRegistry::TagShard& ShardedRegistry::tag_shard_for(
+    const std::string& reference) {
+  return *tag_shards_[common::shard_index(reference, tag_shards_.size())];
+}
+
+const ShardedRegistry::TagShard& ShardedRegistry::tag_shard_for(
+    const std::string& reference) const {
+  return *tag_shards_[common::shard_index(reference, tag_shards_.size())];
+}
+
+std::string ShardedRegistry::push(const container::Image& image,
+                                  const std::string& reference) {
+  return push(std::make_shared<const container::Image>(image), reference);
+}
+
+std::string ShardedRegistry::push(
+    std::shared_ptr<const container::Image> image,
+    const std::string& reference) {
+  const std::string digest = image->digest();
+  {
+    BlobShard& shard = blob_shard_for(digest);
+    std::unique_lock lock(shard.mutex);
+    // Idempotent: identical content keeps the first blob (digests are
+    // content addresses, so the images are interchangeable).
+    shard.images.emplace(digest, std::move(image));
+  }
+  {
+    TagShard& shard = tag_shard_for(reference);
+    std::unique_lock lock(shard.mutex);
+    shard.tags[reference] = digest;
+  }
+  return digest;
+}
+
+std::optional<std::string> ShardedRegistry::resolve(
+    const std::string& reference_or_digest) const {
+  std::string digest = reference_or_digest;
+  {
+    const TagShard& shard = tag_shard_for(reference_or_digest);
+    std::shared_lock lock(shard.mutex);
+    const auto it = shard.tags.find(reference_or_digest);
+    if (it != shard.tags.end()) digest = it->second;
+  }
+  const BlobShard& shard = blob_shard_for(digest);
+  std::shared_lock lock(shard.mutex);
+  if (!shard.images.count(digest)) return std::nullopt;
+  return digest;
+}
+
+std::shared_ptr<const container::Image> ShardedRegistry::pull(
+    const std::string& reference_or_digest) const {
+  const auto digest = resolve(reference_or_digest);
+  if (!digest) return nullptr;
+  const BlobShard& shard = blob_shard_for(*digest);
+  std::shared_lock lock(shard.mutex);
+  const auto it = shard.images.find(*digest);
+  return it == shard.images.end() ? nullptr : it->second;
+}
+
+std::optional<std::string> ShardedRegistry::annotation(
+    const std::string& reference, const std::string& key) const {
+  const auto image = pull(reference);  // shares ownership, no layer copy
+  if (!image) return std::nullopt;
+  const auto it = image->annotations.find(key);
+  if (it == image->annotations.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> ShardedRegistry::tags() const {
+  std::vector<std::string> out;
+  for (const auto& shard : tag_shards_) {
+    std::shared_lock lock(shard->mutex);
+    for (const auto& [reference, _] : shard->tags) out.push_back(reference);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> ShardedRegistry::tags_for_architecture(
+    const std::string& arch) const {
+  std::vector<std::string> out;
+  for (const auto& shard : tag_shards_) {
+    std::vector<std::pair<std::string, std::string>> entries;
+    {
+      std::shared_lock lock(shard->mutex);
+      entries.assign(shard->tags.begin(), shard->tags.end());
+    }
+    for (const auto& [reference, digest] : entries) {
+      const auto image = pull(digest);
+      if (image && image->architecture == arch) out.push_back(reference);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t ShardedRegistry::image_count() const {
+  std::size_t count = 0;
+  for (const auto& shard : blob_shards_) {
+    std::shared_lock lock(shard->mutex);
+    count += shard->images.size();
+  }
+  return count;
+}
+
+}  // namespace xaas::service

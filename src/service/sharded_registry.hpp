@@ -1,0 +1,87 @@
+// Thread-safe sharded registry — the serving-layer counterpart of
+// container::Registry (§4.3/§5.2: many heterogeneous nodes pull IR
+// containers and specialize on demand).
+//
+// Two scaling changes versus the single-threaded map:
+//  - images are held as shared_ptr<const Image>, so `pull` hands out a
+//    reference instead of deep-copying every layer, and a popular image
+//    is stored once no matter how many fleets pull it;
+//  - state is split into N digest-keyed blob shards and N reference-keyed
+//    tag shards, each behind its own shared_mutex, so pushes and pulls of
+//    unrelated images never contend on one lock.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "container/image.hpp"
+
+namespace xaas::service {
+
+class ShardedRegistry {
+public:
+  /// `shard_count` is clamped to >= 1. The default suits tens of
+  /// concurrent clients; shards cost one mutex + one map each.
+  explicit ShardedRegistry(std::size_t shard_count = 16);
+
+  ShardedRegistry(const ShardedRegistry&) = delete;
+  ShardedRegistry& operator=(const ShardedRegistry&) = delete;
+
+  /// Push an image under `reference` ("repo/name:tag"); returns the image
+  /// digest. Pushing the same content twice is idempotent (one blob).
+  std::string push(const container::Image& image,
+                   const std::string& reference);
+  /// Zero-copy push of an already-shared image (e.g. a deployed image
+  /// coming out of the specialization cache).
+  std::string push(std::shared_ptr<const container::Image> image,
+                   const std::string& reference);
+
+  /// Pull by tag reference or "sha256:..." digest. The returned pointer
+  /// shares ownership with the registry — layers are never copied.
+  std::shared_ptr<const container::Image> pull(
+      const std::string& reference_or_digest) const;
+
+  /// Resolve a reference (or digest) to the stored digest, if present.
+  std::optional<std::string> resolve(
+      const std::string& reference_or_digest) const;
+
+  /// Read one annotation without materializing layers (§5.2: query
+  /// specialization points before pulling and building).
+  std::optional<std::string> annotation(const std::string& reference,
+                                        const std::string& key) const;
+
+  /// All tags, sorted.
+  std::vector<std::string> tags() const;
+
+  /// Tags resolving to images of the given architecture — the "image
+  /// index" query a multi-arch/multi-IR client performs.
+  std::vector<std::string> tags_for_architecture(
+      const std::string& arch) const;
+
+  std::size_t image_count() const;
+  std::size_t shard_count() const { return blob_shards_.size(); }
+
+private:
+  struct BlobShard {
+    mutable std::shared_mutex mutex;
+    std::map<std::string, std::shared_ptr<const container::Image>> images;
+  };
+  struct TagShard {
+    mutable std::shared_mutex mutex;
+    std::map<std::string, std::string> tags;  // reference -> digest
+  };
+
+  BlobShard& blob_shard_for(const std::string& digest);
+  const BlobShard& blob_shard_for(const std::string& digest) const;
+  TagShard& tag_shard_for(const std::string& reference);
+  const TagShard& tag_shard_for(const std::string& reference) const;
+
+  std::vector<std::unique_ptr<BlobShard>> blob_shards_;
+  std::vector<std::unique_ptr<TagShard>> tag_shards_;
+};
+
+}  // namespace xaas::service

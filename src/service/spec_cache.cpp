@@ -1,0 +1,132 @@
+#include "service/spec_cache.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/hashing.hpp"
+
+namespace xaas::service {
+
+std::string SpecKey::to_string() const {
+  std::string out;
+  common::key_append(out, digest);
+  common::key_append(out, selections);
+  common::key_append(out, target.to_string());
+  return out;
+}
+
+SpecializationCache::SpecializationCache(std::size_t shard_count) {
+  shard_count = std::max<std::size_t>(1, shard_count);
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+SpecializationCache::Shard& SpecializationCache::shard_for(
+    const std::string& key) {
+  return *shards_[common::shard_index(key, shards_.size())];
+}
+
+const SpecializationCache::Shard& SpecializationCache::shard_for(
+    const std::string& key) const {
+  return *shards_[common::shard_index(key, shards_.size())];
+}
+
+std::shared_ptr<const DeployedApp> SpecializationCache::get_or_deploy(
+    const SpecKey& key, const Deployer& deploy, bool* was_hit) {
+  const std::string composite = key.to_string();
+  Shard& shard = shard_for(composite);
+
+  std::shared_future<std::shared_ptr<const DeployedApp>> future;
+  std::promise<std::shared_ptr<const DeployedApp>> promise;
+  bool deployer = false;
+  std::uint64_t my_id = 0;
+  {
+    std::lock_guard lock(shard.mutex);
+    const auto it = shard.entries.find(composite);
+    if (it != shard.entries.end()) {
+      future = it->second.future;
+    } else {
+      future = promise.get_future().share();
+      my_id = next_id_.fetch_add(1);
+      shard.entries.emplace(composite, Entry{future, my_id});
+      deployer = true;
+    }
+  }
+
+  if (!deployer) {
+    hits_.fetch_add(1);
+    if (was_hit) *was_hit = true;
+    return future.get();  // blocks while the elected deployer lowers
+  }
+
+  misses_.fetch_add(1);
+  lowerings_.fetch_add(1);
+  if (was_hit) *was_hit = false;
+  const auto erase_own_entry = [&] {
+    std::lock_guard lock(shard.mutex);
+    const auto it = shard.entries.find(composite);
+    // Erase only the entry this thread published: after a clear() race,
+    // the key may hold a newer in-flight deployment that must survive.
+    if (it != shard.entries.end() && it->second.id == my_id) {
+      shard.entries.erase(it);
+    }
+  };
+
+  std::shared_ptr<const DeployedApp> result;
+  try {
+    result = deploy();
+  } catch (...) {
+    // Never leave waiters hanging: publish an empty result, then drop the
+    // entry so the next request retries.
+    promise.set_value(nullptr);
+    erase_own_entry();
+    throw;
+  }
+  promise.set_value(result);
+  if (!result || !result->ok) {
+    // Failures are returned to this round of waiters but not cached.
+    erase_own_entry();
+  }
+  return result;
+}
+
+std::shared_ptr<const DeployedApp> SpecializationCache::get(
+    const SpecKey& key) const {
+  const std::string composite = key.to_string();
+  const Shard& shard = shard_for(composite);
+  std::shared_future<std::shared_ptr<const DeployedApp>> future;
+  {
+    std::lock_guard lock(shard.mutex);
+    const auto it = shard.entries.find(composite);
+    if (it == shard.entries.end()) return nullptr;
+    future = it->second.future;
+  }
+  // Probe semantics: an in-flight deployment is a miss, not a block; a
+  // completed-but-failed one (awaiting its deployer's cleanup) is too.
+  if (future.wait_for(std::chrono::seconds(0)) !=
+      std::future_status::ready) {
+    return nullptr;
+  }
+  const auto app = future.get();
+  return (app && app->ok) ? app : nullptr;
+}
+
+void SpecializationCache::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    shard->entries.clear();
+  }
+}
+
+std::size_t SpecializationCache::entry_count() const {
+  std::size_t count = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    count += shard->entries.size();
+  }
+  return count;
+}
+
+}  // namespace xaas::service

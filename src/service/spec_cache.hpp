@@ -1,0 +1,100 @@
+// Specialization cache (§4.3/§5.2): a fleet of identical
+// microarchitectures pulling the same IR container must lower it once,
+// not once per node. Entries are keyed by the tuple that fully determines
+// a deployment — (IR image digest, canonicalized selections, resolved
+// TargetSpec) — established by xaas::plan_ir_deploy: equal keys produce
+// bit-identical deployed images and programs, so the cached DeployedApp
+// (image + linked program + DecodedProgram) is shared by every requester.
+//
+// The cache is single-flight: concurrent requests for one key elect a
+// single deployer; the rest block on its shared_future instead of
+// duplicating the lowering.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "minicc/lower.hpp"
+#include "xaas/source_container.hpp"
+
+namespace xaas::service {
+
+/// Cache key for one specialization. `digest` is the IR image content
+/// digest; `selections` the canonical selection string
+/// (common::canonical_selections); `target` the resolved (clamped)
+/// lowering target.
+struct SpecKey {
+  std::string digest;
+  std::string selections;
+  minicc::TargetSpec target;
+
+  /// Collision-free composite string (components joined with '\x1f').
+  std::string to_string() const;
+};
+
+class SpecializationCache {
+public:
+  using Deployer = std::function<std::shared_ptr<const DeployedApp>()>;
+
+  explicit SpecializationCache(std::size_t shard_count = 16);
+
+  SpecializationCache(const SpecializationCache&) = delete;
+  SpecializationCache& operator=(const SpecializationCache&) = delete;
+
+  /// Return the cached deployment for `key`, or run `deploy` exactly once
+  /// across all concurrent callers of this key and cache its result.
+  /// `was_hit`, when non-null, reports whether this caller reused an
+  /// entry (true) or was the one that deployed (false). Failed
+  /// deployments (result with ok == false) are NOT cached, so a transient
+  /// failure does not poison the key.
+  std::shared_ptr<const DeployedApp> get_or_deploy(const SpecKey& key,
+                                                   const Deployer& deploy,
+                                                   bool* was_hit = nullptr);
+
+  /// Non-blocking probe: the cached successful deployment, or nullptr
+  /// when the key is absent, still in flight, or failed.
+  std::shared_ptr<const DeployedApp> get(const SpecKey& key) const;
+
+  /// Drop every entry (e.g. after re-pushing an image family).
+  void clear();
+
+  std::size_t entry_count() const;
+
+  // Monotonic statistics since construction.
+  std::size_t hits() const { return hits_.load(); }
+  std::size_t misses() const { return misses_.load(); }
+  /// Number of deployer invocations == lowerings actually performed.
+  std::size_t lowerings() const { return lowerings_.load(); }
+
+private:
+  struct Entry {
+    // shared_future so late arrivals during a deploy block on the result
+    // instead of re-deploying.
+    std::shared_future<std::shared_ptr<const DeployedApp>> future;
+    // Generation id: the failure-path cleanup erases only its own entry,
+    // never a newer in-flight deployment that replaced it (clear() race).
+    std::uint64_t id = 0;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<std::string, Entry> entries;
+  };
+
+  Shard& shard_for(const std::string& key);
+  const Shard& shard_for(const std::string& key) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+  std::atomic<std::size_t> lowerings_{0};
+};
+
+}  // namespace xaas::service

@@ -43,9 +43,10 @@ bool library_available(const FeatureEntry& entry, const SystemFeatures& sys) {
     return true;  // compiled from bundled sources
   }
   if (sys.libraries.count(name)) return true;
-  // MKL provides both FFT and BLAS interfaces.
+  // MKL provides both FFT and BLAS interfaces (including the FFTW3
+  // wrappers), so an fftw3/blas request is satisfiable on an MKL system.
   if ((name == "fftw3" || name == "blas") && sys.libraries.count("mkl")) {
-    return false;  // explicit fftw3/blas still needs the actual library
+    return true;
   }
   return false;
 }

@@ -506,7 +506,24 @@ Executor::Executor(const Program& program, const NodeSpec& node,
                    ExecutorOptions options)
     : program_(program), node_(node), options_(options) {}
 
+Executor::Executor(const Program& program, const NodeSpec& node,
+                   ExecutorOptions options,
+                   std::shared_ptr<const DecodedProgram> decoded)
+    : program_(program), node_(node), options_(options) {
+  if (decoded) {
+    std::call_once(decode_once_, [&] { decoded_ = std::move(decoded); });
+  }
+}
+
 Executor::~Executor() = default;
+
+std::shared_ptr<const DecodedProgram> Executor::decoded_program() const {
+  std::call_once(decode_once_, [this] {
+    decoded_ = std::make_shared<const DecodedProgram>(
+        DecodedProgram::build(program_));
+  });
+  return decoded_;
+}
 
 RunResult Executor::run(Workload& workload) const {
   RunResult result;
@@ -538,11 +555,7 @@ RunResult Executor::run(Workload& workload) const {
     Machine machine(program_, node_, options_, workload);
     result = machine.run(workload);
   } else {
-    std::call_once(decode_once_, [this] {
-      decoded_ = std::make_shared<const DecodedProgram>(
-          DecodedProgram::build(program_));
-    });
-    result = run_decoded(*decoded_, node_, options_, workload);
+    result = run_decoded(*decoded_program(), node_, options_, workload);
   }
   if (!result.ok) return result;
 

@@ -88,10 +88,21 @@ class Executor {
 public:
   Executor(const Program& program, const NodeSpec& node,
            ExecutorOptions options = {});
+  /// Construct with a pre-built decoded form of `program` (e.g. from the
+  /// service-layer specialization cache): every executor of a fleet
+  /// deployment shares one DecodedProgram instead of re-decoding per
+  /// executor. `decoded` may be null (falls back to lazy decode).
+  Executor(const Program& program, const NodeSpec& node,
+           ExecutorOptions options,
+           std::shared_ptr<const DecodedProgram> decoded);
   ~Executor();
 
   /// Run the workload's entry function; buffers are mutated in place.
   RunResult run(Workload& workload) const;
+
+  /// The decoded form of the program, building it on first use — the
+  /// handle a caller stashes to share decode work across executors.
+  std::shared_ptr<const DecodedProgram> decoded_program() const;
 
 private:
   const Program& program_;

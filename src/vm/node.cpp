@@ -159,4 +159,17 @@ std::vector<std::string> node_names() {
   return names;
 }
 
+std::vector<NodeSpec> simulated_fleet(const NodeSpec& base, int count,
+                                      const std::string& name_prefix) {
+  std::vector<NodeSpec> fleet;
+  if (count <= 0) return fleet;
+  fleet.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    NodeSpec n = base;
+    n.name = name_prefix + std::to_string(i);
+    fleet.push_back(std::move(n));
+  }
+  return fleet;
+}
+
 }  // namespace xaas::vm

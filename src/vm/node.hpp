@@ -59,4 +59,11 @@ struct NodeSpec {
 const NodeSpec& node(const std::string& name);
 std::vector<std::string> node_names();
 
+/// Clone `base` `count` times under names "<name_prefix>0".."<N-1>" — a
+/// simulated homogeneous fleet for the serving layer. The clones are
+/// deliberately not registered in node(); run them via
+/// DeployedApp::run_on / FleetDeployResult::run.
+std::vector<NodeSpec> simulated_fleet(const NodeSpec& base, int count,
+                                      const std::string& name_prefix);
+
 }  // namespace xaas::vm

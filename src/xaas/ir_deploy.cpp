@@ -36,21 +36,161 @@ bool selection_matches(const Json& config,
   return true;
 }
 
+/// Arch gate (§5.1 — the IR is not cross-platform): which IR architecture
+/// the node consumes.
+std::string wanted_ir_architecture(const vm::NodeSpec& node) {
+  return node.cpu.arch == isa::Arch::X86_64 ? container::kArchLlvmIrAmd64
+                                            : container::kArchLlvmIrArm64;
+}
+
+/// Select exactly one configuration from the manifest; on failure returns
+/// nullptr with `error` set.
+const Json* select_configuration(const Json& manifest,
+                                 const std::map<std::string, std::string>&
+                                     selections,
+                                 std::string* error) {
+  const Json* configs = manifest.find("configurations");
+  if (!configs || configs->items().empty()) {
+    *error = "no configurations in IR image";
+    return nullptr;
+  }
+  std::vector<const Json*> matches;
+  for (const auto& c : configs->items()) {
+    if (selection_matches(c, selections)) matches.push_back(&c);
+  }
+  if (matches.empty()) {
+    *error = "no configuration matches the selection";
+    return nullptr;
+  }
+  if (matches.size() > 1) {
+    *error = "selection is ambiguous: " + std::to_string(matches.size()) +
+             " configurations match (specify more points)";
+    return nullptr;
+  }
+  return matches.front();
+}
+
+/// Resolve the lowering target: explicit march > configuration tuning >
+/// node best — clamped to what the node can actually execute. A recorded
+/// tuning beyond the node's ISA ladder silently (but loggedly) degrades;
+/// an explicit request beyond it is an error, because the user asked for
+/// code the hardware would trap on.
+bool resolve_target(const Json& config, const vm::NodeSpec& node,
+                    const IrDeployOptions& options, IrDeployPlan* plan) {
+  minicc::TargetSpec target;
+  target.opt_level = options.opt_level;
+  target.openmp = config.get_bool("openmp");
+  const isa::VectorIsa node_best = node.best_vector_isa();
+  target.visa = node_best;
+
+  const std::string recorded_march = config.get_string("march");
+  if (!recorded_march.empty()) {
+    if (const auto visa = isa::vector_isa_from_string(recorded_march)) {
+      if (isa::runs_on(*visa, node_best)) {
+        target.visa = *visa;
+      } else {
+        // Deploying e.g. AVX-512-tuned IR onto an AVX2 node: honoring the
+        // recorded tuning would produce a program that traps at run time,
+        // so lower for the node's ladder instead.
+        plan->log.push_back("recorded march " + recorded_march +
+                            " exceeds node support; clamped to " +
+                            std::string(isa::to_string(node_best)));
+      }
+    }
+  }
+  if (options.march) {
+    if (!isa::runs_on(*options.march, node_best)) {
+      plan->error = "requested march " +
+                    std::string(isa::to_string(*options.march)) +
+                    " is not executable on node " + node.name +
+                    " (supports up to " +
+                    std::string(isa::to_string(node_best)) + ")";
+      return false;
+    }
+    target.visa = *options.march;
+  }
+  plan->target = target;
+  plan->log.push_back("lowering for " +
+                      std::string(isa::to_string(target.visa)));
+  return true;
+}
+
+/// Shared front half of plan/deploy: arch gate, manifest, selection,
+/// target resolution. On success `*config_out` points into `manifest`.
+bool resolve_plan(const Json& manifest, const vm::NodeSpec& node,
+                  const IrDeployOptions& options, IrDeployPlan* plan,
+                  const Json** config_out) {
+  std::string error;
+  const Json* config = select_configuration(manifest, options.selections,
+                                            &error);
+  if (!config) {
+    plan->error = error;
+    return false;
+  }
+  plan->configuration = config->get_string("id");
+  plan->log.push_back("selected configuration " + plan->configuration);
+  if (!resolve_target(*config, node, options, plan)) return false;
+  if (config_out) *config_out = config;
+  plan->ok = true;
+  return true;
+}
+
 }  // namespace
 
 std::vector<std::string> ir_image_configurations(
-    const container::Image& ir_image) {
+    const container::Image& ir_image, std::string* error) {
   std::vector<std::string> ids;
   const common::Vfs root = ir_image.flatten();
-  std::string error;
-  const auto manifest = read_manifest(root, &error);
+  const auto manifest = read_manifest(root, error);
   if (!manifest) return ids;
-  if (const Json* configs = manifest->find("configurations")) {
-    for (const auto& c : configs->items()) {
-      ids.push_back(c.get_string("id"));
-    }
+  const Json* configs = manifest->find("configurations");
+  if (!configs) {
+    if (error) *error = "manifest has no configurations";
+    return ids;
+  }
+  for (const auto& c : configs->items()) {
+    ids.push_back(c.get_string("id"));
   }
   return ids;
+}
+
+IrImageManifest read_ir_image_manifest(const container::Image& ir_image) {
+  IrImageManifest result;
+  result.architecture = ir_image.architecture;
+  const common::Vfs root = ir_image.flatten();
+  std::string error;
+  auto manifest = read_manifest(root, &error);
+  if (!manifest) {
+    result.error = error;
+    return result;
+  }
+  result.manifest = std::move(*manifest);
+  result.ok = true;
+  return result;
+}
+
+IrDeployPlan plan_ir_deploy(const IrImageManifest& manifest,
+                            const vm::NodeSpec& node,
+                            const IrDeployOptions& options) {
+  IrDeployPlan plan;
+  if (!manifest.ok) {
+    plan.error = manifest.error;
+    return plan;
+  }
+  const std::string want = wanted_ir_architecture(node);
+  if (manifest.architecture != want) {
+    plan.error = "IR image architecture " + manifest.architecture +
+                 " does not match node (" + want + ")";
+    return plan;
+  }
+  resolve_plan(manifest.manifest, node, options, &plan, nullptr);
+  return plan;
+}
+
+IrDeployPlan plan_ir_deploy(const container::Image& ir_image,
+                            const vm::NodeSpec& node,
+                            const IrDeployOptions& options) {
+  return plan_ir_deploy(read_ir_image_manifest(ir_image), node, options);
 }
 
 DeployedApp deploy_ir_container(const container::Image& ir_image,
@@ -59,11 +199,7 @@ DeployedApp deploy_ir_container(const container::Image& ir_image,
   DeployedApp result;
   result.node_name = node.name;
 
-  // Architecture gate: an IR image is per base architecture (§5.1 — the
-  // IR is not cross-platform).
-  const std::string want = node.cpu.arch == isa::Arch::X86_64
-                               ? container::kArchLlvmIrAmd64
-                               : container::kArchLlvmIrArm64;
+  const std::string want = wanted_ir_architecture(node);
   if (ir_image.architecture != want) {
     result.error = "IR image architecture " + ir_image.architecture +
                    " does not match node (" + want + ")";
@@ -78,44 +214,16 @@ DeployedApp deploy_ir_container(const container::Image& ir_image,
     return result;
   }
 
-  // Select exactly one configuration.
-  const Json* configs = manifest->find("configurations");
-  if (!configs || configs->items().empty()) {
-    result.error = "no configurations in IR image";
+  IrDeployPlan plan;
+  const Json* config_ptr = nullptr;
+  if (!resolve_plan(*manifest, node, options, &plan, &config_ptr)) {
+    result.error = plan.error;
     return result;
   }
-  std::vector<const Json*> matches;
-  for (const auto& c : configs->items()) {
-    if (selection_matches(c, options.selections)) matches.push_back(&c);
-  }
-  if (matches.empty()) {
-    result.error = "no configuration matches the selection";
-    return result;
-  }
-  if (matches.size() > 1) {
-    result.error = "selection is ambiguous: " +
-                   std::to_string(matches.size()) +
-                   " configurations match (specify more points)";
-    return result;
-  }
-  const Json& config = *matches.front();
-  result.log.push_back("selected configuration " + config.get_string("id"));
-
-  // Lowering target: explicit march > configuration tuning > node best.
-  minicc::TargetSpec target;
-  target.opt_level = options.opt_level;
-  target.openmp = config.get_bool("openmp");
-  target.visa = node.best_vector_isa();
-  const std::string recorded_march = config.get_string("march");
-  if (!recorded_march.empty()) {
-    if (const auto visa = isa::vector_isa_from_string(recorded_march)) {
-      target.visa = *visa;
-    }
-  }
-  if (options.march) target.visa = *options.march;
+  const Json& config = *config_ptr;
+  const minicc::TargetSpec target = plan.target;
   result.target = target;
-  result.log.push_back("lowering for " +
-                       std::string(isa::to_string(target.visa)));
+  result.log = plan.log;
 
   // Lower IR files / compile system-dependent sources.
   const Json* units = config.find("translation_units");
@@ -179,11 +287,14 @@ DeployedApp deploy_ir_container(const container::Image& ir_image,
   // Derived, system-specific image; the tag-relevant specialization
   // points travel in an annotation (§4.3.1: "Image tag includes
   // specialization points to support the coexistence of many builds").
+  // The record deliberately names only (configuration, target), not the
+  // node: the image is a function of (IR digest, selection, target), so
+  // every node of a homogeneous fleet shares one bit-identical artifact
+  // (the specialization-cache contract; the node stays in DeployedApp).
   common::Vfs install;
   Json record = Json::object();
-  record["configuration"] = config.get_string("id");
+  record["configuration"] = plan.configuration;
   record["target"] = target.to_string();
-  record["system"] = node.name;
   install.write("app/install/config.json", record.dump(2));
   result.image =
       container::ImageBuilder(ir_image)
@@ -193,7 +304,7 @@ DeployedApp deploy_ir_container(const container::Image& ir_image,
           .add_layer(std::move(install))
           .annotation(container::kAnnotationKind, "deployed-ir")
           .annotation(container::kAnnotationDeployedConfig,
-                      config.get_string("id") + "|" + target.to_string())
+                      plan.configuration + "|" + target.to_string())
           .build();
   result.ok = true;
   return result;

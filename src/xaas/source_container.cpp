@@ -58,9 +58,24 @@ container::Image build_source_image(const Application& app, isa::Arch arch) {
 }
 
 vm::RunResult DeployedApp::run(vm::Workload& workload, int threads) const {
+  if (node_name.empty()) {
+    // Node-agnostic deployment (a shared specialization-cache entry):
+    // there is no "its node" to run on. Fail like every other run-path
+    // error instead of letting vm::node() throw.
+    vm::RunResult result;
+    result.error =
+        "deployment is node-agnostic (shared cache entry); use "
+        "run_on(node, ...) or FleetDeployResult::run";
+    return result;
+  }
+  return run_on(vm::node(node_name), workload, threads);
+}
+
+vm::RunResult DeployedApp::run_on(const vm::NodeSpec& node,
+                                  vm::Workload& workload, int threads) const {
   vm::ExecutorOptions exec_options;
   exec_options.threads = threads;
-  const vm::Executor executor(program, vm::node(node_name), exec_options);
+  const vm::Executor executor(program, node, exec_options, decoded);
   return executor.run(workload);
 }
 

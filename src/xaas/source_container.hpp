@@ -37,8 +37,18 @@ struct DeployedApp {
   std::string node_name;
   std::vector<std::string> log;           // deployment steps, human-readable
 
+  /// Pre-decoded execution form of `program`, shared across every node
+  /// that received this deployment from the specialization cache; null
+  /// until someone (service::DeployScheduler) decodes it.
+  std::shared_ptr<const vm::DecodedProgram> decoded;
+
   /// Execute a workload on the node it was deployed for.
   vm::RunResult run(vm::Workload& workload, int threads = 1) const;
+
+  /// Execute on an explicit node spec — the fleet path, where simulated
+  /// nodes need not exist in the global vm::node registry.
+  vm::RunResult run_on(const vm::NodeSpec& node, vm::Workload& workload,
+                       int threads = 1) const;
 };
 
 struct SourceDeployOptions {

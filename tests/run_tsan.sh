@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Builds the test suite under a sanitizer (ThreadSanitizer by default) and
+# runs the concurrency-heavy service tests: the sharded-registry stress
+# test and the deploy-scheduler suite. This is the CI gate for the
+# serving layer's locking (shards, single-flight specialization cache).
+#
+# Usage:
+#   tests/run_tsan.sh [thread|address]
+# Environment:
+#   TSAN_BUILD_DIR  build directory (default: <repo>/build-<sanitizer>)
+#   TSAN_FILTER     gtest filter (default: service + thread-pool suites)
+#   TSAN_JOBS       parallel build jobs (default: nproc)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+SANITIZER="${1:-thread}"
+case "$SANITIZER" in
+  thread|address) ;;
+  *) echo "error: sanitizer must be 'thread' or 'address' (got '$SANITIZER')" >&2
+     exit 2 ;;
+esac
+
+BUILD_DIR="${TSAN_BUILD_DIR:-$ROOT/build-$SANITIZER}"
+FILTER="${TSAN_FILTER:-ShardedRegistry*.*:DeployScheduler*.*:ThreadPool*.*}"
+JOBS="${TSAN_JOBS:-$(nproc)}"
+
+cmake -B "$BUILD_DIR" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DXAAS_SANITIZE="$SANITIZER"
+cmake --build "$BUILD_DIR" --target unit_tests -j "$JOBS"
+
+# halt_on_error so CI fails fast on the first report.
+if [[ "$SANITIZER" == thread ]]; then
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+else
+  export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1 detect_leaks=1}"
+fi
+
+"$BUILD_DIR/unit_tests" --gtest_filter="$FILTER"
+echo "[$SANITIZER sanitizer] service concurrency tests passed"

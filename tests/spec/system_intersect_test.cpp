@@ -89,6 +89,33 @@ TEST(Intersect, FftLibrariesGatedByAvailability) {
   EXPECT_EQ(std::find(names.begin(), names.end(), "mkl"), names.end());
 }
 
+TEST(Intersect, MklSatisfiesFftw3Request) {
+  // Aurora provides MKL (via oneAPI) but no standalone FFTW install. MKL
+  // ships the FFTW3 interface wrappers, so an fftw3 request must survive
+  // the intersection instead of being dropped.
+  const SystemFeatures sf = discover_system(vm::node("aurora"));
+  ASSERT_TRUE(sf.libraries.count("mkl"));
+  ASSERT_FALSE(sf.libraries.count("fftw3"));
+  const auto common = intersect(minimd_truth(), sf);
+  std::vector<std::string> names;
+  for (const auto& e : common.fft_libraries) names.push_back(e.name);
+  EXPECT_NE(std::find(names.begin(), names.end(), "fftw3"), names.end());
+}
+
+TEST(Intersect, MklSatisfiesBlasRequest) {
+  // Same for a generic "blas" linear-algebra request: MKL provides the
+  // BLAS interface.
+  SpecializationPoints app;
+  app.application = "blas-consumer";
+  app.linear_algebra_libraries = {{"blas", "", ""}};
+  SystemFeatures sf = discover_system(vm::node("aurora"));
+  ASSERT_TRUE(sf.libraries.count("mkl"));
+  ASSERT_FALSE(sf.libraries.count("blas"));
+  const auto common = intersect(app, sf);
+  ASSERT_EQ(common.linear_algebra_libraries.size(), 1u);
+  EXPECT_EQ(common.linear_algebra_libraries.front().name, "blas");
+}
+
 TEST(Intersect, BestChoicesFollowPolicy) {
   const auto common =
       intersect(minimd_truth(), discover_system(vm::node("ault23")));

@@ -150,6 +150,82 @@ TEST(IrDeploy, SameIrNumericsAcrossVectorLevels) {
   EXPECT_NEAR(e_sse, e_avx, 1e-6 * (std::abs(e_sse) + 1.0));
 }
 
+TEST(IrDeploy, RecordedMarchClampedToNodeSupport) {
+  // AVX-512-tuned configuration deployed onto an AVX2-only node: the
+  // recorded tuning must be clamped to the node's ladder, not produce a
+  // program that traps at run time.
+  apps::MinimdOptions app_options;
+  app_options.module_count = 4;
+  app_options.gpu_module_count = 1;
+  const Application app = apps::make_minimd(app_options);
+  IrBuildOptions build_options;
+  build_options.points = {{"MD_SIMD", {"SSE4.1", "AVX_512"}}};
+  const auto build = build_ir_container(app, isa::Arch::X86_64, build_options);
+  ASSERT_TRUE(build.ok) << build.error;
+
+  IrDeployOptions options;
+  options.selections = {{"MD_SIMD", "AVX_512"}};
+  const DeployedApp deployed =
+      deploy_ir_container(build.image, vm::node("devbox"), options);
+  ASSERT_TRUE(deployed.ok) << deployed.error;
+  EXPECT_EQ(deployed.target.visa, vm::node("devbox").best_vector_isa());
+
+  vm::Workload w = apps::minimd_workload({48, 8, 3, 32});
+  const auto r = deployed.run(w, 2);
+  ASSERT_TRUE(r.ok) << r.error;  // the seed behavior was an illegal-
+                                 // instruction trap here
+}
+
+TEST(IrDeploy, ExplicitMarchBeyondNodeRejected) {
+  const auto build = build_lulesh_ir();
+  ASSERT_TRUE(build.ok);
+  IrDeployOptions options;
+  options.selections = {{"LULESH_MPI", "OFF"}, {"LULESH_OPENMP", "ON"}};
+  options.march = isa::VectorIsa::AVX_512;  // devbox tops out at AVX2_256
+  const DeployedApp deployed =
+      deploy_ir_container(build.image, vm::node("devbox"), options);
+  EXPECT_FALSE(deployed.ok);
+  EXPECT_NE(deployed.error.find("not executable"), std::string::npos);
+}
+
+TEST(IrDeploy, PlanMatchesDeploy) {
+  const auto build = build_lulesh_ir();
+  ASSERT_TRUE(build.ok);
+  IrDeployOptions options;
+  options.selections = {{"LULESH_MPI", "OFF"}, {"LULESH_OPENMP", "ON"}};
+  const IrDeployPlan plan =
+      plan_ir_deploy(build.image, vm::node("ault23"), options);
+  ASSERT_TRUE(plan.ok) << plan.error;
+  const DeployedApp deployed =
+      deploy_ir_container(build.image, vm::node("ault23"), options);
+  ASSERT_TRUE(deployed.ok) << deployed.error;
+  EXPECT_EQ(plan.configuration,
+            deployed.image.annotations.at(container::kAnnotationDeployedConfig)
+                .substr(0, plan.configuration.size()));
+  EXPECT_EQ(plan.target.to_string(), deployed.target.to_string());
+}
+
+TEST(IrDeploy, ConfigurationListSurfacesManifestError) {
+  // A plain (non-IR) image has no xaas/manifest.json; the error must
+  // reach the caller instead of being swallowed into an empty list.
+  common::Vfs files;
+  files.write("payload", "not an IR container");
+  const container::Image plain =
+      container::ImageBuilder().add_layer(std::move(files)).build();
+  std::string error;
+  const auto ids = ir_image_configurations(plain, &error);
+  EXPECT_TRUE(ids.empty());
+  EXPECT_NE(error.find("manifest"), std::string::npos);
+
+  // And a well-formed IR image reports no error.
+  const auto build = build_lulesh_ir();
+  ASSERT_TRUE(build.ok);
+  error.clear();
+  const auto ok_ids = ir_image_configurations(build.image, &error);
+  EXPECT_EQ(ok_ids.size(), 4u);
+  EXPECT_TRUE(error.empty()) << error;
+}
+
 TEST(IrDeploy, DeployedImageIsNativeArchitecture) {
   const auto build = build_lulesh_ir();
   ASSERT_TRUE(build.ok);
