@@ -1,0 +1,161 @@
+// Build-farm bench: one source container pushed to the registry and
+// deployed to a 32-node fleet spanning FOUR distinct microarchitectures
+// (Skylake-AVX512, Sapphire Rapids, Zen2, Haswell) with per-group FFT
+// selections, versus the same 32 deployments built one by one from
+// scratch. The farm's whole-deployment cache holds builds at one per
+// distinct (selections, target) group — at most 4 — and the TU-level
+// compile cache dedups translation units ACROSS those groups (the two
+// AVX-512 builds differ only in FFT library, so every FFT-agnostic TU
+// compiles once), so the farm performs strictly fewer TU compilations
+// than even 4 independent builds would.
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "service/build_farm.hpp"
+
+namespace xaas {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Group {
+  const char* base_node;
+  const char* simd;
+  const char* fft;
+};
+
+SourceDeployOptions group_options(const Group& group) {
+  SourceDeployOptions options;
+  options.auto_specialize = false;
+  options.selections = {{"MD_SIMD", group.simd}, {"MD_FFT", group.fft}};
+  return options;
+}
+
+int run() {
+  bench::print_header(
+      "Build farm",
+      "32-node fleet over 4 microarchitectures, cached vs uncached");
+
+  apps::MinimdOptions app_options;
+  app_options.module_count = 24;
+  app_options.gpu_module_count = 2;
+  const Application app = apps::make_minimd(app_options);
+  const auto image = build_source_image(app, isa::Arch::X86_64);
+
+  service::ShardedRegistry registry;
+  registry.push(image, "spcl/minimd:src");
+
+  // Four microarchitecture groups of 8 nodes; the AVX-512 pair and the
+  // AVX2 pair each differ only in their FFT selection.
+  const Group groups[] = {
+      {"ault23", "AVX_512", "fftw3"},    // Skylake-AVX512
+      {"aurora", "AVX_512", "mkl"},      // Sapphire Rapids
+      {"ault25", "AVX2_256", "fftw3"},   // Zen2
+      {"devbox", "AVX2_256", "fftpack"}, // Haswell
+  };
+  constexpr int kNodesPerGroup = 8;
+  constexpr int kNodes = 4 * kNodesPerGroup;
+
+  std::vector<vm::NodeSpec> fleet;
+  std::vector<SourceDeployOptions> fleet_options;
+  std::size_t independent_tus = 0;  // TU count of 4 independent builds
+  for (const auto& group : groups) {
+    const auto options = group_options(group);
+    const auto plan =
+        plan_source_deploy(image, app, vm::node(group.base_node), options);
+    if (!plan.ok) {
+      std::printf("plan failed for %s: %s\n", group.base_node,
+                  plan.error.c_str());
+      return 1;
+    }
+    independent_tus +=
+        plan.configuration.compile_commands(app.source_tree).size();
+    for (auto& node : vm::simulated_fleet(vm::node(group.base_node),
+                                          kNodesPerGroup,
+                                          std::string(group.base_node) +
+                                              "-farm-")) {
+      fleet.push_back(std::move(node));
+      fleet_options.push_back(options);
+    }
+  }
+
+  // Uncached: every node runs the full Fig. 6 flow from scratch.
+  const auto t_uncached = Clock::now();
+  int uncached_ok = 0;
+  std::size_t uncached_tus = 0;
+  std::vector<std::string> reference_digests(fleet.size());
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const auto pulled = registry.pull("spcl/minimd:src");
+    const DeployedApp deployed =
+        deploy_source_container(*pulled, app, fleet[i], fleet_options[i]);
+    if (deployed.ok) {
+      ++uncached_ok;
+      uncached_tus += deployed.program.num_modules();
+      reference_digests[i] = deployed.image.digest();
+    }
+  }
+  const double uncached_s = seconds_since(t_uncached);
+
+  // Cached: the farm builds once per group and dedups TUs across groups.
+  service::BuildFarmOptions farm_options;
+  farm_options.threads = 4;
+  service::BuildFarm farm(registry, farm_options);
+  std::vector<service::SourceDeployRequest> requests;
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    requests.push_back({fleet[i], "spcl/minimd:src", fleet_options[i]});
+  }
+  const auto t_cached = Clock::now();
+  const auto results = farm.deploy_batch(std::move(requests));
+  const double cached_s = seconds_since(t_cached);
+
+  int cached_ok = 0;
+  int cache_hits = 0;
+  bool bit_identical = true;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].ok) ++cached_ok;
+    if (results[i].cache_hit) ++cache_hits;
+    if (!results[i].ok ||
+        results[i].app->image.digest() != reference_digests[i]) {
+      bit_identical = false;
+    }
+  }
+  const auto builds = farm.cache().lowerings();
+  const auto farm_tus = farm.tu_compiles();
+
+  common::Table table({"Variant", "Nodes OK", "Builds", "TU compiles",
+                       "Wall (s)", "Speedup"});
+  table.add_row({"uncached loop", std::to_string(uncached_ok),
+                 std::to_string(kNodes), std::to_string(uncached_tus),
+                 common::Table::num(uncached_s, 3), "1.00x"});
+  table.add_row({"4 independent builds", "4", "4",
+                 std::to_string(independent_tus), "-", "-"});
+  table.add_row({"BuildFarm (deploy cache + TU cache)",
+                 std::to_string(cached_ok), std::to_string(builds),
+                 std::to_string(farm_tus), common::Table::num(cached_s, 3),
+                 common::Table::num(uncached_s / cached_s, 2) + "x"});
+  std::printf("%s", table.to_string().c_str());
+  std::printf("cache hits: %d of %d requests; TU cache hits: %zu\n",
+              cache_hits, kNodes, farm.tu_cache_hits());
+  std::printf("TU dedup across targets: %zu farm compiles vs %zu for 4 "
+              "independent builds\n",
+              farm_tus, independent_tus);
+
+  const bool pass = uncached_ok == kNodes && cached_ok == kNodes &&
+                    builds <= 4 && farm_tus < independent_tus &&
+                    bit_identical && uncached_s / cached_s >= 3.0;
+  std::printf(
+      "acceptance (<=4 builds, TU compiles < 4 independent builds, "
+      "bit-identical, >=3x): %s\n",
+      pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace xaas
+
+int main() { return xaas::run(); }

@@ -9,6 +9,7 @@
 #include "common/sha256.hpp"
 #include "minicc/driver.hpp"
 #include "minicc/vectorizer.hpp"
+#include "service/build_farm.hpp"
 #include "service/deploy_scheduler.hpp"
 #include "vm/executor.hpp"
 #include "vm/program.hpp"
@@ -216,6 +217,102 @@ void BM_FleetDeployCached(benchmark::State& state) {
                           nodes);
 }
 BENCHMARK(BM_FleetDeployCached)->Arg(32)->Unit(benchmark::kMillisecond);
+
+// Source-container build farm: one source image deployed to N nodes over
+// four microarchitectures with per-group FFT selections — uncached
+// (every node rebuilds the Fig. 6 flow from scratch) vs the BuildFarm's
+// two-level cache (≤4 whole builds, TU dedup across the groups). The
+// ratio is the source-path serving speedup in BENCH_results.json.
+struct FarmFixture {
+  container::Image image;
+  std::shared_ptr<Application> app;
+  std::vector<vm::NodeSpec> fleet;  // 8 nodes per microarch group
+  std::vector<SourceDeployOptions> options;
+
+  static const FarmFixture& get() {
+    static const FarmFixture fixture = [] {
+      FarmFixture f;
+      apps::MinimdOptions app_options;
+      app_options.module_count = 12;
+      app_options.gpu_module_count = 1;
+      f.app = std::make_shared<Application>(apps::make_minimd(app_options));
+      f.image = build_source_image(*f.app, isa::Arch::X86_64);
+      const struct {
+        const char* node;
+        const char* simd;
+        const char* fft;
+      } groups[] = {{"ault23", "AVX_512", "fftw3"},
+                    {"aurora", "AVX_512", "mkl"},
+                    {"ault25", "AVX2_256", "fftw3"},
+                    {"devbox", "AVX2_256", "fftpack"}};
+      for (const auto& group : groups) {
+        SourceDeployOptions selection;
+        selection.auto_specialize = false;
+        selection.selections = {{"MD_SIMD", group.simd},
+                                {"MD_FFT", group.fft}};
+        for (auto& node : vm::simulated_fleet(vm::node(group.node), 8,
+                                              std::string(group.node) +
+                                                  "-farm-")) {
+          f.fleet.push_back(std::move(node));
+          f.options.push_back(selection);
+        }
+      }
+      return f;
+    }();
+    return fixture;
+  }
+};
+
+void BM_BuildFarmUncached(benchmark::State& state) {
+  const auto& f = FarmFixture::get();
+  const int nodes = static_cast<int>(state.range(0));
+  if (nodes > static_cast<int>(f.fleet.size())) {
+    state.SkipWithError("farm fixture too small");
+    return;
+  }
+  for (auto _ : state) {
+    for (int i = 0; i < nodes; ++i) {
+      const auto deployed =
+          deploy_source_container(f.image, *f.app, f.fleet[i], f.options[i]);
+      if (!deployed.ok) state.SkipWithError(deployed.error.c_str());
+      benchmark::DoNotOptimize(deployed);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          nodes);
+}
+BENCHMARK(BM_BuildFarmUncached)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_BuildFarmCached(benchmark::State& state) {
+  const auto& f = FarmFixture::get();
+  const int nodes = static_cast<int>(state.range(0));
+  if (nodes > static_cast<int>(f.fleet.size())) {
+    state.SkipWithError("farm fixture too small");
+    return;
+  }
+  for (auto _ : state) {
+    // The farm lives per iteration: each iteration pays ≤4 whole builds
+    // (TU-deduped across groups) plus cache hits — the fleet-bootstrap
+    // cost of the source path.
+    service::ShardedRegistry registry;
+    registry.push(f.image, "bench:src");
+    service::BuildFarmOptions farm_options;
+    farm_options.threads = 4;
+    service::BuildFarm farm(registry, farm_options);
+    std::vector<service::SourceDeployRequest> requests;
+    for (int i = 0; i < nodes; ++i) {
+      requests.push_back({f.fleet[i], "bench:src", f.options[i]});
+    }
+    const auto results = farm.deploy_batch(std::move(requests));
+    for (const auto& r : results) {
+      if (!r.ok) state.SkipWithError(r.error.c_str());
+    }
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          nodes);
+}
+BENCHMARK(BM_BuildFarmCached)->Arg(32)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

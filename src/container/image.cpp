@@ -50,6 +50,61 @@ std::string Image::digest() const {
   return "sha256:" + common::sha256_hex(manifest().dump());
 }
 
+Json Image::to_json() const {
+  Json doc = Json::object();
+  doc["architecture"] = architecture;
+  doc["os"] = os;
+  doc["config"] = config;
+  Json ann = Json::object();
+  for (const auto& [key, value] : annotations) ann[key] = value;
+  doc["annotations"] = std::move(ann);
+  Json layer_list = Json::array();
+  for (const auto& layer : layers) {
+    Json entry = Json::object();
+    entry["digest"] = layer.digest();
+    Json files = Json::object();
+    for (const auto& [path, contents] : layer.files()) {
+      files[path] = contents;
+    }
+    entry["files"] = std::move(files);
+    layer_list.push_back(std::move(entry));
+  }
+  doc["layers"] = std::move(layer_list);
+  return doc;
+}
+
+Image Image::from_json(const Json& doc) {
+  Image image;
+  image.architecture = doc.get_string("architecture", kArchAmd64);
+  image.os = doc.get_string("os", "linux");
+  if (const Json* config = doc.find("config")) image.config = *config;
+  if (const Json* ann = doc.find("annotations")) {
+    for (const auto& [key, value] : ann->as_object()) {
+      image.annotations[key] = value->as_string();
+    }
+  }
+  if (const Json* layer_list = doc.find("layers")) {
+    for (const auto& entry : layer_list->items()) {
+      common::Vfs files;
+      if (const Json* file_map = entry.find("files")) {
+        for (const auto& [path, contents] : file_map->as_object()) {
+          files.write(path, contents->as_string());
+        }
+      }
+      Layer layer = Layer::from_vfs(std::move(files));
+      // Content addressing is recomputed, never trusted: a document whose
+      // recorded digest disagrees with its content is corrupt.
+      const std::string recorded = entry.get_string("digest");
+      if (!recorded.empty() && recorded != layer.digest()) {
+        throw common::JsonError("layer digest mismatch: recorded " + recorded +
+                                ", content hashes to " + layer.digest());
+      }
+      image.layers.push_back(std::move(layer));
+    }
+  }
+  return image;
+}
+
 common::Vfs Image::flatten() const {
   common::Vfs result;
   for (const auto& layer : layers) {

@@ -62,6 +62,17 @@ public:
   /// OCI-style manifest document (layer digests, config, annotations).
   common::Json manifest() const;
 
+  /// Full serialization: manifest fields plus layer contents. Unlike
+  /// manifest(), this round-trips — from_json(to_json()) reconstructs an
+  /// image with identical layer digests, manifest, and image digest,
+  /// which is what lets registries exchange images as documents without
+  /// breaking the content addresses the serving-layer caches key on.
+  common::Json to_json() const;
+
+  /// Reconstruct an image from to_json() output. Throws common::JsonError
+  /// on structurally invalid documents.
+  static Image from_json(const common::Json& doc);
+
   /// Content digest of the manifest — the image identity.
   std::string digest() const;
 

@@ -1,0 +1,137 @@
+#include "service/build_farm.hpp"
+
+#include "common/hashing.hpp"
+#include "vm/decoded.hpp"
+
+namespace xaas::service {
+
+BuildFarm::BuildFarm(ShardedRegistry& registry, BuildFarmOptions options)
+    : registry_(registry),
+      options_(options),
+      cache_(options.cache_shards),
+      pool_(options.threads) {}
+
+std::shared_ptr<const BuildFarm::ImageState> BuildFarm::state_for(
+    const std::string& digest, const container::Image& image) {
+  {
+    std::lock_guard lock(states_mutex_);
+    const auto it = states_.find(digest);
+    if (it != states_.end()) return it->second;
+  }
+  // Reconstruct outside the lock; concurrent first requests may both
+  // reconstruct, the map keeps whichever lands first (identical by
+  // digest).
+  auto state = std::make_shared<ImageState>();
+  SourceImageApp from_image = application_from_source_image(image);
+  if (from_image.ok) {
+    state->app =
+        std::make_shared<const Application>(std::move(from_image.app));
+    state->tu_cache = std::make_shared<minicc::CompileCache>();
+  } else {
+    state->app_error = from_image.error;
+  }
+  std::lock_guard lock(states_mutex_);
+  return states_
+      .emplace(digest, std::shared_ptr<const ImageState>(std::move(state)))
+      .first->second;
+}
+
+FleetDeployResult BuildFarm::deploy(const SourceDeployRequest& request) {
+  FleetDeployResult result;
+  result.node_name = request.node.name;
+  result.node = request.node;
+
+  const auto digest = registry_.resolve(request.image_reference);
+  if (!digest) {
+    result.error = "image not found in registry: " + request.image_reference;
+    return result;
+  }
+  const auto image = registry_.pull(*digest);  // shared, no layer copy
+
+  const auto state = state_for(*digest, *image);
+  if (!state->app) {
+    result.error = state->app_error;
+    return result;
+  }
+  const Application& app = *state->app;
+
+  // The cheap, node-specific half: discovery, intersection, selection,
+  // configure, target resolution. Failures never reach the caches.
+  const SourceDeployPlan plan =
+      plan_source_deploy(*image, app, request.node, request.options);
+  if (!plan.ok) {
+    result.error = plan.error;
+    return result;
+  }
+  result.configuration = plan.configuration.id();
+
+  // Whole-deployment key: build_source_deploy is a pure function of
+  // (source image, resolved option values, target) — the node only
+  // contributed to resolving the plan.
+  SpecKey key;
+  key.digest = *digest;
+  key.selections =
+      common::canonical_selections(plan.configuration.option_values);
+  key.target = plan.target;
+
+  const auto app_ptr = cache_.get_or_deploy(
+      key,
+      [&]() -> std::shared_ptr<const DeployedApp> {
+        auto deployed = std::make_shared<DeployedApp>(build_source_deploy(
+            *image, app, plan,
+            options_.tu_cache ? state->tu_cache.get() : nullptr));
+        if (deployed->ok && options_.predecode) {
+          deployed->decoded = std::make_shared<const vm::DecodedProgram>(
+              vm::DecodedProgram::build(deployed->program));
+        }
+        return deployed;
+      },
+      &result.cache_hit);
+
+  if (!app_ptr) {
+    result.error = "deployment failed";
+    return result;
+  }
+  result.app = app_ptr;
+  result.ok = app_ptr->ok;
+  if (!app_ptr->ok) result.error = app_ptr->error;
+  return result;
+}
+
+std::future<FleetDeployResult> BuildFarm::submit(SourceDeployRequest request) {
+  return detail::enqueue_deploy(
+      pool_,
+      [this, request = std::move(request)] { return deploy(request); });
+}
+
+std::vector<FleetDeployResult> BuildFarm::deploy_batch(
+    std::vector<SourceDeployRequest> requests) {
+  std::vector<std::future<FleetDeployResult>> futures;
+  futures.reserve(requests.size());
+  for (auto& request : requests) {
+    futures.push_back(submit(std::move(request)));
+  }
+  return detail::collect_deploys(std::move(futures));
+}
+
+std::size_t BuildFarm::tu_compiles() const {
+  std::size_t total = 0;
+  std::lock_guard lock(states_mutex_);
+  for (const auto& [digest, state] : states_) {
+    (void)digest;
+    if (state->tu_cache) total += state->tu_cache->tu_compiles();
+  }
+  return total;
+}
+
+std::size_t BuildFarm::tu_cache_hits() const {
+  std::size_t total = 0;
+  std::lock_guard lock(states_mutex_);
+  for (const auto& [digest, state] : states_) {
+    (void)digest;
+    if (state->tu_cache) total += state->tu_cache->tu_hits();
+  }
+  return total;
+}
+
+}  // namespace xaas::service

@@ -1,0 +1,109 @@
+// Source-container build farm (§4.1 at fleet scale): many heterogeneous
+// nodes pull one source image and build on-system after discovery →
+// intersection → selection. Rebuilding per node is the expensive half of
+// the XaaS story, and almost all of it is redundant — so the farm caches
+// at TWO granularities:
+//
+//  - whole deployments, single-flight, keyed by (source image digest,
+//    canonical resolved option values, resolved TargetSpec) — a fleet of
+//    one microarchitecture builds once (the SpecializationCache reused
+//    from the IR path);
+//  - individual translation units, keyed by (source, post-preprocess
+//    content hash, codegen-relevant flags, TargetSpec) in a per-image
+//    minicc::CompileCache — two *different* whole-program builds (say,
+//    MKL-FFT on Sapphire Rapids and FFTW on Skylake-AVX512) that agree
+//    on a TU's preprocessed text and target share that TU's compiled
+//    module instead of compiling it twice.
+//
+// Applications are reconstructed from the image itself (source tree +
+// xbuild script travel in the layers), so a farm needs only a registry
+// reference per request, exactly like the IR scheduler.
+#pragma once
+
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "minicc/compile_cache.hpp"
+#include "service/deploy_scheduler.hpp"
+#include "service/sharded_registry.hpp"
+#include "service/spec_cache.hpp"
+
+namespace xaas::service {
+
+struct SourceDeployRequest {
+  vm::NodeSpec node;
+  std::string image_reference;  // tag or "sha256:..." digest
+  SourceDeployOptions options;
+};
+
+struct BuildFarmOptions {
+  /// Worker threads for build fan-out (0 = hardware concurrency).
+  std::size_t threads = 0;
+  /// Shards of the whole-deployment cache.
+  std::size_t cache_shards = 16;
+  /// Pre-decode each cached program once at build time for the VM.
+  bool predecode = true;
+  /// Route per-TU compiles through the shared compile cache. Disable to
+  /// measure the whole-deployment cache alone.
+  bool tu_cache = true;
+};
+
+class BuildFarm {
+public:
+  explicit BuildFarm(ShardedRegistry& registry, BuildFarmOptions options = {});
+
+  BuildFarm(const BuildFarm&) = delete;
+  BuildFarm& operator=(const BuildFarm&) = delete;
+
+  /// Asynchronously build-deploy one request on the pool.
+  std::future<FleetDeployResult> submit(SourceDeployRequest request);
+
+  /// Deploy a batch, fanning out over the pool; results are returned in
+  /// request order after all complete.
+  std::vector<FleetDeployResult> deploy_batch(
+      std::vector<SourceDeployRequest> requests);
+
+  /// Synchronous single deploy (the pool is bypassed; the caches are
+  /// not). Safe to call from another scheduler's worker thread.
+  FleetDeployResult deploy(const SourceDeployRequest& request);
+
+  /// Whole-deployment cache (hits/misses/lowerings = full builds).
+  const SpecializationCache& cache() const { return cache_; }
+  SpecializationCache& cache() { return cache_; }
+
+  // TU-level statistics aggregated over every per-image compile cache.
+  /// Translation-unit compilations actually performed.
+  std::size_t tu_compiles() const;
+  /// TU compile requests served from the cache.
+  std::size_t tu_cache_hits() const;
+
+private:
+  /// Per-source-image-digest state: the reconstructed application and the
+  /// TU compile cache bound to its source tree, both built once.
+  struct ImageState {
+    std::shared_ptr<const Application> app;  // null when reconstruction failed
+    std::string app_error;
+    std::shared_ptr<minicc::CompileCache> tu_cache;
+  };
+
+  std::shared_ptr<const ImageState> state_for(const std::string& digest,
+                                              const container::Image& image);
+
+  ShardedRegistry& registry_;
+  BuildFarmOptions options_;
+  SpecializationCache cache_;
+
+  mutable std::mutex states_mutex_;
+  std::map<std::string, std::shared_ptr<const ImageState>> states_;
+
+  // Declared last, destroyed first: ~ThreadPool drains queued build
+  // tasks, which still use cache_ and states_ above.
+  common::ThreadPool pool_;
+};
+
+}  // namespace xaas::service

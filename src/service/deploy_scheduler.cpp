@@ -1,6 +1,7 @@
 #include "service/deploy_scheduler.hpp"
 
 #include "common/hashing.hpp"
+#include "service/build_farm.hpp"
 #include "vm/decoded.hpp"
 
 namespace xaas::service {
@@ -10,6 +11,14 @@ DeployScheduler::DeployScheduler(ShardedRegistry& registry,
     : registry_(registry),
       options_(options),
       cache_(options.cache_shards),
+      pool_(options.threads) {}
+
+DeployScheduler::DeployScheduler(ShardedRegistry& registry, BuildFarm& farm,
+                                 DeploySchedulerOptions options)
+    : registry_(registry),
+      options_(options),
+      cache_(options.cache_shards),
+      farm_(&farm),
       pool_(options.threads) {}
 
 vm::RunResult FleetDeployResult::run(vm::Workload& workload,
@@ -94,18 +103,71 @@ std::shared_ptr<const IrImageManifest> DeployScheduler::manifest_for(
   return manifests_.emplace(digest, std::move(parsed)).first->second;
 }
 
+FleetDeployResult DeployScheduler::deploy(const MixedDeployRequest& request) {
+  const auto digest = registry_.resolve(request.image_reference);
+  if (!digest) {
+    FleetDeployResult result;
+    result.node_name = request.node.name;
+    result.node = request.node;
+    result.error = "image not found in registry: " + request.image_reference;
+    return result;
+  }
+  const auto kind =
+      registry_.annotation(*digest, container::kAnnotationKind);
+  if (kind && *kind == "source") {
+    if (!farm_) {
+      FleetDeployResult result;
+      result.node_name = request.node.name;
+      result.node = request.node;
+      result.error = "source image " + request.image_reference +
+                     " requires a build farm (none attached)";
+      return result;
+    }
+    SourceDeployRequest source;
+    source.node = request.node;
+    // Forward the digest, not the tag: the inner deploy resolves again,
+    // and a concurrent retag between the two resolves must not flip the
+    // request onto the wrong path (it also spares a tag lookup).
+    source.image_reference = *digest;
+    source.options.selections = request.selections;
+    source.options.march = request.march;
+    source.options.opt_level = request.opt_level;
+    source.options.auto_specialize = request.auto_specialize;
+    // Synchronous path: this scheduler's pool already carries the
+    // fan-out; the farm contributes only its caches.
+    return farm_->deploy(source);
+  }
+  FleetDeployRequest ir;
+  ir.node = request.node;
+  ir.image_reference = *digest;  // same retag race as the source path
+  ir.options.selections = request.selections;
+  ir.options.march = request.march;
+  ir.options.opt_level = request.opt_level;
+  return deploy(ir);
+}
+
+std::future<FleetDeployResult> DeployScheduler::submit(
+    MixedDeployRequest request) {
+  return detail::enqueue_deploy(
+      pool_,
+      [this, request = std::move(request)] { return deploy(request); });
+}
+
+std::vector<FleetDeployResult> DeployScheduler::deploy_batch(
+    std::vector<MixedDeployRequest> requests) {
+  std::vector<std::future<FleetDeployResult>> futures;
+  futures.reserve(requests.size());
+  for (auto& request : requests) {
+    futures.push_back(submit(std::move(request)));
+  }
+  return detail::collect_deploys(std::move(futures));
+}
+
 std::future<FleetDeployResult> DeployScheduler::submit(
     FleetDeployRequest request) {
-  auto promise = std::make_shared<std::promise<FleetDeployResult>>();
-  auto future = promise->get_future();
-  pool_.submit([this, promise, request = std::move(request)]() {
-    try {
-      promise->set_value(deploy(request));
-    } catch (...) {
-      promise->set_exception(std::current_exception());
-    }
-  });
-  return future;
+  return detail::enqueue_deploy(
+      pool_,
+      [this, request = std::move(request)] { return deploy(request); });
 }
 
 std::vector<FleetDeployResult> DeployScheduler::deploy_batch(
@@ -115,10 +177,7 @@ std::vector<FleetDeployResult> DeployScheduler::deploy_batch(
   for (auto& request : requests) {
     futures.push_back(submit(std::move(request)));
   }
-  std::vector<FleetDeployResult> results;
-  results.reserve(futures.size());
-  for (auto& future : futures) results.push_back(future.get());
-  return results;
+  return detail::collect_deploys(std::move(futures));
 }
 
 }  // namespace xaas::service

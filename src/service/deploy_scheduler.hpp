@@ -26,10 +26,27 @@
 
 namespace xaas::service {
 
+class BuildFarm;
+
 struct FleetDeployRequest {
   vm::NodeSpec node;
   std::string image_reference;  // tag or "sha256:..." digest
   IrDeployOptions options;
+};
+
+/// Kind-agnostic deployment request: the scheduler inspects the image's
+/// org.xaas.container-kind annotation and routes to the IR path (this
+/// scheduler's specialization cache) or the source path (an attached
+/// BuildFarm). One batch may mix source and IR images freely.
+struct MixedDeployRequest {
+  vm::NodeSpec node;
+  std::string image_reference;
+  std::map<std::string, std::string> selections;
+  std::optional<isa::VectorIsa> march;
+  int opt_level = 2;
+  /// Source path only: apply the recommendation policy for unselected
+  /// points (ignored for IR images, whose configurations are baked in).
+  bool auto_specialize = true;
 };
 
 struct FleetDeployResult {
@@ -52,6 +69,36 @@ struct FleetDeployResult {
   vm::RunResult run(vm::Workload& workload, int threads = 1) const;
 };
 
+/// Shared async plumbing for the deploy services (scheduler and build
+/// farm): wrap a synchronous deploy call as a pool task with exception
+/// propagation, and drain a batch of futures in request order.
+namespace detail {
+
+template <typename Fn>
+std::future<FleetDeployResult> enqueue_deploy(common::ThreadPool& pool,
+                                              Fn deploy_fn) {
+  auto promise = std::make_shared<std::promise<FleetDeployResult>>();
+  auto future = promise->get_future();
+  pool.submit([promise, deploy_fn = std::move(deploy_fn)]() mutable {
+    try {
+      promise->set_value(deploy_fn());
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  });
+  return future;
+}
+
+inline std::vector<FleetDeployResult> collect_deploys(
+    std::vector<std::future<FleetDeployResult>> futures) {
+  std::vector<FleetDeployResult> results;
+  results.reserve(futures.size());
+  for (auto& future : futures) results.push_back(future.get());
+  return results;
+}
+
+}  // namespace detail
+
 struct DeploySchedulerOptions {
   /// Worker threads for deploy fan-out (0 = hardware concurrency).
   std::size_t threads = 0;
@@ -66,6 +113,11 @@ class DeployScheduler {
 public:
   explicit DeployScheduler(ShardedRegistry& registry,
                            DeploySchedulerOptions options = {});
+  /// With a build farm attached, mixed batches can route source images
+  /// too (the farm's caches are used; its pool is not — this scheduler's
+  /// pool does the fan-out).
+  DeployScheduler(ShardedRegistry& registry, BuildFarm& farm,
+                  DeploySchedulerOptions options = {});
 
   DeployScheduler(const DeployScheduler&) = delete;
   DeployScheduler& operator=(const DeployScheduler&) = delete;
@@ -81,6 +133,16 @@ public:
   /// Synchronous single deploy (the pool is bypassed; the cache is not).
   FleetDeployResult deploy(const FleetDeployRequest& request);
 
+  /// Route one request by the image's container-kind annotation:
+  /// "source" → the attached BuildFarm, anything else → the IR path.
+  FleetDeployResult deploy(const MixedDeployRequest& request);
+  std::future<FleetDeployResult> submit(MixedDeployRequest request);
+  std::vector<FleetDeployResult> deploy_batch(
+      std::vector<MixedDeployRequest> requests);
+
+  /// Attach (or replace) the build farm used for source-kind requests.
+  void attach_build_farm(BuildFarm& farm) { farm_ = &farm; }
+
   const SpecializationCache& cache() const { return cache_; }
   SpecializationCache& cache() { return cache_; }
 
@@ -93,6 +155,7 @@ private:
   ShardedRegistry& registry_;
   DeploySchedulerOptions options_;
   SpecializationCache cache_;
+  BuildFarm* farm_ = nullptr;  // source-kind routing; may be null
 
   std::mutex manifests_mutex_;
   std::map<std::string, std::shared_ptr<const IrImageManifest>> manifests_;

@@ -253,6 +253,9 @@ DeployedApp deploy_ir_container(const container::Image& ir_image,
       if (!compiled.ok) {
         result.error = "system-dependent compile of " + source + " failed: " +
                        compiled.error.message;
+        result.log.push_back("build step failed at translation unit " +
+                             source + " (" + compiled.error.phase + "): " +
+                             compiled.error.message);
         return result;
       }
       modules.push_back(std::move(compiled.machine));
@@ -268,6 +271,8 @@ DeployedApp deploy_ir_container(const container::Image& ir_image,
     auto parsed = minicc::ir::parse_ir(*ir_text);
     if (!parsed.ok) {
       result.error = "IR parse failed for " + ir_path + ": " + parsed.error;
+      result.log.push_back("build step failed at translation unit " + source +
+                           " (" + ir_path + "): " + parsed.error);
       return result;
     }
     modules.push_back(minicc::lower(std::move(parsed.module), target));
@@ -281,6 +286,7 @@ DeployedApp deploy_ir_container(const container::Image& ir_image,
   result.program = vm::Program::link(std::move(modules), &link_error);
   if (!result.program.ok()) {
     result.error = "link failed: " + link_error;
+    result.log.push_back("build step failed at link: " + link_error);
     return result;
   }
 

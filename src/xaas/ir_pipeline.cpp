@@ -14,6 +14,7 @@
 #include "common/strings.hpp"
 #include "common/thread_pool.hpp"
 #include "minicc/ast.hpp"
+#include "minicc/compile_cache.hpp"
 #include "minicc/driver.hpp"
 #include "minicc/irgen.hpp"
 #include "minicc/parser.hpp"
@@ -75,172 +76,11 @@ struct TuInstance {
 //
 // The N-configs x M-TUs loop hands the preprocessor near-identical inputs
 // over and over: most configuration-specific defines are never referenced
-// by most translation units. We scan each source's textual include
-// closure once for the identifiers it mentions; a -D flag whose macro
-// name never appears in that closure cannot change the preprocessed
-// output (the preprocessor has no token pasting), so the memo key keeps
-// only the *macro-relevant* defines. Instances agreeing on
+// by most translation units. The macro-relevance machinery (include-
+// closure scans, effective-define canonicalization, preprocess keys) is
+// shared with the build farm's per-TU compile cache and lives in
+// minicc/compile_cache.{hpp,cpp}. Instances agreeing on
 // (source, relevant defines, include dirs) share one preprocess run.
-
-struct SourceScan {
-  /// An #include target failed to resolve in the scan: fall back to
-  /// treating every define as relevant (never merges incorrectly).
-  bool conservative = false;
-  /// Views into the Vfs-owned file contents (stable for the build).
-  std::unordered_set<std::string_view> idents;
-
-  bool relevant(std::string_view macro_name) const {
-    return conservative || idents.count(macro_name) > 0;
-  }
-};
-
-void scan_idents(std::string_view text,
-                 std::unordered_set<std::string_view>& out) {
-  const std::size_t n = text.size();
-  std::size_t i = 0;
-  while (i < n) {
-    const char c = text[i];
-    if ((static_cast<unsigned char>(c) | 32u) - 'a' < 26u || c == '_') {
-      std::size_t j = i + 1;
-      while (j < n) {
-        const char d = text[j];
-        if (!((static_cast<unsigned char>(d) | 32u) - 'a' < 26u ||
-              (static_cast<unsigned char>(d) - '0') < 10u || d == '_')) {
-          break;
-        }
-        ++j;
-      }
-      out.emplace(text.substr(i, j - i));
-      i = j;
-    } else {
-      ++i;
-    }
-  }
-}
-
-/// Every #include target in the text, regardless of conditional nesting
-/// (an over-approximation of what preprocessing may pull in).
-std::vector<std::string> scan_includes(std::string_view text) {
-  std::vector<std::string> out;
-  std::string joined_storage;
-  if (text.find("\\\n") != std::string_view::npos) {
-    joined_storage = common::replace_all(std::string(text), "\\\n", "");
-    text = joined_storage;
-  }
-  std::size_t pos = 0;
-  while (pos < text.size()) {
-    std::size_t end = text.find('\n', pos);
-    if (end == std::string_view::npos) end = text.size();
-    std::string_view t = common::trim(text.substr(pos, end - pos));
-    pos = end + 1;
-    if (t.empty() || t[0] != '#') continue;
-    t.remove_prefix(1);
-    t = common::trim(t);
-    if (!common::starts_with(t, "include")) continue;
-    t.remove_prefix(7);
-    t = common::trim(t);
-    if (t.size() < 2) continue;
-    const char close = t[0] == '<' ? '>' : (t[0] == '"' ? '"' : '\0');
-    if (close == '\0') continue;
-    const std::size_t delim = t.find(close, 1);
-    if (delim == std::string_view::npos) continue;
-    out.emplace_back(t.substr(1, delim - 1));
-  }
-  return out;
-}
-
-SourceScan build_scan(const common::Vfs& vfs, const std::string& source,
-                      const std::vector<std::string>& include_dirs) {
-  SourceScan scan;
-  std::unordered_set<std::string> visited;
-  std::vector<std::string> queue{source};
-  visited.insert(source);
-  while (!queue.empty()) {
-    const std::string path = std::move(queue.back());
-    queue.pop_back();
-    const std::string* content = vfs.find(path);
-    if (!content) {
-      scan.conservative = true;
-      continue;
-    }
-    scan_idents(*content, scan.idents);
-    for (const auto& inc : scan_includes(*content)) {
-      std::string resolved;
-      // Shared with the preprocessor so the scan can never diverge from
-      // real #include resolution.
-      if (minicc::resolve_include(vfs, inc, include_dirs, &resolved)) {
-        if (visited.insert(resolved).second) queue.push_back(resolved);
-      } else {
-        scan.conservative = true;
-      }
-    }
-  }
-  return scan;
-}
-
-/// Precomputed key material shared by every TU of one (configuration,
-/// target): the effective define list (name-sorted, last definition wins,
-/// as in PreprocessOptions) and the include-dir suffix. Memo keys per
-/// instance then reduce to filtering this list against the source's scan.
-struct TargetFlagInfo {
-  std::vector<std::pair<std::string, std::string>> defines;  // name, spec
-  /// Identifiers appearing in the *bodies* of the command-line defines:
-  /// a define referenced only through another define's body (-DGRID=BASE
-  /// -DBASE=8) never shows up in the source scan, so names in this set
-  /// count as referenced too (over-approximates chains — sound, it only
-  /// splits memo keys further).
-  std::unordered_set<std::string> body_idents;
-  std::string dirs_suffix;
-
-  bool relevant(const SourceScan& scan, std::string_view name) const {
-    return scan.relevant(name) ||
-           body_idents.count(std::string(name)) > 0;
-  }
-};
-
-TargetFlagInfo make_flag_info(const minicc::CompileFlags& flags) {
-  TargetFlagInfo info;
-  std::map<std::string, std::string> effective;
-  for (const auto& spec : flags.defines) {
-    const auto eq = spec.find('=');
-    effective[eq == std::string::npos ? spec : spec.substr(0, eq)] = spec;
-  }
-  if (flags.openmp) effective["_OPENMP"] = "_OPENMP=202111";
-  info.defines.assign(effective.begin(), effective.end());
-  std::unordered_set<std::string_view> body_views;
-  for (const auto& [name, spec] : info.defines) {
-    const auto eq = spec.find('=');
-    if (eq != std::string::npos) {
-      scan_idents(std::string_view(spec).substr(eq + 1), body_views);
-    }
-  }
-  for (const auto v : body_views) info.body_idents.emplace(v);
-  info.dirs_suffix += '\x1f';
-  for (const auto& dir : flags.include_dirs) {
-    info.dirs_suffix += dir;
-    info.dirs_suffix += '\x1e';
-  }
-  return info;
-}
-
-/// Memo key for one preprocess input: source + macro-relevant defines +
-/// include dirs.
-std::string preprocess_key(const std::string& source,
-                           const TargetFlagInfo& info,
-                           const SourceScan& scan) {
-  std::string key;
-  key.reserve(source.size() + info.dirs_suffix.size() + 32);
-  key = source;
-  key += '\x1f';
-  for (const auto& [name, spec] : info.defines) {
-    if (info.relevant(scan, name)) {
-      key += spec;
-      key += '\x1e';
-    }
-  }
-  key += info.dirs_suffix;
-  return key;
-}
 
 /// One distinct preprocess input and its cached result.
 struct PpUnit {
@@ -321,7 +161,7 @@ IrContainerBuild build_ir_container(const Application& app, isa::Arch arch,
       raw_flags_per_tu;  // (target \x1f source) -> raw flag strings
   const std::string norm_build_inc = "-I/xaas/build/include";
   std::vector<minicc::CompileFlags> target_flags;
-  std::vector<TargetFlagInfo> flag_infos;  // parallel to target_flags
+  std::vector<minicc::TargetFlagInfo> flag_infos;  // parallel to target_flags
 
   for (std::size_t i = 0; i < configs.size(); ++i) {
     const auto& commands = commands_per_config[i];
@@ -357,7 +197,7 @@ IrContainerBuild build_ir_container(const Application& app, isa::Arch arch,
                      .first;
         flags_by_target.emplace(cmd.target, target_flags.size());
         target_flags.push_back(minicc::CompileFlags::parse_args(cmd.args));
-        flag_infos.push_back(make_flag_info(target_flags.back()));
+        flag_infos.push_back(minicc::make_flag_info(target_flags.back()));
       }
       raw_flags_per_tu[cmd.target + '\x1f' + cmd.source].insert(
           raw_it->second);
@@ -392,22 +232,22 @@ IrContainerBuild build_ir_container(const Application& app, isa::Arch arch,
   timer_.lap("diag");
   // ---- Preprocessing + OpenMP detection (memoized, parallel) -----------
   // Macro-relevance scans, one per (source, include dirs).
-  std::unordered_map<std::string, SourceScan> scans;
+  std::unordered_map<std::string, minicc::SourceScan> scans;
   std::vector<PpUnit> units;
   std::unordered_map<std::string, std::size_t> unit_index;
   for (auto& inst : instances) {
-    const TargetFlagInfo& info = flag_infos[inst.flag_info];
+    const minicc::TargetFlagInfo& info = flag_infos[inst.flag_info];
     std::string scan_key = inst.source + info.dirs_suffix;
     auto scan_it = scans.find(scan_key);
     if (scan_it == scans.end()) {
       scan_it = scans.emplace(std::move(scan_key),
-                              build_scan(app.source_tree, inst.source,
-                                         inst.flags.include_dirs))
+                              minicc::build_scan(app.source_tree, inst.source,
+                                                 inst.flags.include_dirs))
                     .first;
     }
-    const SourceScan& scan = scan_it->second;
+    const minicc::SourceScan& scan = scan_it->second;
     inst.openmp_relevant = flag_infos[inst.flag_info].relevant(scan, "_OPENMP");
-    const std::string key = preprocess_key(inst.source, info, scan);
+    const std::string key = minicc::preprocess_key(inst.source, info, scan);
     const auto [it, inserted] = unit_index.emplace(key, units.size());
     if (inserted) {
       PpUnit unit;

@@ -2,6 +2,7 @@
 
 #include "common/json.hpp"
 #include "common/strings.hpp"
+#include "minicc/compile_cache.hpp"
 #include "minicc/driver.hpp"
 #include "spec/system.hpp"
 
@@ -79,41 +80,40 @@ vm::RunResult DeployedApp::run_on(const vm::NodeSpec& node,
   return executor.run(workload);
 }
 
-DeployedApp deploy_source_container(const container::Image& source_image,
+SourceDeployPlan plan_source_deploy(const container::Image& source_image,
                                     const Application& app,
                                     const vm::NodeSpec& node,
                                     const SourceDeployOptions& options) {
-  DeployedApp result;
-  result.node_name = node.name;
+  SourceDeployPlan plan;
 
   // Architecture gate: a source container is per-ISA (x64 / ARM64).
   const std::string node_arch = node.cpu.arch == isa::Arch::X86_64
                                     ? container::kArchAmd64
                                     : container::kArchArm64;
   if (source_image.architecture != node_arch) {
-    result.error = "source image architecture " + source_image.architecture +
-                   " does not match node " + node_arch;
-    return result;
+    plan.error = "source image architecture " + source_image.architecture +
+                 " does not match node " + node_arch;
+    return plan;
   }
 
   // 1. System discovery on the compute node (Fig. 6).
   const spec::SystemFeatures system = spec::discover_system(node);
-  result.log.push_back("discovered system '" + node.name + "': " +
-                       system.microarch);
+  plan.log.push_back("discovered system '" + node.name + "': " +
+                     system.microarch);
 
   // 2. Specialization points from the image annotation, intersected with
   //    the system.
   const auto annotation =
       source_image.annotations.find(container::kAnnotationSpecPoints);
   if (annotation == source_image.annotations.end()) {
-    result.error = "image carries no specialization-point annotation";
-    return result;
+    plan.error = "image carries no specialization-point annotation";
+    return plan;
   }
   const spec::SpecializationPoints app_points =
       spec::SpecializationPoints::from_json(Json::parse(annotation->second));
   const spec::CommonSpecialization common =
       spec::intersect(app_points, system);
-  result.log.push_back(
+  plan.log.push_back(
       "intersection: " + std::to_string(common.gpu_backends.size()) +
       " GPU backend(s), " + std::to_string(common.simd_levels.size()) +
       " SIMD level(s)");
@@ -142,11 +142,10 @@ DeployedApp deploy_source_container(const container::Image& source_image,
     prefer_library(common.linear_algebra_libraries);
   }
   for (const auto& [name, value] : values) {
-    result.log.push_back("selected " + name + "=" + value);
+    plan.log.push_back("selected " + name + "=" + value);
   }
 
-  // 4. On-system build: configure with the node environment, compile
-  //    every translation unit for the node's ISA, link.
+  // 4. Configure against the node environment.
   buildsys::Environment env;
   env.build_dir = "/xaas/build";
   env.dependencies = system.libraries;
@@ -157,18 +156,21 @@ DeployedApp deploy_source_container(const container::Image& source_image,
     env.dependencies[name] = version;
   }
 
-  const buildsys::Configuration config =
-      buildsys::configure(app.script, values, env);
-  if (!config.ok) {
-    result.error = "configuration failed: " + config.error;
-    return result;
+  plan.configuration = buildsys::configure(app.script, values, env);
+  if (!plan.configuration.ok) {
+    plan.error = "configuration failed: " + plan.configuration.error;
+    return plan;
   }
-  result.configuration = config;
+  const buildsys::Configuration& config = plan.configuration;
 
-  // Target: explicit march > SIMD selection > node best.
+  // Target: explicit march > SIMD selection > node best — clamped to what
+  // the node can execute, mirroring the IR path: an unexecutable
+  // *selected* tuning degrades to the node's ladder (a program that would
+  // trap helps nobody), an unexecutable *explicit* march is an error.
   minicc::TargetSpec target;
   target.opt_level = options.opt_level;
-  target.visa = node.best_vector_isa();
+  const isa::VectorIsa node_best = node.best_vector_isa();
+  target.visa = node_best;
   for (const auto& opt : app.script.options) {
     if (!opt.is_simd) continue;
     const auto it = config.option_values.find(opt.name);
@@ -180,25 +182,78 @@ DeployedApp deploy_source_container(const container::Image& source_image,
       }
     }
   }
-  if (options.march) target.visa = *options.march;
+  if (options.march) {
+    if (!isa::runs_on(*options.march, node_best)) {
+      plan.error = "requested march " +
+                   std::string(isa::to_string(*options.march)) +
+                   " is not executable on node " + node.name +
+                   " (supports up to " +
+                   std::string(isa::to_string(node_best)) + ")";
+      return plan;
+    }
+    target.visa = *options.march;
+  } else if (!isa::runs_on(target.visa, node_best)) {
+    plan.log.push_back("selected march " +
+                       std::string(isa::to_string(target.visa)) +
+                       " exceeds node support; clamped to " +
+                       std::string(isa::to_string(node_best)));
+    target.visa = node_best;
+  }
   for (const auto& flag : config.global_flags) {
     if (flag == "-fopenmp") target.openmp = true;
   }
+  plan.target = target;
+  plan.ok = true;
+  return plan;
+}
+
+DeployedApp build_source_deploy(const container::Image& source_image,
+                                const Application& app,
+                                const SourceDeployPlan& plan,
+                                minicc::CompileCache* tu_cache) {
+  DeployedApp result;
+  if (!plan.ok) {
+    result.error = plan.error.empty() ? "invalid deployment plan" : plan.error;
+    return result;
+  }
+  result.configuration = plan.configuration;
+  const minicc::TargetSpec target = plan.target;
   result.target = target;
 
-  const auto commands = config.compile_commands(app.source_tree);
+  // On-system build: compile every translation unit for the plan's
+  // target, link. With a compile cache, identical TUs — across nodes,
+  // selections, even whole configurations — compile once.
+  const auto commands = plan.configuration.compile_commands(app.source_tree);
   std::vector<minicc::MachineModule> modules;
+  modules.reserve(commands.size());
   for (const auto& cmd : commands) {
     minicc::CompileFlags flags = minicc::CompileFlags::parse_args(cmd.args);
-    flags.opt_level = options.opt_level;
-    const auto compiled =
-        minicc::compile_to_target(app.source_tree, cmd.source, flags, target);
-    if (!compiled.ok) {
+    flags.opt_level = target.opt_level;
+    minicc::CompileError error;
+    bool compiled_ok = false;
+    if (tu_cache) {
+      auto compiled =
+          tu_cache->compile(app.source_tree, cmd.source, flags, target);
+      compiled_ok = compiled.ok;
+      error = compiled.error;
+      // Program::link owns its modules; copying the shared module is far
+      // cheaper than recompiling it.
+      if (compiled.ok) modules.push_back(*compiled.machine);
+    } else {
+      auto compiled =
+          minicc::compile_to_target(app.source_tree, cmd.source, flags, target);
+      compiled_ok = compiled.ok;
+      error = compiled.error;
+      if (compiled.ok) modules.push_back(std::move(compiled.machine));
+    }
+    if (!compiled_ok) {
       result.error = "compilation of " + cmd.source + " failed (" +
-                     compiled.error.phase + "): " + compiled.error.message;
+                     error.phase + "): " + error.message;
+      result.log.push_back("build step failed at translation unit " +
+                           cmd.source + " (" + error.phase + "): " +
+                           error.message);
       return result;
     }
-    modules.push_back(std::move(compiled.machine));
   }
   result.log.push_back("compiled " + std::to_string(modules.size()) +
                        " translation units for " +
@@ -208,16 +263,20 @@ DeployedApp deploy_source_container(const container::Image& source_image,
   result.program = vm::Program::link(std::move(modules), &link_error);
   if (!result.program.ok()) {
     result.error = "link failed: " + link_error;
+    result.log.push_back("build step failed at link: " + link_error);
     return result;
   }
 
-  // 5. Derived image: binaries + configuration record. The new image is
-  //    system-specific and no longer portable (§4.1).
+  // Derived image: binaries + configuration record. The new image is
+  // system-specific and no longer portable (§4.1). The record
+  // deliberately names only (configuration, target), not the node: the
+  // image is a pure function of (source image, plan), so every node
+  // whose plan resolves identically shares one bit-identical artifact
+  // (the build-farm cache contract; the node stays in DeployedApp).
   common::Vfs binaries;
   Json record = Json::object();
-  record["configuration"] = config.id();
+  record["configuration"] = plan.configuration.id();
   record["target"] = target.to_string();
-  record["system"] = node.name;
   binaries.write("app/install/config.json", record.dump(2));
   for (std::size_t i = 0; i < commands.size(); ++i) {
     binaries.write("app/install/obj_" + std::to_string(i) + ".o",
@@ -228,8 +287,53 @@ DeployedApp deploy_source_container(const container::Image& source_image,
                      .add_layer(std::move(binaries))
                      .annotation(container::kAnnotationKind, "deployed-source")
                      .annotation(container::kAnnotationDeployedConfig,
-                                 config.id() + "|" + target.to_string())
+                                 plan.configuration.id() + "|" +
+                                     target.to_string())
                      .build();
+  result.ok = true;
+  return result;
+}
+
+DeployedApp deploy_source_container(const container::Image& source_image,
+                                    const Application& app,
+                                    const vm::NodeSpec& node,
+                                    const SourceDeployOptions& options) {
+  const SourceDeployPlan plan =
+      plan_source_deploy(source_image, app, node, options);
+  if (!plan.ok) {
+    DeployedApp result;
+    result.node_name = node.name;
+    result.error = plan.error;
+    result.log = plan.log;
+    return result;
+  }
+  DeployedApp result = build_source_deploy(source_image, app, plan, nullptr);
+  result.node_name = node.name;
+  result.log.insert(result.log.begin(), plan.log.begin(), plan.log.end());
+  return result;
+}
+
+SourceImageApp application_from_source_image(const container::Image& image) {
+  SourceImageApp result;
+  const common::Vfs root = image.flatten();
+  const auto script_text = root.read("app/xbuild.txt");
+  if (!script_text) {
+    result.error = "image has no app/xbuild.txt build script";
+    return result;
+  }
+  const auto parsed = buildsys::parse_script(*script_text);
+  if (!parsed.ok) {
+    result.error = "build script parse failed: " + parsed.error;
+    return result;
+  }
+  result.app.script = parsed.script;
+  result.app.name = parsed.script.project;
+  result.app.build_script_text = *script_text;
+  for (const auto& [path, contents] : root) {
+    if (common::starts_with(path, "app/") && path != "app/xbuild.txt") {
+      result.app.source_tree.write(path.substr(4), contents);
+    }
+  }
   result.ok = true;
   return result;
 }

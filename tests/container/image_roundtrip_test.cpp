@@ -1,0 +1,123 @@
+// Golden round-trip tests for OCI manifest/annotation serialization:
+// Image → JSON → Image must preserve layer digests, annotations (notably
+// the §5.2 specialization-points annotation), and the image digest — the
+// content addresses every serving-layer cache keys on.
+#include <gtest/gtest.h>
+
+#include "apps/minilulesh.hpp"
+#include "container/image.hpp"
+#include "xaas/ir_pipeline.hpp"
+#include "xaas/source_container.hpp"
+
+namespace xaas::container {
+namespace {
+
+Image tiny_image() {
+  common::Vfs layer1;
+  layer1.write("app/a.c", "int f() { return 1; }\n");
+  layer1.write("app/b.h", "#define B 2\n");
+  common::Vfs layer2;
+  layer2.write("app/a.c", "int f() { return 3; }\n");  // shadows layer1
+  return ImageBuilder()
+      .architecture(kArchLlvmIrAmd64)
+      .add_layer(std::move(layer1))
+      .add_layer(std::move(layer2))
+      .annotation(kAnnotationKind, "ir")
+      .annotation(kAnnotationSpecPoints, "{\"application\": \"tiny\"}")
+      .config("entrypoint", common::Json("/xaas/deploy"))
+      .build();
+}
+
+TEST(ImageRoundTrip, TinyImageSurvivesJsonRoundTrip) {
+  const Image original = tiny_image();
+  const std::string doc = original.to_json().dump(2);
+  const Image restored = Image::from_json(common::Json::parse(doc));
+
+  EXPECT_EQ(restored.architecture, original.architecture);
+  EXPECT_EQ(restored.os, original.os);
+  EXPECT_EQ(restored.annotations, original.annotations);
+  EXPECT_EQ(restored.config.dump(), original.config.dump());
+  ASSERT_EQ(restored.layers.size(), original.layers.size());
+  for (std::size_t i = 0; i < restored.layers.size(); ++i) {
+    EXPECT_EQ(restored.layers[i].digest(), original.layers[i].digest());
+    EXPECT_EQ(restored.layers[i].size_bytes(),
+              original.layers[i].size_bytes());
+  }
+  EXPECT_EQ(restored.manifest().dump(), original.manifest().dump());
+  EXPECT_EQ(restored.digest(), original.digest());
+  // Layer order (and thus shadowing) survives.
+  EXPECT_EQ(*restored.flatten().read("app/a.c"), "int f() { return 3; }\n");
+}
+
+TEST(ImageRoundTrip, SecondRoundTripIsAFixedPoint) {
+  const Image original = tiny_image();
+  const std::string once = original.to_json().dump();
+  const std::string twice =
+      Image::from_json(common::Json::parse(once)).to_json().dump();
+  EXPECT_EQ(once, twice);
+}
+
+TEST(ImageRoundTrip, SourceImageSpecPointsAnnotationSurvives) {
+  const Application app = apps::make_minilulesh();
+  const Image image = xaas::build_source_image(app, isa::Arch::X86_64);
+  const Image restored =
+      Image::from_json(common::Json::parse(image.to_json().dump()));
+  EXPECT_EQ(restored.digest(), image.digest());
+  ASSERT_TRUE(restored.annotations.count(kAnnotationSpecPoints));
+  // The annotation payload is itself JSON and must be byte-preserved (it
+  // feeds spec::SpecializationPoints::from_json at deploy time).
+  EXPECT_EQ(restored.annotations.at(kAnnotationSpecPoints),
+            image.annotations.at(kAnnotationSpecPoints));
+  // The restored image deploys exactly like the original.
+  const auto deployed = xaas::deploy_source_container(
+      restored, app, vm::node("ault23"));
+  EXPECT_TRUE(deployed.ok) << deployed.error;
+}
+
+TEST(ImageRoundTrip, IrImageSurvivesWithIdenticalDigest) {
+  const Application app = apps::make_minilulesh();
+  xaas::IrBuildOptions options;
+  options.points = {{"LULESH_OPENMP", {"OFF", "ON"}}};
+  const auto build =
+      xaas::build_ir_container(app, isa::Arch::X86_64, options);
+  ASSERT_TRUE(build.ok) << build.error;
+  const Image restored =
+      Image::from_json(common::Json::parse(build.image.to_json().dump()));
+  EXPECT_EQ(restored.digest(), build.image.digest());
+  EXPECT_EQ(restored.manifest().dump(), build.image.manifest().dump());
+}
+
+TEST(ImageRoundTrip, CorruptLayerContentIsRejected) {
+  const Image original = tiny_image();
+  common::Json doc = original.to_json();
+  // Flip one byte of a layer file; the recorded digest now disagrees
+  // with the content, which from_json must refuse to paper over.
+  doc["layers"].items()[0]["files"]["app/a.c"] =
+      common::Json("int f() { return 9; }\n");
+  EXPECT_THROW(Image::from_json(doc), common::JsonError);
+}
+
+TEST(ImageRoundTrip, GoldenManifestShape) {
+  // The manifest's structure is load-bearing for registries and cache
+  // keys; pin the golden shape of the tiny image.
+  const Image image = tiny_image();
+  const common::Json manifest = image.manifest();
+  EXPECT_EQ(manifest.get_int("schemaVersion"), 2);
+  EXPECT_EQ(manifest.get_string("mediaType"),
+            "application/vnd.oci.image.manifest.v1+json");
+  ASSERT_NE(manifest.find("platform"), nullptr);
+  EXPECT_EQ(manifest.find("platform")->get_string("architecture"),
+            kArchLlvmIrAmd64);
+  ASSERT_NE(manifest.find("layers"), nullptr);
+  ASSERT_EQ(manifest.find("layers")->items().size(), 2u);
+  for (const auto& layer : manifest.find("layers")->items()) {
+    const std::string digest = layer.get_string("digest");
+    EXPECT_EQ(digest.substr(0, 7), "sha256:");
+    EXPECT_EQ(digest.size(), 7u + 64u);
+  }
+  ASSERT_NE(manifest.find("annotations"), nullptr);
+  EXPECT_EQ(manifest.find("annotations")->get_string(kAnnotationKind), "ir");
+}
+
+}  // namespace
+}  // namespace xaas::container

@@ -1,0 +1,312 @@
+// Property tests for the compile-cache key machinery: canonicalization
+// must be insertion-order-free, injective for codegen-relevant inputs,
+// and blind to macro edits that cannot change the preprocessed output.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/hashing.hpp"
+#include "common/rng.hpp"
+#include "minicc/compile_cache.hpp"
+#include "service/spec_cache.hpp"
+
+namespace xaas::minicc {
+namespace {
+
+std::string random_name(common::Rng& rng) {
+  static const char kAlpha[] = "abcdefghijklmnopqrstuvwxyzABCDEF_";
+  std::string s;
+  const int len = 1 + static_cast<int>(rng.next_below(10));
+  for (int i = 0; i < len; ++i) {
+    s.push_back(kAlpha[rng.next_below(sizeof(kAlpha) - 1)]);
+  }
+  return s;
+}
+
+// Values may contain the characters a naive concatenation would confuse
+// with separators — the length-prefixed encoding must stay injective.
+std::string random_value(common::Rng& rng) {
+  static const char kAlpha[] = "abc018.:=,-|";
+  std::string s;
+  const int len = static_cast<int>(rng.next_below(8));
+  for (int i = 0; i < len; ++i) {
+    s.push_back(kAlpha[rng.next_below(sizeof(kAlpha) - 1)]);
+  }
+  return s;
+}
+
+// ---- Selection canonicalization ------------------------------------------
+
+class SelectionCanonicalization : public ::testing::TestWithParam<int> {};
+
+TEST_P(SelectionCanonicalization, InsertionOrderNeverChangesTheKey) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 6151 + 11);
+  std::vector<std::pair<std::string, std::string>> entries;
+  const int n = 1 + static_cast<int>(rng.next_below(8));
+  for (int i = 0; i < n; ++i) {
+    entries.emplace_back(random_name(rng), random_value(rng));
+  }
+
+  std::map<std::string, std::string> forward;
+  for (const auto& [k, v] : entries) forward.emplace(k, v);
+
+  // Shuffle and rebuild; equal contents must canonicalize identically.
+  for (int round = 0; round < 4; ++round) {
+    for (std::size_t i = entries.size(); i > 1; --i) {
+      std::swap(entries[i - 1], entries[rng.next_below(i)]);
+    }
+    std::map<std::string, std::string> shuffled;
+    for (const auto& [k, v] : entries) shuffled.emplace(k, v);
+    EXPECT_EQ(common::canonical_selections(forward),
+              common::canonical_selections(shuffled));
+  }
+}
+
+TEST_P(SelectionCanonicalization, AnyContentDifferenceChangesTheKey) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 2903 + 5);
+  std::map<std::string, std::string> base;
+  const int n = 1 + static_cast<int>(rng.next_below(6));
+  for (int i = 0; i < n; ++i) base[random_name(rng)] = random_value(rng);
+
+  // Mutate one value.
+  auto changed_value = base;
+  auto it = changed_value.begin();
+  std::advance(it, rng.next_below(changed_value.size()));
+  it->second += "x";
+  EXPECT_NE(common::canonical_selections(base),
+            common::canonical_selections(changed_value));
+
+  // Add one entry.
+  auto extra = base;
+  extra[random_name(rng) + "q"] = random_value(rng);
+  EXPECT_NE(common::canonical_selections(base),
+            common::canonical_selections(extra));
+}
+
+TEST_P(SelectionCanonicalization, BoundaryShiftsNeverCollide) {
+  // {"ab" -> "", "c" -> "d"} and {"a" -> "b", "cd" -> ""} would collide
+  // under naive concatenation; the length prefixes must keep any random
+  // split of one character stream distinct.
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 401 + 97);
+  const std::string stream = random_name(rng) + random_name(rng) + "xy";
+  const auto split_at = [&](std::size_t a, std::size_t b) {
+    std::map<std::string, std::string> m;
+    m[stream.substr(0, a)] = stream.substr(a, b - a);
+    m[stream.substr(b) + "_t"] = "";
+    return common::canonical_selections(m);
+  };
+  const std::size_t a1 = 1 + rng.next_below(stream.size() - 2);
+  const std::size_t b1 = a1 + rng.next_below(stream.size() - a1);
+  std::size_t a2 = 1 + rng.next_below(stream.size() - 2);
+  std::size_t b2 = a2 + rng.next_below(stream.size() - a2);
+  if (a1 == a2 && b1 == b2) return;  // identical split, keys may equal
+  EXPECT_NE(split_at(a1, b1), split_at(a2, b2))
+      << stream << " " << a1 << "," << b1 << " vs " << a2 << "," << b2;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelectionCanonicalization,
+                         ::testing::Range(0, 12));
+
+// ---- TU key injectivity ---------------------------------------------------
+
+TEST(TuKeyProperties, CodegenRelevantDifferencesNeverCollide) {
+  TuKey base;
+  base.source = "src/forces.c";
+  base.pp_hash = "abc123";
+  base.openmp = false;
+  base.opt_level = 2;
+  base.target = {isa::VectorIsa::AVX2_256, false, 2};
+
+  std::vector<TuKey> variants;
+  for (const auto visa :
+       {isa::VectorIsa::None, isa::VectorIsa::SSE2, isa::VectorIsa::AVX_512,
+        isa::VectorIsa::SVE}) {
+    TuKey k = base;
+    k.target.visa = visa;
+    variants.push_back(k);
+  }
+  for (const int opt : {0, 1, 3}) {
+    TuKey k = base;
+    k.opt_level = opt;
+    variants.push_back(k);
+    TuKey t = base;
+    t.target.opt_level = opt;
+    variants.push_back(t);
+  }
+  {
+    TuKey k = base;
+    k.openmp = true;
+    variants.push_back(k);
+    TuKey t = base;
+    t.target.openmp = true;
+    variants.push_back(t);
+  }
+  {
+    TuKey k = base;
+    k.pp_hash = "abc124";
+    variants.push_back(k);
+    TuKey s = base;
+    s.source = "src/bonded.c";
+    variants.push_back(s);
+  }
+
+  std::vector<std::string> keys{base.to_string()};
+  for (const auto& v : variants) keys.push_back(v.to_string());
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end())
+      << "two distinct TU keys canonicalized to the same string";
+}
+
+TEST(TuKeyProperties, SpecKeyComponentsNeverBleedAcrossFields) {
+  // Moving a suffix of one component to the prefix of the next must
+  // change the composite (the '\x1f' separator cannot appear in digests,
+  // canonical selections, or target strings).
+  service::SpecKey a;
+  a.digest = "sha256:12ab";
+  a.selections = "4:MODE2:ON";
+  a.target = {isa::VectorIsa::AVX_512, true, 2};
+  service::SpecKey b = a;
+  b.digest = "sha256:12";
+  b.selections = "ab4:MODE2:ON";
+  EXPECT_NE(a.to_string(), b.to_string());
+}
+
+// ---- Macro relevance against a real compile cache ------------------------
+
+class MacroRelevance : public ::testing::TestWithParam<int> {};
+
+common::Vfs scaled_source() {
+  common::Vfs vfs;
+  vfs.write("inc/k.h", "#define K_BASE 3.0\n");
+  vfs.write("k.c",
+            "#include \"inc/k.h\"\n"
+            "double f(double* a, int n) {\n"
+            "  double s = 0.0;\n"
+            "  for (int i = 0; i < n; i++) { s += a[i] * SCALE + K_BASE; }\n"
+            "  return s;\n"
+            "}\n");
+  return vfs;
+}
+
+TEST_P(MacroRelevance, IrrelevantMacroEditsHitTheCache) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7717 + 29);
+  const common::Vfs vfs = scaled_source();
+  CompileCache cache;
+  TargetSpec target;
+  target.visa = isa::VectorIsa::AVX2_256;
+
+  CompileFlags base;
+  base.defines = {"SCALE=2.5"};
+  base.include_dirs = {"."};
+  const auto first = cache.compile(vfs, "k.c", base, target);
+  ASSERT_TRUE(first.ok) << first.error.message;
+  ASSERT_EQ(cache.tu_compiles(), 1u);
+
+  // Any number of defines whose names never appear in the include
+  // closure must reuse the preprocess, the parse, and the module.
+  CompileFlags noisy = base;
+  const int extra = 1 + static_cast<int>(rng.next_below(5));
+  for (int i = 0; i < extra; ++i) {
+    noisy.defines.push_back("ZZ_UNREFERENCED_" + random_name(rng) +
+                            std::to_string(i) + "=9");
+  }
+  const auto hit = cache.compile(vfs, "k.c", noisy, target);
+  ASSERT_TRUE(hit.ok) << hit.error.message;
+  EXPECT_TRUE(hit.tu_cache_hit);
+  EXPECT_EQ(hit.pp_hash, first.pp_hash);
+  EXPECT_EQ(hit.machine.get(), first.machine.get());
+  EXPECT_EQ(cache.tu_compiles(), 1u);
+  EXPECT_EQ(cache.preprocess_runs(), 1u);
+}
+
+TEST_P(MacroRelevance, RelevantMacroEditsMissTheCache) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 7);
+  const common::Vfs vfs = scaled_source();
+  CompileCache cache;
+  TargetSpec target;
+  target.visa = isa::VectorIsa::AVX2_256;
+
+  CompileFlags base;
+  base.defines = {"SCALE=2.5"};
+  base.include_dirs = {"."};
+  const auto first = cache.compile(vfs, "k.c", base, target);
+  ASSERT_TRUE(first.ok) << first.error.message;
+
+  // SCALE appears in the closure: every distinct value is a distinct
+  // preprocessed text and a distinct module.
+  CompileFlags changed = base;
+  changed.defines = {"SCALE=" + std::to_string(1 + rng.next_below(100)) +
+                     ".125"};
+  const auto miss = cache.compile(vfs, "k.c", changed, target);
+  ASSERT_TRUE(miss.ok) << miss.error.message;
+  EXPECT_FALSE(miss.tu_cache_hit);
+  EXPECT_NE(miss.pp_hash, first.pp_hash);
+  EXPECT_EQ(cache.tu_compiles(), 2u);
+  EXPECT_EQ(cache.preprocess_runs(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MacroRelevance, ::testing::Range(0, 8));
+
+TEST(CompileCacheSharing, DistinctTargetsNeverShareModules) {
+  const common::Vfs vfs = scaled_source();
+  CompileCache cache;
+  CompileFlags flags;
+  flags.defines = {"SCALE=2.0"};
+  flags.include_dirs = {"."};
+
+  TargetSpec narrow{isa::VectorIsa::SSE2, false, 2};
+  TargetSpec wide{isa::VectorIsa::AVX_512, false, 2};
+  const auto a = cache.compile(vfs, "k.c", flags, narrow);
+  const auto b = cache.compile(vfs, "k.c", flags, wide);
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  // One preprocess (the text is target-independent), two lowerings.
+  EXPECT_EQ(cache.preprocess_runs(), 1u);
+  EXPECT_EQ(cache.tu_compiles(), 2u);
+  EXPECT_NE(a.machine.get(), b.machine.get());
+  EXPECT_EQ(a.machine->target.visa, isa::VectorIsa::SSE2);
+  EXPECT_EQ(b.machine->target.visa, isa::VectorIsa::AVX_512);
+}
+
+TEST(CompileCacheSharing, DuplicateDefineOrderIsNotAliased) {
+  // "-DSCALE=2.0 -DSCALE=4.0" and "-DSCALE=4.0 -DSCALE=2.0" have equal
+  // sorted canonical forms but different last-definition-wins semantics;
+  // the cache must keep them apart.
+  const common::Vfs vfs = scaled_source();
+  CompileCache cache;
+  TargetSpec target;
+  CompileFlags a;
+  a.defines = {"SCALE=2.0", "SCALE=4.0"};  // effective SCALE=4.0
+  a.include_dirs = {"."};
+  CompileFlags b;
+  b.defines = {"SCALE=4.0", "SCALE=2.0"};  // effective SCALE=2.0
+  b.include_dirs = {"."};
+  const auto ra = cache.compile(vfs, "k.c", a, target);
+  const auto rb = cache.compile(vfs, "k.c", b, target);
+  ASSERT_TRUE(ra.ok) << ra.error.message;
+  ASSERT_TRUE(rb.ok) << rb.error.message;
+  EXPECT_NE(ra.pp_hash, rb.pp_hash);
+  EXPECT_FALSE(rb.tu_cache_hit);
+  EXPECT_EQ(cache.preprocess_runs(), 2u);
+}
+
+TEST(CompileCacheSharing, CompileFailuresReportPhaseAndAreDeterministic) {
+  common::Vfs vfs;
+  vfs.write("bad.c", "double f( {\n");
+  CompileCache cache;
+  CompileFlags flags;
+  TargetSpec target;
+  const auto first = cache.compile(vfs, "bad.c", flags, target);
+  EXPECT_FALSE(first.ok);
+  EXPECT_EQ(first.error.phase, "parse");
+  // Deterministic failure: cached, same error, no recompilation.
+  const auto second = cache.compile(vfs, "bad.c", flags, target);
+  EXPECT_FALSE(second.ok);
+  EXPECT_EQ(second.error.message, first.error.message);
+  EXPECT_EQ(cache.tu_compiles(), 1u);
+}
+
+}  // namespace
+}  // namespace xaas::minicc

@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
 # Builds the test suite under a sanitizer (ThreadSanitizer by default) and
-# runs the concurrency-heavy service tests: the sharded-registry stress
-# test and the deploy-scheduler suite. This is the CI gate for the
-# serving layer's locking (shards, single-flight specialization cache).
+# runs the `stress` CTest label: the concurrency-heavy suites (thread
+# pool, sharded registry, deploy scheduler, build farm, and every
+# *Stress* suite). This is the CI gate for the serving layer's locking
+# (shards, single-flight specialization cache, TU compile cache).
 #
 # Usage:
 #   tests/run_tsan.sh [thread|address]
 # Environment:
 #   TSAN_BUILD_DIR  build directory (default: <repo>/build-<sanitizer>)
-#   TSAN_FILTER     gtest filter (default: service + thread-pool suites)
+#   TSAN_FILTER     override: run this gtest filter instead of the
+#                   stress label
 #   TSAN_JOBS       parallel build jobs (default: nproc)
 set -euo pipefail
 
@@ -21,7 +23,6 @@ case "$SANITIZER" in
 esac
 
 BUILD_DIR="${TSAN_BUILD_DIR:-$ROOT/build-$SANITIZER}"
-FILTER="${TSAN_FILTER:-ShardedRegistry*.*:DeployScheduler*.*:ThreadPool*.*}"
 JOBS="${TSAN_JOBS:-$(nproc)}"
 
 cmake -B "$BUILD_DIR" -S "$ROOT" \
@@ -36,5 +37,9 @@ else
   export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1 detect_leaks=1}"
 fi
 
-"$BUILD_DIR/unit_tests" --gtest_filter="$FILTER"
+if [[ -n "${TSAN_FILTER:-}" ]]; then
+  "$BUILD_DIR/unit_tests" --gtest_filter="$TSAN_FILTER"
+else
+  ctest --test-dir "$BUILD_DIR" -L stress --output-on-failure
+fi
 echo "[$SANITIZER sanitizer] service concurrency tests passed"
