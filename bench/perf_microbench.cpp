@@ -11,6 +11,7 @@
 #include "minicc/vectorizer.hpp"
 #include "service/build_farm.hpp"
 #include "service/deploy_scheduler.hpp"
+#include "service/gateway.hpp"
 #include "vm/executor.hpp"
 #include "vm/program.hpp"
 #include "xaas/ir_pipeline.hpp"
@@ -313,6 +314,51 @@ void BM_BuildFarmCached(benchmark::State& state) {
                           nodes);
 }
 BENCHMARK(BM_BuildFarmCached)->Arg(32)->Unit(benchmark::kMillisecond);
+
+// End-to-end serving through the Gateway: N requests (mixed AVX-512 /
+// SSE4.1 IR configurations) admitted, routed over a heterogeneous fleet,
+// deployed through the warm specialization cache, and executed. This is
+// the steady-state request loop — the lowerings happen in the first
+// iteration, later ones measure admission + routing + cache hit + run.
+void BM_GatewayServing(benchmark::State& state) {
+  const auto& f = FleetFixture::get();
+  const int requests = static_cast<int>(state.range(0));
+  if (!f.build_ok) {
+    state.SkipWithError("fleet fixture invalid (IR build failed)");
+    return;
+  }
+  std::vector<vm::NodeSpec> fleet;
+  for (auto& n : vm::simulated_fleet(vm::node("ault23"), 3, "gwbatch-")) {
+    fleet.push_back(std::move(n));
+  }
+  for (auto& n : vm::simulated_fleet(vm::node("devbox"), 1, "gwedge-")) {
+    fleet.push_back(std::move(n));
+  }
+  service::GatewayOptions options;
+  options.worker_threads = 4;
+  options.max_queue = static_cast<std::size_t>(requests);
+  service::Gateway gateway(std::move(fleet), options);
+  gateway.push(f.image, "bench:ir");
+  for (auto _ : state) {
+    std::vector<service::RunRequest> batch;
+    batch.reserve(static_cast<std::size_t>(requests));
+    for (int i = 0; i < requests; ++i) {
+      service::RunRequest request;
+      request.image_reference = "bench:ir";
+      request.selections = {{"MD_SIMD", i % 2 == 0 ? "AVX_512" : "SSE4.1"}};
+      request.workload = apps::minimd_workload({64, 8, 2, 64});
+      batch.push_back(std::move(request));
+    }
+    const auto results = gateway.run_all(std::move(batch));
+    for (const auto& r : results) {
+      if (!r.ok) state.SkipWithError(r.error.c_str());
+    }
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          requests);
+}
+BENCHMARK(BM_GatewayServing)->Arg(32)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

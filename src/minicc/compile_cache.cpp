@@ -1,6 +1,7 @@
 #include "minicc/compile_cache.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 
 #include "common/sha256.hpp"
@@ -153,6 +154,28 @@ TuCompileResult CompileCache::compile(const common::Vfs& vfs,
                                       const std::string& source,
                                       const CompileFlags& flags,
                                       const TargetSpec& target) {
+  if (!observer_) return compile_impl(vfs, source, flags, target);
+  const auto start = std::chrono::steady_clock::now();
+  TuCompileResult result = compile_impl(vfs, source, flags, target);
+  // A preprocess failure resolves no machine module (pp_hash empty) and
+  // counts as neither hit nor compile internally — emit no event, so
+  // telemetry stays equal to tu_hits()/tu_compiles() on every path.
+  if (!result.pp_hash.empty()) {
+    CompileEvent event;
+    event.tu_cache_hit = result.tu_cache_hit;
+    event.ok = result.ok;
+    event.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    observer_(event);
+  }
+  return result;
+}
+
+TuCompileResult CompileCache::compile_impl(const common::Vfs& vfs,
+                                           const std::string& source,
+                                           const CompileFlags& flags,
+                                           const TargetSpec& target) {
   TuCompileResult result;
 
   // The info key must preserve flag ORDER: canonical() sorts, but the
@@ -237,12 +260,14 @@ TuCompileResult CompileCache::compile(const common::Vfs& vfs,
       },
       &hit);
   if (hit) tu_hits_.fetch_add(1);
+  // Set before the failure return so a *cached failed* module still
+  // reports as the hit it was counted as (telemetry mirrors tu_hits()).
+  result.tu_cache_hit = hit;
   if (!machine->ok) {
     result.error = machine->error;
     return result;
   }
   result.machine = machine->machine;
-  result.tu_cache_hit = hit;
   result.ok = true;
   return result;
 }

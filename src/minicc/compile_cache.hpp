@@ -144,9 +144,27 @@ struct TuCompileResult {
 /// unbounded option spaces.
 class CompileCache {
 public:
+  /// Telemetry event, one per machine-module cache resolution: whether
+  /// the module (possibly a cached *failure*) was reused, whether the TU
+  /// compiled, and the call's wall seconds (for a hit, the lookup cost;
+  /// for a miss, the full preprocess→lower pipeline). Preprocess
+  /// failures resolve no module and emit no event, so observer-side
+  /// hit/compile counts stay equal to tu_hits()/tu_compiles().
+  struct CompileEvent {
+    bool tu_cache_hit = false;
+    bool ok = false;
+    double seconds = 0.0;
+  };
+  using Observer = std::function<void(const CompileEvent&)>;
+
   CompileCache() = default;
   CompileCache(const CompileCache&) = delete;
   CompileCache& operator=(const CompileCache&) = delete;
+
+  /// Install the telemetry observer (the serving layer points it at its
+  /// metrics registry). NOT thread-safe with respect to concurrent
+  /// compile(): set it once, before the cache starts serving.
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
 
   /// Full per-TU pipeline (preprocess -> parse -> irgen -> optimize ->
   /// lower) with every stage memoized. Equal TuKeys return the same
@@ -165,6 +183,11 @@ public:
   std::size_t tu_hits() const { return tu_hits_.load(); }
 
 private:
+  TuCompileResult compile_impl(const common::Vfs& vfs,
+                               const std::string& source,
+                               const CompileFlags& flags,
+                               const TargetSpec& target);
+
   /// Single-flight memo map: the first requester of a key runs `compute`,
   /// concurrent requesters block on its shared_future. Entries are never
   /// evicted — compiles are deterministic, so failures cache too.
@@ -223,6 +246,8 @@ private:
     CompileError error;
     std::shared_ptr<const MachineModule> machine;
   };
+
+  Observer observer_;  // set once before serving; called after each compile
 
   SingleFlightMap<TargetFlagInfo> infos_;   // flags.canonical()
   SingleFlightMap<SourceScan> scans_;       // source + dirs_suffix

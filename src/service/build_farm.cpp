@@ -11,12 +11,19 @@ BuildFarm::BuildFarm(ShardedRegistry& registry, BuildFarmOptions options)
       cache_(options.cache_shards),
       pool_(options.threads) {}
 
+void BuildFarm::set_tu_observer(minicc::CompileCache::Observer observer) {
+  std::lock_guard lock(states_mutex_);
+  tu_observer_ = std::move(observer);
+}
+
 std::shared_ptr<const BuildFarm::ImageState> BuildFarm::state_for(
     const std::string& digest, const container::Image& image) {
+  minicc::CompileCache::Observer tu_observer;
   {
     std::lock_guard lock(states_mutex_);
     const auto it = states_.find(digest);
     if (it != states_.end()) return it->second;
+    tu_observer = tu_observer_;
   }
   // Reconstruct outside the lock; concurrent first requests may both
   // reconstruct, the map keeps whichever lands first (identical by
@@ -27,6 +34,7 @@ std::shared_ptr<const BuildFarm::ImageState> BuildFarm::state_for(
     state->app =
         std::make_shared<const Application>(std::move(from_image.app));
     state->tu_cache = std::make_shared<minicc::CompileCache>();
+    if (tu_observer) state->tu_cache->set_observer(std::move(tu_observer));
   } else {
     state->app_error = from_image.error;
   }

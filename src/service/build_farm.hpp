@@ -53,6 +53,18 @@ struct BuildFarmOptions {
   bool tu_cache = true;
 };
 
+/// Source-container build farm (the §4.1 path at fleet scale).
+///
+/// Thread-safety: submit(), deploy(), deploy_batch(), and the stats
+/// accessors are safe from any thread; deploy() is additionally safe to
+/// call from another scheduler's worker (the farm contributes caches,
+/// not its pool). set_tu_observer() must be called before the farm
+/// starts serving (earlier-created per-image caches keep running
+/// unobserved).
+/// Ownership: borrows the ShardedRegistry (must outlive the farm); owns
+/// its whole-deployment SpecializationCache, per-image reconstructed
+/// Applications and TU CompileCaches, and its ThreadPool. Deployed apps
+/// are handed out as shared_ptr<const DeployedApp>.
 class BuildFarm {
 public:
   explicit BuildFarm(ShardedRegistry& registry, BuildFarmOptions options = {});
@@ -75,6 +87,12 @@ public:
   /// Whole-deployment cache (hits/misses/lowerings = full builds).
   const SpecializationCache& cache() const { return cache_; }
   SpecializationCache& cache() { return cache_; }
+
+  /// Telemetry observer applied to every per-image TU compile cache the
+  /// farm creates (the Gateway points it at its metrics registry). Set it
+  /// before the farm starts serving: caches created earlier keep running
+  /// unobserved.
+  void set_tu_observer(minicc::CompileCache::Observer observer);
 
   // TU-level statistics aggregated over every per-image compile cache.
   /// Translation-unit compilations actually performed.
@@ -100,6 +118,7 @@ private:
 
   mutable std::mutex states_mutex_;
   std::map<std::string, std::shared_ptr<const ImageState>> states_;
+  minicc::CompileCache::Observer tu_observer_;  // guarded by states_mutex_
 
   // Declared last, destroyed first: ~ThreadPool drains queued build
   // tasks, which still use cache_ and states_ above.

@@ -109,6 +109,17 @@ struct DeploySchedulerOptions {
   bool predecode = true;
 };
 
+/// Fleet deployment scheduler (IR path + mixed-kind routing).
+///
+/// Thread-safety: submit(), deploy(), and deploy_batch() are safe from
+/// any thread — the specialization cache and the per-digest manifest
+/// memo carry their own locks, and the worker pool serializes nothing
+/// beyond them. attach_build_farm() is not synchronized: attach before
+/// the scheduler starts serving.
+/// Ownership: borrows the ShardedRegistry (and the BuildFarm, when
+/// attached) — both must outlive the scheduler; owns its
+/// SpecializationCache and ThreadPool. Deployed apps are handed out as
+/// shared_ptr<const DeployedApp> that outlive the scheduler.
 class DeployScheduler {
 public:
   explicit DeployScheduler(ShardedRegistry& registry,

@@ -1,0 +1,367 @@
+#include "service/gateway.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "common/sha256.hpp"
+#include "container/image.hpp"
+
+namespace xaas::service {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void append_f64(std::string& out, double v) {
+  append_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void append_i64(std::string& out, long long v) {
+  append_u64(out, static_cast<std::uint64_t>(v));
+}
+
+/// Whether a fleet node can serve an image of the given OCI architecture
+/// (source images are per-base-ISA; IR images use the llvm-ir+<isa>
+/// pseudo-architectures of §5.2).
+bool node_serves_arch(const vm::NodeSpec& node, const std::string& arch) {
+  if (node.cpu.arch == isa::Arch::X86_64) {
+    return arch == container::kArchAmd64 || arch == container::kArchLlvmIrAmd64;
+  }
+  return arch == container::kArchArm64 || arch == container::kArchLlvmIrArm64;
+}
+
+}  // namespace
+
+std::string numerics_digest(const vm::RunResult& run,
+                            const vm::Workload& workload) {
+  std::string bytes;
+  bytes.reserve(128);
+  append_f64(bytes, run.ret_f64);
+  append_i64(bytes, run.ret_i64);
+  append_f64(bytes, run.cycles_serial);
+  append_f64(bytes, run.cycles_parallel);
+  append_f64(bytes, run.cycles_gpu);
+  append_i64(bytes, run.fork_joins);
+  append_i64(bytes, run.instructions);
+  append_f64(bytes, run.elapsed_seconds);
+  for (const auto& [name, buffer] : workload.f64_buffers) {
+    bytes.append(name);
+    bytes.push_back('\0');
+    append_u64(bytes, buffer.size());
+    for (const double v : buffer) append_f64(bytes, v);
+  }
+  for (const auto& [name, buffer] : workload.i64_buffers) {
+    bytes.append(name);
+    bytes.push_back('\0');
+    append_u64(bytes, buffer.size());
+    for (const long long v : buffer) append_i64(bytes, v);
+  }
+  return common::sha256_hex(bytes);
+}
+
+Gateway::Gateway(std::vector<vm::NodeSpec> fleet, GatewayOptions options)
+    : options_(std::move(options)),
+      fleet_(std::move(fleet)),
+      registry_(options_.registry_shards),
+      farm_(registry_,
+            [&] {
+              // The gateway's workers carry the fan-out; an inner pool at
+              // hardware concurrency would only idle.
+              BuildFarmOptions farm_options = options_.farm;
+              if (farm_options.threads == 0) farm_options.threads = 1;
+              return farm_options;
+            }()),
+      scheduler_(registry_, farm_, [&] {
+        DeploySchedulerOptions sched_options = options_.scheduler;
+        if (sched_options.threads == 0) sched_options.threads = 1;
+        return sched_options;
+      }()) {
+  // A zero bound would make every blocking submit() unsatisfiable.
+  if (options_.max_queue == 0) options_.max_queue = 1;
+  requests_ = &metrics_.counter("gateway.requests");
+  admitted_ = &metrics_.counter("gateway.admitted");
+  rejected_ = &metrics_.counter("gateway.rejected");
+  completed_ = &metrics_.counter("gateway.completed");
+  failed_ = &metrics_.counter("gateway.failed");
+  backpressure_waits_ = &metrics_.counter("gateway.backpressure_waits");
+  vm_runs_ = &metrics_.counter("vm.runs");
+  vm_instructions_ = &metrics_.counter("vm.instructions");
+  queue_depth_ = &metrics_.gauge("gateway.queue_depth");
+  in_flight_ = &metrics_.gauge("gateway.in_flight");
+  queue_hist_ = &metrics_.histogram("gateway.queue_seconds");
+  deploy_hist_ = &metrics_.histogram("gateway.deploy_seconds");
+  run_hist_ = &metrics_.histogram("gateway.run_seconds");
+  total_hist_ = &metrics_.histogram("gateway.total_seconds");
+
+  // The existing caches report into the same registry: both
+  // whole-deployment caches (IR scheduler + source farm) feed one set of
+  // specialization metrics, the farm's per-image TU caches feed the TU
+  // metrics.
+  auto* spec_hits = &metrics_.counter("spec_cache.hits");
+  auto* spec_misses = &metrics_.counter("spec_cache.misses");
+  auto* spec_failures = &metrics_.counter("spec_cache.deploy_failures");
+  auto* lowering_hist = &metrics_.histogram("spec_cache.lowering_seconds");
+  const auto spec_observer =
+      [spec_hits, spec_misses, spec_failures,
+       lowering_hist](const SpecializationCache::Event& event) {
+        if (event.hit) {
+          spec_hits->add(1);
+          return;
+        }
+        spec_misses->add(1);
+        lowering_hist->observe(event.deploy_seconds);
+        if (!event.ok) spec_failures->add(1);
+      };
+  scheduler_.cache().set_observer(spec_observer);
+  farm_.cache().set_observer(spec_observer);
+
+  auto* tu_hits = &metrics_.counter("tu_cache.hits");
+  auto* tu_compiles = &metrics_.counter("tu_cache.compiles");
+  auto* tu_hist = &metrics_.histogram("tu_cache.compile_seconds");
+  farm_.set_tu_observer(
+      [tu_hits, tu_compiles,
+       tu_hist](const minicc::CompileCache::CompileEvent& event) {
+        if (event.tu_cache_hit) {
+          tu_hits->add(1);
+          return;
+        }
+        tu_compiles->add(1);
+        tu_hist->observe(event.seconds);
+      });
+
+  load_.reserve(fleet_.size());
+  for (std::size_t i = 0; i < fleet_.size(); ++i) {
+    load_.push_back(std::make_unique<NodeLoad>());
+  }
+
+  std::size_t worker_count = options_.worker_threads;
+  if (worker_count == 0) {
+    worker_count = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(worker_count);
+  for (std::size_t i = 0; i < worker_count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Gateway::~Gateway() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_workers_.notify_all();
+  cv_space_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+std::future<RunResult> Gateway::submit(RunRequest request) {
+  requests_->add(1);
+  std::promise<RunResult> promise;
+  auto future = promise.get_future();
+
+  std::unique_lock lock(mutex_);
+  if (!stop_ && queue_.size() >= options_.max_queue) {
+    if (options_.reject_on_full) {
+      lock.unlock();
+      promise.set_value(
+          reject(request, "gateway queue full (" +
+                              std::to_string(options_.max_queue) +
+                              " requests waiting)"));
+      return future;
+    }
+    backpressure_waits_->add(1);
+    cv_space_.wait(lock,
+                   [&] { return stop_ || queue_.size() < options_.max_queue; });
+  }
+  if (stop_) {
+    lock.unlock();
+    promise.set_value(reject(request, "gateway is shutting down"));
+    return future;
+  }
+  admitted_->add(1);
+  queue_depth_->add(1);
+  const std::uint64_t seq = next_seq_++;
+  queue_.emplace(
+      std::make_pair(-static_cast<std::int64_t>(request.priority), seq),
+      Job{std::move(request), std::move(promise), Clock::now()});
+  lock.unlock();
+  cv_workers_.notify_one();
+  return future;
+}
+
+std::vector<RunResult> Gateway::run_all(std::vector<RunRequest> requests) {
+  std::vector<std::future<RunResult>> futures;
+  futures.reserve(requests.size());
+  for (auto& request : requests) futures.push_back(submit(std::move(request)));
+  std::vector<RunResult> results;
+  results.reserve(futures.size());
+  for (auto& future : futures) results.push_back(future.get());
+  return results;
+}
+
+std::size_t Gateway::queue_depth() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+void Gateway::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock lock(mutex_);
+      cv_workers_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      job = std::move(queue_.begin()->second);
+      queue_.erase(queue_.begin());
+    }
+    cv_space_.notify_one();
+    queue_depth_->add(-1);
+    in_flight_->add(1);
+    // Queue wait is admission→dequeue, measured here so resolve/routing
+    // overheads inside execute() are never misattributed to the queue.
+    const double queue_seconds = seconds_since(job.admitted);
+
+    RunResult result = execute(job.request);
+    result.total_seconds = seconds_since(job.admitted);
+    result.queue_seconds = queue_seconds;
+    queue_hist_->observe(result.queue_seconds);
+    total_hist_->observe(result.total_seconds);
+    (result.ok ? completed_ : failed_)->add(1);
+
+    in_flight_->add(-1);
+    finish(std::move(job), std::move(result));
+  }
+}
+
+void Gateway::finish(Job job, RunResult result) {
+  result.completion_seq = completion_seq_.fetch_add(1) + 1;
+  job.promise.set_value(std::move(result));
+}
+
+RunResult Gateway::reject(RunRequest& request, const std::string& reason) {
+  (void)request;
+  rejected_->add(1);
+  RunResult result;
+  result.error = reason;
+  result.completion_seq = completion_seq_.fetch_add(1) + 1;
+  return result;
+}
+
+int Gateway::route(const container::Image& image, const RunRequest& request) {
+  const std::size_t n = fleet_.size();
+  if (n == 0) return -1;
+  // Rotate the scan start so equal-load compatible nodes share work.
+  const std::size_t start =
+      static_cast<std::size_t>(route_rr_.fetch_add(1) % n);
+  int best = -1;
+  int best_load = std::numeric_limits<int>::max();
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = (start + k) % n;
+    const vm::NodeSpec& node = fleet_[i];
+    if (!node_serves_arch(node, image.architecture)) continue;
+    if (request.march) {
+      // An explicit march the node cannot execute would only fail the
+      // plan downstream — route around it up front.
+      if (isa::arch_of(*request.march) != node.cpu.arch ||
+          !isa::runs_on(*request.march, node.best_vector_isa())) {
+        continue;
+      }
+    }
+    const int load = load_[i]->active.load(std::memory_order_relaxed);
+    if (load < best_load) {
+      best = static_cast<int>(i);
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+RunResult Gateway::execute(RunRequest& request) {
+  RunResult out;
+
+  const auto digest = registry_.resolve(request.image_reference);
+  if (!digest) {
+    out.error = "image not found in registry: " + request.image_reference;
+    return out;
+  }
+  const auto image = registry_.pull(*digest);  // shared, no layer copy
+
+  const int node_index = route(*image, request);
+  if (node_index < 0) {
+    out.error = "no compatible node in fleet for " + request.image_reference +
+                " (architecture " + image->architecture +
+                (request.march ? ", march " +
+                                     std::string(isa::to_string(*request.march))
+                               : "") +
+                ")";
+    return out;
+  }
+  const vm::NodeSpec& node = fleet_[static_cast<std::size_t>(node_index)];
+  out.node_name = node.name;
+  NodeLoad& load = *load_[static_cast<std::size_t>(node_index)];
+  load.active.fetch_add(1, std::memory_order_relaxed);
+
+  // Deploy: the scheduler routes source images to the farm by the
+  // container-kind annotation; both paths land in a specialization cache,
+  // so repeat (image, config, target) requests reuse the cached app.
+  MixedDeployRequest deploy_request;
+  deploy_request.node = node;
+  deploy_request.image_reference = *digest;
+  deploy_request.selections = request.selections;
+  deploy_request.march = request.march;
+  deploy_request.opt_level = request.opt_level;
+  deploy_request.auto_specialize = request.auto_specialize;
+  const auto t_deploy = Clock::now();
+  const FleetDeployResult deployed = scheduler_.deploy(deploy_request);
+  out.deploy_seconds = seconds_since(t_deploy);
+  deploy_hist_->observe(out.deploy_seconds);
+  if (!deployed.ok) {
+    load.active.fetch_sub(1, std::memory_order_relaxed);
+    out.error = deployed.error;
+    return out;
+  }
+  out.configuration = deployed.configuration;
+  out.spec_cache_hit = deployed.cache_hit;
+  // Memoized at deploy time; falling back to a fresh digest only covers
+  // hand-constructed apps that never went through a deploy path.
+  out.image_digest = deployed.app->image_digest.empty()
+                         ? deployed.app->image.digest()
+                         : deployed.app->image_digest;
+
+  // Run on the routed node through the shared pre-decoded program; the
+  // stats hook streams VM counters into telemetry.
+  vm::ExecutorOptions exec_options;
+  exec_options.threads = request.threads;
+  exec_options.stats_hook = [this](const vm::RunResult& run) {
+    vm_runs_->add(1);
+    if (run.instructions > 0) {
+      vm_instructions_->add(static_cast<std::uint64_t>(run.instructions));
+    }
+  };
+  const auto t_run = Clock::now();
+  out.run = deployed.app->run_on(node, request.workload, exec_options);
+  out.run_seconds = seconds_since(t_run);
+  run_hist_->observe(out.run_seconds);
+  load.active.fetch_sub(1, std::memory_order_relaxed);
+
+  if (!out.run.ok) {
+    out.error = "run failed: " + out.run.error;
+    return out;
+  }
+  out.numerics_digest = numerics_digest(out.run, request.workload);
+  out.ok = true;
+  return out;
+}
+
+}  // namespace xaas::service

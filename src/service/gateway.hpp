@@ -1,0 +1,239 @@
+// XaaS serving gateway: the front door that turns the container pieces
+// into the service the paper describes (§2, §7 — and the companion
+// "Acceleration as a Service" vision): a user submits *work*, not a
+// deployment; the platform owns the fleet, specializes a container for
+// the node it picks, runs the workload, and answers with numerics plus a
+// structured account of where the time went and which caches hit.
+//
+// One request travels:
+//
+//   submit() ── admission ──> priority queue ── worker ──> routing
+//     (bounded, backpressure)    (priority desc,     (ISA compatibility +
+//                                 FIFO within)        least current load)
+//        ──> deploy (DeployScheduler/BuildFarm; SpecializationCache and
+//             CompileCache make repeat specializations ~free)
+//        ──> run (pre-decoded program on the routed node, per-run stats
+//             hook into telemetry)
+//        ──> RunResult {numerics digest, per-stage latencies, cache hits}
+//
+// Everything the gateway and the caches do is measured into a
+// telemetry::MetricsRegistry (see telemetry.hpp); snapshot() exposes it.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/build_farm.hpp"
+#include "service/deploy_scheduler.hpp"
+#include "service/sharded_registry.hpp"
+#include "service/telemetry.hpp"
+#include "vm/executor.hpp"
+#include "vm/node.hpp"
+
+namespace xaas::service {
+
+/// One unit of user work: which image, which configuration, what to run.
+struct RunRequest {
+  std::string image_reference;  // tag or "sha256:..." digest
+  /// Option selections; for IR images they must name exactly one baked
+  /// configuration, for source images anything unselected falls back to
+  /// the recommendation policy (when auto_specialize) or script defaults.
+  std::map<std::string, std::string> selections;
+  std::optional<isa::VectorIsa> march;
+  int opt_level = 2;
+  bool auto_specialize = true;  // source path only
+  vm::Workload workload;
+  int threads = 1;
+  /// Admission priority: higher runs first; FIFO within one priority.
+  int priority = 0;
+};
+
+/// Structured completion of one request.
+struct RunResult {
+  bool ok = false;
+  std::string error;
+
+  std::string node_name;      // fleet node the request ran on
+  std::string configuration;  // selected/resolved configuration id
+  std::string image_digest;   // digest of the specialized (derived) image
+  /// Whether the deployment reused a cached specialization instead of
+  /// lowering/building.
+  bool spec_cache_hit = false;
+
+  /// Numerics + cost-model output of the execution.
+  vm::RunResult run;
+  /// sha256 over the run's returns, cost-model fields, and every output
+  /// buffer — equal digests mean bit-identical results (the bench gate
+  /// compares this against a direct deploy+run).
+  std::string numerics_digest;
+
+  // Per-stage wall-clock latencies, seconds.
+  double queue_seconds = 0.0;   // admission to dequeue by a worker
+  double deploy_seconds = 0.0;  // specialize (cache hit or lower/build)
+  double run_seconds = 0.0;     // VM execution
+  double total_seconds = 0.0;   // admission to completion
+
+  /// Global completion order (1, 2, ...) — the observable the priority
+  /// tests and request logs sort by.
+  std::uint64_t completion_seq = 0;
+};
+
+/// Deterministic digest of a run's numeric outcome: returns, cost-model
+/// counters, modeled time, and the contents of every workload buffer
+/// after the run. Two executions are bit-identical iff digests match.
+std::string numerics_digest(const vm::RunResult& run,
+                            const vm::Workload& workload);
+
+struct GatewayOptions {
+  /// Worker threads executing requests (0 = hardware concurrency). The
+  /// gateway's workers are the fan-out; the inner scheduler/farm pools
+  /// are left at 1 thread unless explicitly set.
+  std::size_t worker_threads = 0;
+  /// Admitted-but-not-started bound, clamped to >= 1 (a zero bound
+  /// would make blocking submission unsatisfiable). At the bound,
+  /// submit() blocks (backpressure) or, with reject_on_full, completes
+  /// the future immediately with an error.
+  std::size_t max_queue = 256;
+  bool reject_on_full = false;
+  /// Shards of the owned registry.
+  std::size_t registry_shards = 16;
+  /// Forwarded to the owned DeployScheduler / BuildFarm (their `threads`
+  /// fields default to 1 here — see worker_threads).
+  DeploySchedulerOptions scheduler;
+  BuildFarmOptions farm;
+};
+
+/// The serving gateway. Owns the registry, the deploy services, the node
+/// fleet, and the telemetry registry; serves submit() end to end.
+///
+/// Thread-safety: submit(), run_all(), snapshot(), queue_depth(), and
+/// registry()/metrics() access are safe from any thread. scheduler() and
+/// farm() expose the owned services for inspection (their const stats
+/// accessors are safe concurrently); do not mutate them while the
+/// gateway is serving.
+/// Ownership: the Gateway owns everything it exposes — references
+/// returned by registry()/scheduler()/farm()/metrics() are valid for the
+/// gateway's lifetime. The destructor stops admission, drains every
+/// queued request (their futures complete), and joins the workers.
+///
+/// Telemetry names reported (see docs/SERVICE.md "Telemetry"):
+///   counters   gateway.{requests,admitted,rejected,completed,failed,
+///              backpressure_waits}, spec_cache.{hits,misses,
+///              deploy_failures}, tu_cache.{hits,compiles},
+///              vm.{runs,instructions}
+///   gauges     gateway.queue_depth, gateway.in_flight
+///   histograms gateway.{queue,deploy,run,total}_seconds,
+///              spec_cache.lowering_seconds, tu_cache.compile_seconds
+/// After the queue drains: requests == admitted + rejected and
+/// admitted == completed + failed == gateway.total_seconds count.
+class Gateway {
+public:
+  explicit Gateway(std::vector<vm::NodeSpec> fleet,
+                   GatewayOptions options = {});
+  ~Gateway();
+
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
+
+  /// Push an image into the gateway's registry (convenience passthrough).
+  std::string push(const container::Image& image,
+                   const std::string& reference) {
+    return registry_.push(image, reference);
+  }
+
+  /// Submit one request; the future completes when the request finishes
+  /// (also on failure/rejection — never check .valid(), check .ok).
+  std::future<RunResult> submit(RunRequest request);
+
+  /// Submit a batch and wait; results are returned in request order.
+  std::vector<RunResult> run_all(std::vector<RunRequest> requests);
+
+  /// Admitted-but-not-started requests right now.
+  std::size_t queue_depth() const;
+
+  /// Point-in-time view of every metric.
+  telemetry::MetricsSnapshot snapshot() const { return metrics_.snapshot(); }
+  /// Text render of snapshot() (what the demo and benches print).
+  std::string render_telemetry() const { return metrics_.render(); }
+
+  ShardedRegistry& registry() { return registry_; }
+  telemetry::MetricsRegistry& metrics() { return metrics_; }
+  DeployScheduler& scheduler() { return scheduler_; }
+  BuildFarm& farm() { return farm_; }
+  const std::vector<vm::NodeSpec>& fleet() const { return fleet_; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Job {
+    RunRequest request;
+    std::promise<RunResult> promise;
+    Clock::time_point admitted;
+  };
+
+  /// Per-node in-flight count, cache-line-padded (routing reads all,
+  /// workers write their own).
+  struct alignas(64) NodeLoad {
+    std::atomic<int> active{0};
+  };
+
+  void worker_loop();
+  /// Fleet index serving this request, or -1 when no node is compatible
+  /// (architecture mismatch or explicit march beyond every ladder).
+  int route(const container::Image& image, const RunRequest& request);
+  RunResult execute(RunRequest& request);
+  RunResult reject(RunRequest& request, const std::string& reason);
+  void finish(Job job, RunResult result);
+
+  GatewayOptions options_;
+  std::vector<vm::NodeSpec> fleet_;
+
+  // metrics_ precedes the services so the observers installed on their
+  // caches (which reference these instruments) die after the services.
+  telemetry::MetricsRegistry metrics_;
+  telemetry::Counter* requests_ = nullptr;
+  telemetry::Counter* admitted_ = nullptr;
+  telemetry::Counter* rejected_ = nullptr;
+  telemetry::Counter* completed_ = nullptr;
+  telemetry::Counter* failed_ = nullptr;
+  telemetry::Counter* backpressure_waits_ = nullptr;
+  telemetry::Counter* vm_runs_ = nullptr;
+  telemetry::Counter* vm_instructions_ = nullptr;
+  telemetry::Gauge* queue_depth_ = nullptr;
+  telemetry::Gauge* in_flight_ = nullptr;
+  telemetry::Histogram* queue_hist_ = nullptr;
+  telemetry::Histogram* deploy_hist_ = nullptr;
+  telemetry::Histogram* run_hist_ = nullptr;
+  telemetry::Histogram* total_hist_ = nullptr;
+
+  ShardedRegistry registry_;
+  BuildFarm farm_;
+  DeployScheduler scheduler_;
+  std::vector<std::unique_ptr<NodeLoad>> load_;
+  std::atomic<std::uint64_t> route_rr_{0};
+  std::atomic<std::uint64_t> completion_seq_{0};
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_workers_;  // queue became non-empty / stopping
+  std::condition_variable cv_space_;    // queue has room again
+  /// Admission queue keyed by (-priority, seq): begin() is the highest
+  /// priority, FIFO within equal priorities. The key widens priority to
+  /// 64 bits so negating INT_MIN cannot overflow.
+  std::map<std::pair<std::int64_t, std::uint64_t>, Job> queue_;
+  std::uint64_t next_seq_ = 0;
+  bool stop_ = false;
+
+  std::vector<std::thread> workers_;  // last member: started after, joined in dtor
+};
+
+}  // namespace xaas::service

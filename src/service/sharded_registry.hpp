@@ -22,6 +22,17 @@
 
 namespace xaas::service {
 
+/// Thread-safe sharded image registry.
+///
+/// Thread-safety: every member is safe to call concurrently from any
+/// thread. Digest-keyed blob shards and reference-keyed tag shards each
+/// sit behind their own shared_mutex (readers share, writers exclude);
+/// cross-shard queries (tags(), image_count(), tags_for_architecture())
+/// lock shards one at a time and therefore see a consistent per-shard —
+/// not global — snapshot.
+/// Ownership: the registry owns its images as shared_ptr<const Image>;
+/// pull() hands out shared ownership (never a deep copy), so returned
+/// images remain valid after the registry drops or replaces them.
 class ShardedRegistry {
 public:
   /// `shard_count` is clamped to >= 1. The default suits tens of

@@ -58,12 +58,28 @@ std::shared_ptr<const DeployedApp> SpecializationCache::get_or_deploy(
   if (!deployer) {
     hits_.fetch_add(1);
     if (was_hit) *was_hit = true;
+    if (observer_) {
+      Event event;
+      event.hit = true;
+      observer_(event);
+    }
     return future.get();  // blocks while the elected deployer lowers
   }
 
   misses_.fetch_add(1);
   lowerings_.fetch_add(1);
   if (was_hit) *was_hit = false;
+  const auto deploy_start = std::chrono::steady_clock::now();
+  const auto notify_deployed = [&](bool ok) {
+    if (!observer_) return;
+    Event event;
+    event.deployed = true;
+    event.ok = ok;
+    event.deploy_seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - deploy_start)
+                               .count();
+    observer_(event);
+  };
   const auto erase_own_entry = [&] {
     std::lock_guard lock(shard.mutex);
     const auto it = shard.entries.find(composite);
@@ -82,6 +98,7 @@ std::shared_ptr<const DeployedApp> SpecializationCache::get_or_deploy(
     // entry so the next request retries.
     promise.set_value(nullptr);
     erase_own_entry();
+    notify_deployed(false);
     throw;
   }
   promise.set_value(result);
@@ -89,6 +106,7 @@ std::shared_ptr<const DeployedApp> SpecializationCache::get_or_deploy(
     // Failures are returned to this round of waiters but not cached.
     erase_own_entry();
   }
+  notify_deployed(result && result->ok);
   return result;
 }
 

@@ -39,9 +39,32 @@ struct SpecKey {
   std::string to_string() const;
 };
 
+/// Single-flight whole-deployment cache.
+///
+/// Thread-safety: get_or_deploy(), get(), clear(), entry_count(), and
+/// the stats accessors are safe from any thread; entries live in sharded
+/// mutex-protected maps and concurrent requests for one key elect
+/// exactly one deployer (the rest block on its shared_future). The only
+/// exception is set_observer(), which must be called before the cache
+/// starts serving.
+/// Ownership: the cache owns its entries and shares the DeployedApp with
+/// every requester via shared_ptr<const DeployedApp>; results remain
+/// valid after clear(). Typically owned by a DeployScheduler, BuildFarm,
+/// or (transitively) a Gateway.
 class SpecializationCache {
 public:
   using Deployer = std::function<std::shared_ptr<const DeployedApp>()>;
+
+  /// One telemetry event per get_or_deploy resolution: either the caller
+  /// reused an entry (hit) or it was elected deployer (deployed, with the
+  /// deployer's wall seconds and whether the deployment succeeded).
+  struct Event {
+    bool hit = false;
+    bool deployed = false;
+    bool ok = false;             // meaningful when deployed
+    double deploy_seconds = 0.0; // meaningful when deployed
+  };
+  using Observer = std::function<void(const Event&)>;
 
   explicit SpecializationCache(std::size_t shard_count = 16);
 
@@ -67,6 +90,11 @@ public:
 
   std::size_t entry_count() const;
 
+  /// Install the telemetry observer (the Gateway points it at its
+  /// MetricsRegistry). NOT thread-safe with respect to concurrent
+  /// get_or_deploy: set it once, before the cache starts serving.
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
   // Monotonic statistics since construction.
   std::size_t hits() const { return hits_.load(); }
   std::size_t misses() const { return misses_.load(); }
@@ -91,6 +119,7 @@ private:
   const Shard& shard_for(const std::string& key) const;
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  Observer observer_;  // set once before serving; called outside shard locks
   std::atomic<std::uint64_t> next_id_{1};
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> misses_{0};

@@ -1,0 +1,164 @@
+#include "service/telemetry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <mutex>
+
+namespace xaas::service::telemetry {
+
+std::size_t Counter::stripe() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return index;
+}
+
+const std::vector<double>& Histogram::upper_bounds() {
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b;
+    // 1-2-5 ladder: 1 µs .. 60 s (24 finite bounds).
+    for (const double decade :
+         {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0}) {
+      b.push_back(decade);
+      b.push_back(2 * decade);
+      b.push_back(5 * decade);
+    }
+    b.push_back(10.0);
+    b.push_back(30.0);
+    b.push_back(60.0);
+    return b;
+  }();
+  return bounds;
+}
+
+void Histogram::observe(double seconds) noexcept {
+  if (!(seconds >= 0.0)) seconds = 0.0;  // NaN/negative clamp to zero
+  const auto& bounds = upper_bounds();
+  // Linear scan: 24 doubles, typically exits in the first decade — cheaper
+  // and simpler than binary search at this size.
+  std::size_t bucket = bounds.size();  // overflow by default
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (seconds <= bounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  const double clamped =
+      std::min(seconds, 1.8e10);  // keep nanos within uint64
+  const auto nanos = static_cast<std::uint64_t>(clamped * 1e9);
+  sum_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  std::uint64_t seen = max_nanos_.load(std::memory_order_relaxed);
+  while (nanos > seen &&
+         !max_nanos_.compare_exchange_weak(seen, nanos,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  const auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+std::int64_t MetricsSnapshot::gauge(const std::string& name) const {
+  const auto it = gauges.find(name);
+  return it == gauges.end() ? 0 : it->second;
+}
+
+namespace {
+
+std::string format_seconds(double seconds) {
+  char buf[32];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fus", seconds * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::render() const {
+  std::string out;
+  out += "-- telemetry --------------------------------------------------\n";
+  for (const auto& [name, value] : counters) {
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, hist] : histograms) {
+    out += name + " count=" + std::to_string(hist.count) +
+           " mean=" + format_seconds(hist.mean_seconds()) +
+           " max=" + format_seconds(hist.max_seconds) + "\n";
+    for (const auto& [bound, count] : hist.buckets) {
+      if (count == 0) continue;
+      const std::string label =
+          std::isinf(bound) ? std::string("+inf") : format_seconds(bound);
+      out += "  le " + label + ": " + std::to_string(count) + "\n";
+    }
+  }
+  out += "---------------------------------------------------------------\n";
+  return out;
+}
+
+template <typename T>
+T& MetricsRegistry::get_or_create(
+    std::map<std::string, std::unique_ptr<T>>& map, const std::string& name) {
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = map.find(name);
+    if (it != map.end()) return *it->second;
+  }
+  std::unique_lock lock(mutex_);
+  auto& slot = map[name];
+  if (!slot) slot = std::make_unique<T>();
+  return *slot;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return get_or_create(counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return get_or_create(gauges_, name);
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return get_or_create(histograms_, name);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::shared_lock lock(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace(name, gauge->value());
+  }
+  const auto& bounds = Histogram::upper_bounds();
+  for (const auto& [name, hist] : histograms_) {
+    HistogramSnapshot h;
+    h.count = hist->count();
+    h.sum_seconds = hist->sum_seconds();
+    h.max_seconds = hist->max_seconds();
+    h.buckets.reserve(Histogram::kBucketCount);
+    for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+      const double bound = i < bounds.size()
+                               ? bounds[i]
+                               : std::numeric_limits<double>::infinity();
+      h.buckets.emplace_back(bound, hist->bucket_count(i));
+    }
+    snap.histograms.emplace(name, std::move(h));
+  }
+  return snap;
+}
+
+}  // namespace xaas::service::telemetry

@@ -1,0 +1,200 @@
+// Serving-layer telemetry: a lock-cheap metrics registry the Gateway and
+// the existing scheduler/farm/caches report into.
+//
+// The paper's end state is a *service* (§2, §7): users submit work, the
+// platform specializes and runs it. A service needs to answer "what is
+// the fleet doing right now" without perturbing the hot path, so every
+// instrument here is wait-free on the write side:
+//  - Counter: monotonic, striped over cache-line-padded atomics so
+//    concurrent writers on different threads do not bounce one line;
+//  - Gauge: a single signed atomic (current value, e.g. queue depth);
+//  - Histogram: fixed log-ladder buckets of atomic counts plus exact
+//    count/sum/max — one relaxed increment per observation.
+//
+// MetricsRegistry hands out stable references; callers resolve a metric
+// once (at construction) and never touch the registry lock again.
+// snapshot() assembles a point-in-time view; render() formats it as the
+// text block benches and the demo print.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xaas::service::telemetry {
+
+/// Monotonic counter, striped to keep concurrent writers off one cache
+/// line.
+///
+/// Thread-safety: add() and value() are safe from any thread (add is a
+/// relaxed fetch_add on the caller's stripe; value() sums stripes and is
+/// monotonic but not an atomic snapshot across stripes).
+/// Ownership: owned by a MetricsRegistry; references handed out by
+/// counter() are stable for the registry's lifetime.
+class Counter {
+public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t n = 1) noexcept {
+    cells_[stripe()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& cell : cells_) {
+      total += cell.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+private:
+  static constexpr std::size_t kStripes = 16;
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+
+  /// Stripe index of the calling thread: assigned round-robin on first
+  /// use, so a pool of N workers spreads over min(N, kStripes) lines.
+  static std::size_t stripe() noexcept;
+
+  std::array<Cell, kStripes> cells_;
+};
+
+/// Current-value instrument (queue depth, in-flight requests).
+///
+/// Thread-safety: add() and value() are safe from any thread.
+/// Ownership: owned by a MetricsRegistry (stable references, as Counter).
+class Gauge {
+public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void add(std::int64_t delta) noexcept {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket latency histogram over a 1-2-5 ladder from 1 µs to 60 s
+/// plus an overflow bucket. An observation lands in the first bucket
+/// whose upper bound is >= the value (Prometheus "le" semantics).
+///
+/// Thread-safety: observe() is one relaxed increment per atomic touched;
+/// readers see a monotonic (not cross-field-consistent) view — exact
+/// consistency is asserted only after quiescence, which is how the tests
+/// and bench use it.
+/// Ownership: owned by a MetricsRegistry (stable references, as Counter).
+class Histogram {
+public:
+  /// Finite upper bounds, seconds, ascending; the implicit last bucket
+  /// is +inf.
+  static const std::vector<double>& upper_bounds();
+  static constexpr std::size_t kBucketCount = 25;  // 24 finite + overflow
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(double seconds) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum_seconds() const noexcept {
+    return static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+  double max_seconds() const noexcept {
+    return static_cast<double>(max_nanos_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+  std::uint64_t bucket_count(std::size_t bucket) const noexcept {
+    return buckets_[bucket].load(std::memory_order_relaxed);
+  }
+
+private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_nanos_{0};
+  std::atomic<std::uint64_t> max_nanos_{0};
+};
+
+/// Point-in-time copy of one histogram.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum_seconds = 0.0;
+  double max_seconds = 0.0;
+  /// (upper bound seconds, observations <= bound in this bucket); the
+  /// final entry's bound is +inf.
+  std::vector<std::pair<double, std::uint64_t>> buckets;
+
+  double mean_seconds() const {
+    return count == 0 ? 0.0 : sum_seconds / static_cast<double>(count);
+  }
+};
+
+/// Point-in-time copy of every registered metric.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Counter value by name; 0 when the counter was never registered.
+  std::uint64_t counter(const std::string& name) const;
+  /// Gauge value by name; 0 when absent.
+  std::int64_t gauge(const std::string& name) const;
+
+  /// Human-readable text block: counters/gauges as "name value" lines,
+  /// histograms as "name count/mean/max" plus non-empty buckets.
+  std::string render() const;
+};
+
+/// Named metric registry.
+///
+/// Thread-safety: counter()/gauge()/histogram() are safe from any thread
+/// (shared_mutex read path for existing names, exclusive only on first
+/// registration) and return references that remain valid and wait-free
+/// for the registry's lifetime — resolve once, then report lock-free.
+/// snapshot() is safe concurrently with writers.
+/// Ownership: owns every instrument; typically owned by the Gateway and
+/// borrowed (as plain references) by the observers it installs on the
+/// scheduler/farm/caches.
+class MetricsRegistry {
+public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+  std::string render() const { return snapshot().render(); }
+
+private:
+  template <typename T>
+  T& get_or_create(std::map<std::string, std::unique_ptr<T>>& map,
+                   const std::string& name);
+
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace xaas::service::telemetry

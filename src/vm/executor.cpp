@@ -526,6 +526,12 @@ std::shared_ptr<const DecodedProgram> Executor::decoded_program() const {
 }
 
 RunResult Executor::run(Workload& workload) const {
+  RunResult result = run_impl(workload);
+  if (options_.stats_hook) options_.stats_hook(result);
+  return result;
+}
+
+RunResult Executor::run_impl(Workload& workload) const {
   RunResult result;
   if (!program_.ok()) {
     result.error = "program not linked: " + program_.error();

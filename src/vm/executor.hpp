@@ -15,6 +15,7 @@
 //    target the weakest ISA).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -82,6 +83,12 @@ struct ExecutorOptions {
   /// tests/vm/decoded_equivalence_test.cpp); the reference exists as the
   /// executable specification of the cost model.
   bool reference_interpreter = false;
+  /// Per-run stats hook: invoked once at the end of every run() (success
+  /// and failure) with the final RunResult, before it is returned. The
+  /// serving layer points this at its telemetry counters (instructions
+  /// retired, modeled seconds); it must not mutate executor state and is
+  /// called on the thread that called run().
+  std::function<void(const RunResult&)> stats_hook;
 };
 
 class Executor {
@@ -105,6 +112,8 @@ public:
   std::shared_ptr<const DecodedProgram> decoded_program() const;
 
 private:
+  RunResult run_impl(Workload& workload) const;
+
   const Program& program_;
   const NodeSpec& node_;
   ExecutorOptions options_;

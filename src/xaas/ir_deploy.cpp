@@ -312,6 +312,7 @@ DeployedApp deploy_ir_container(const container::Image& ir_image,
           .annotation(container::kAnnotationDeployedConfig,
                       plan.configuration + "|" + target.to_string())
           .build();
+  result.image_digest = result.image.digest();
   result.ok = true;
   return result;
 }

@@ -76,6 +76,12 @@ vm::RunResult DeployedApp::run_on(const vm::NodeSpec& node,
                                   vm::Workload& workload, int threads) const {
   vm::ExecutorOptions exec_options;
   exec_options.threads = threads;
+  return run_on(node, workload, exec_options);
+}
+
+vm::RunResult DeployedApp::run_on(
+    const vm::NodeSpec& node, vm::Workload& workload,
+    const vm::ExecutorOptions& exec_options) const {
   const vm::Executor executor(program, node, exec_options, decoded);
   return executor.run(workload);
 }
@@ -290,6 +296,7 @@ DeployedApp build_source_deploy(const container::Image& source_image,
                                  plan.configuration.id() + "|" +
                                      target.to_string())
                      .build();
+  result.image_digest = result.image.digest();
   result.ok = true;
   return result;
 }

@@ -35,6 +35,10 @@ struct DeployedApp {
   std::string error;
 
   container::Image image;                 // derived, system-specific image
+  /// Content digest of `image`, memoized at deploy time (==
+  /// image.digest(); empty on failed deployments) so serving-path
+  /// completions don't re-serialize the manifest per request.
+  std::string image_digest;
   vm::Program program;                    // linked executable
   buildsys::Configuration configuration;  // resolved build configuration
   minicc::TargetSpec target;
@@ -53,6 +57,11 @@ struct DeployedApp {
   /// nodes need not exist in the global vm::node registry.
   vm::RunResult run_on(const vm::NodeSpec& node, vm::Workload& workload,
                        int threads = 1) const;
+
+  /// Fully-optioned variant: the serving layer passes its per-run stats
+  /// hook (and any tuning) through to the executor.
+  vm::RunResult run_on(const vm::NodeSpec& node, vm::Workload& workload,
+                       const vm::ExecutorOptions& exec_options) const;
 };
 
 struct SourceDeployOptions {

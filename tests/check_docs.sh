@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Documentation drift gate (wired in as the `docs` CTest label):
+#  1. every src/<module>/ directory must appear in README.md's module map
+#     and in docs/ARCHITECTURE.md;
+#  2. README.md's tier-1 quickstart command must match the "Tier-1
+#     verify:" line in ROADMAP.md verbatim.
+# A new src/ module or a changed tier-1 command fails CI until the docs
+# catch up.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+fail=0
+
+for doc in README.md docs/ARCHITECTURE.md; do
+  if [[ ! -f "$ROOT/$doc" ]]; then
+    echo "missing $doc" >&2
+    fail=1
+  fi
+done
+[[ $fail -ne 0 ]] && exit 1
+
+for dir in "$ROOT"/src/*/; do
+  module="$(basename "$dir")"
+  for doc in README.md docs/ARCHITECTURE.md; do
+    if ! grep -q "src/$module/" "$ROOT/$doc"; then
+      echo "$doc: module src/$module/ is not documented" >&2
+      fail=1
+    fi
+  done
+done
+
+tier1="$(sed -n 's/.*Tier-1 verify:\*\* `\(.*\)`.*/\1/p' "$ROOT/ROADMAP.md")"
+if [[ -z "$tier1" ]]; then
+  echo "ROADMAP.md: no '**Tier-1 verify:** \`...\`' line found" >&2
+  fail=1
+elif ! grep -qF "$tier1" "$ROOT/README.md"; then
+  echo "README.md: tier-1 command drifted from ROADMAP.md." >&2
+  echo "  expected to find: $tier1" >&2
+  fail=1
+fi
+
+if [[ $fail -eq 0 ]]; then
+  echo "docs check passed"
+fi
+exit $fail

@@ -1,0 +1,150 @@
+#include "service/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace xaas::service::telemetry {
+namespace {
+
+TEST(Telemetry, CounterAddsAndSums) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(Telemetry, CounterConcurrentAddsAreExact) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kAddsPerThread; ++i) counter.add();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kAddsPerThread);
+}
+
+TEST(Telemetry, GaugeTracksCurrentValue) {
+  Gauge gauge;
+  gauge.add(5);
+  gauge.add(-2);
+  EXPECT_EQ(gauge.value(), 3);
+  gauge.add(-3);
+  EXPECT_EQ(gauge.value(), 0);
+}
+
+TEST(Telemetry, HistogramBucketsByUpperBound) {
+  Histogram hist;
+  const auto& bounds = Histogram::upper_bounds();
+  ASSERT_EQ(bounds.size() + 1, Histogram::kBucketCount);
+
+  hist.observe(0.0);      // first bucket (<= 1us)
+  hist.observe(1e-6);     // boundary lands in the 1us bucket (le semantics)
+  hist.observe(1.5e-6);   // 2us bucket
+  hist.observe(1e9);      // overflow bucket
+  hist.observe(-1.0);     // clamped to 0 -> first bucket
+
+  EXPECT_EQ(hist.count(), 5u);
+  EXPECT_EQ(hist.bucket_count(0), 3u);
+  EXPECT_EQ(hist.bucket_count(1), 1u);
+  EXPECT_EQ(hist.bucket_count(Histogram::kBucketCount - 1), 1u);
+  EXPECT_DOUBLE_EQ(hist.max_seconds(), 1e9);
+
+  std::uint64_t bucket_total = 0;
+  for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+    bucket_total += hist.bucket_count(i);
+  }
+  EXPECT_EQ(bucket_total, hist.count());
+}
+
+TEST(Telemetry, HistogramSumAndMean) {
+  Histogram hist;
+  hist.observe(0.010);
+  hist.observe(0.030);
+  EXPECT_EQ(hist.count(), 2u);
+  EXPECT_NEAR(hist.sum_seconds(), 0.040, 1e-9);
+}
+
+TEST(Telemetry, RegistryReturnsStableReferences) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("requests");
+  Counter& b = registry.counter("requests");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(registry.counter("requests").value(), 3u);
+
+  // Distinct kinds with the same name are distinct instruments.
+  registry.gauge("requests").add(7);
+  EXPECT_EQ(registry.counter("requests").value(), 3u);
+  EXPECT_EQ(registry.gauge("requests").value(), 7);
+}
+
+TEST(Telemetry, SnapshotCapturesEverything) {
+  MetricsRegistry registry;
+  registry.counter("gateway.requests").add(4);
+  registry.gauge("gateway.queue_depth").add(2);
+  registry.histogram("gateway.total_seconds").observe(0.25);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter("gateway.requests"), 4u);
+  EXPECT_EQ(snap.counter("never.registered"), 0u);
+  EXPECT_EQ(snap.gauge("gateway.queue_depth"), 2);
+  ASSERT_EQ(snap.histograms.count("gateway.total_seconds"), 1u);
+  const HistogramSnapshot& hist = snap.histograms.at("gateway.total_seconds");
+  EXPECT_EQ(hist.count, 1u);
+  EXPECT_NEAR(hist.mean_seconds(), 0.25, 1e-9);
+  ASSERT_EQ(hist.buckets.size(), Histogram::kBucketCount);
+  EXPECT_TRUE(std::isinf(hist.buckets.back().first));
+
+  const std::string text = snap.render();
+  EXPECT_NE(text.find("gateway.requests 4"), std::string::npos);
+  EXPECT_NE(text.find("gateway.queue_depth 2"), std::string::npos);
+  EXPECT_NE(text.find("gateway.total_seconds count=1"), std::string::npos);
+}
+
+TEST(TelemetryStress, ConcurrentRegistrationAndReporting) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kOps = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      // Half the threads hammer one shared counter, half register their
+      // own, everyone observes into one histogram; snapshots race along.
+      Counter& shared = registry.counter("shared");
+      Counter& own = registry.counter("own." + std::to_string(t % 4));
+      Histogram& hist = registry.histogram("lat");
+      for (int i = 0; i < kOps; ++i) {
+        shared.add(1);
+        own.add(1);
+        hist.observe(1e-6 * (i % 100));
+        if (i % 512 == 0) (void)registry.snapshot();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter("shared"),
+            static_cast<std::uint64_t>(kThreads) * kOps);
+  std::uint64_t own_total = 0;
+  for (int i = 0; i < 4; ++i) {
+    own_total += snap.counter("own." + std::to_string(i));
+  }
+  EXPECT_EQ(own_total, static_cast<std::uint64_t>(kThreads) * kOps);
+  EXPECT_EQ(snap.histograms.at("lat").count,
+            static_cast<std::uint64_t>(kThreads) * kOps);
+}
+
+}  // namespace
+}  // namespace xaas::service::telemetry
