@@ -3,10 +3,14 @@
 // the full IR-container build — the costs a deployment pays on the target
 // system (cold pull = container build, §4.1).
 #include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <filesystem>
 
 #include "apps/minilulesh.hpp"
 #include "apps/minimd.hpp"
 #include "common/sha256.hpp"
+#include "service/artifact_store.hpp"
 #include "minicc/driver.hpp"
 #include "minicc/vectorizer.hpp"
 #include "service/build_farm.hpp"
@@ -359,6 +363,174 @@ void BM_GatewayServing(benchmark::State& state) {
                           requests);
 }
 BENCHMARK(BM_GatewayServing)->Arg(32)->Unit(benchmark::kMillisecond);
+
+// Warm-start tiers: the same 32-node single-microarch source fleet
+// deployed by a fresh BuildFarm against (a) an empty artifact directory —
+// every TU compiles, everything persists; (b) a populated directory —
+// zero compiles, every specialization revives from disk; (c) a farm kept
+// alive across iterations — the pure in-memory hit path. The Cold/Disk
+// gap is what a gateway restart used to cost; the Disk/Memory gap is the
+// deserialize+relink price of persistence.
+struct WarmStartFixture {
+  container::Image image;
+  std::vector<vm::NodeSpec> fleet;
+  SourceDeployOptions options;
+  std::filesystem::path root;       // scratch root, removed at exit
+  std::filesystem::path warm_dir;   // pre-populated store directory
+  bool ok = false;
+
+  static WarmStartFixture& get() {
+    // Seeded in place: the fixture has a cleanup destructor, so it must
+    // never travel through a return-by-value (a compiler skipping NRVO
+    // would destroy the local and wipe the just-seeded warm directory).
+    static WarmStartFixture fixture;
+    static const bool seeded = [] {
+      fixture.seed();
+      return true;
+    }();
+    (void)seeded;
+    return fixture;
+  }
+
+  void seed() {
+    apps::MinimdOptions app_options;
+    app_options.module_count = 12;
+    app_options.gpu_module_count = 1;
+    image = build_source_image(apps::make_minimd(app_options),
+                               isa::Arch::X86_64);
+    fleet = vm::simulated_fleet(vm::node("ault23"), 32, "warm-");
+    options.auto_specialize = false;
+    options.selections = {{"MD_SIMD", "AVX_512"}, {"MD_FFT", "fftw3"}};
+    root = std::filesystem::temp_directory_path() /
+           ("xaas-warm-bench-" + std::to_string(::getpid()));
+    std::error_code ec;
+    std::filesystem::remove_all(root, ec);
+    warm_dir = root / "warm";
+
+    // Populate the warm directory once with a throwaway farm.
+    service::ArtifactStore store({warm_dir.string(), 0});
+    service::ShardedRegistry registry;
+    registry.push(image, "bench:warm");
+    service::BuildFarmOptions farm_options;
+    farm_options.threads = 4;
+    farm_options.artifact_store = &store;
+    service::BuildFarm farm(registry, farm_options);
+    const auto seeded = farm.deploy(
+        service::SourceDeployRequest{fleet.front(), "bench:warm", options});
+    ok = seeded.ok;
+  }
+
+  ~WarmStartFixture() {
+    std::error_code ec;
+    std::filesystem::remove_all(root, ec);
+  }
+};
+
+std::vector<service::SourceDeployRequest> warm_requests(
+    const WarmStartFixture& f, int nodes) {
+  std::vector<service::SourceDeployRequest> requests;
+  requests.reserve(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) {
+    requests.push_back({f.fleet[static_cast<std::size_t>(i)], "bench:warm",
+                        f.options});
+  }
+  return requests;
+}
+
+void BM_WarmStartCold(benchmark::State& state) {
+  auto& f = WarmStartFixture::get();
+  const int nodes = static_cast<int>(state.range(0));
+  if (!f.ok || nodes > static_cast<int>(f.fleet.size())) {
+    state.SkipWithError("warm-start fixture invalid");
+    return;
+  }
+  std::uint64_t cold_seq = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    // A fresh, empty store directory per iteration: the true restart-
+    // with-no-artifacts cost (build everything, persist everything).
+    const auto dir = f.root / ("cold-" + std::to_string(cold_seq++));
+    state.ResumeTiming();
+    service::ArtifactStore store({dir.string(), 0});
+    service::ShardedRegistry registry;
+    registry.push(f.image, "bench:warm");
+    service::BuildFarmOptions farm_options;
+    farm_options.threads = 4;
+    farm_options.artifact_store = &store;
+    service::BuildFarm farm(registry, farm_options);
+    const auto results = farm.deploy_batch(warm_requests(f, nodes));
+    for (const auto& r : results) {
+      if (!r.ok) state.SkipWithError(r.error.c_str());
+    }
+    if (farm.cache().lowerings() != 1) {
+      state.SkipWithError("cold farm did not build exactly once");
+    }
+    state.PauseTiming();
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          nodes);
+}
+BENCHMARK(BM_WarmStartCold)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_WarmStartDisk(benchmark::State& state) {
+  auto& f = WarmStartFixture::get();
+  const int nodes = static_cast<int>(state.range(0));
+  if (!f.ok || nodes > static_cast<int>(f.fleet.size())) {
+    state.SkipWithError("warm-start fixture invalid");
+    return;
+  }
+  for (auto _ : state) {
+    // Fresh farm + store handle on the populated directory: the restart
+    // path — every specialization revives from disk, nothing compiles.
+    service::ArtifactStore store({f.warm_dir.string(), 0});
+    service::ShardedRegistry registry;
+    registry.push(f.image, "bench:warm");
+    service::BuildFarmOptions farm_options;
+    farm_options.threads = 4;
+    farm_options.artifact_store = &store;
+    service::BuildFarm farm(registry, farm_options);
+    const auto results = farm.deploy_batch(warm_requests(f, nodes));
+    for (const auto& r : results) {
+      if (!r.ok) state.SkipWithError(r.error.c_str());
+    }
+    if (farm.cache().lowerings() != 0 || farm.tu_compiles() != 0) {
+      state.SkipWithError("warm farm compiled instead of reviving from disk");
+    }
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          nodes);
+}
+BENCHMARK(BM_WarmStartDisk)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_WarmStartMemory(benchmark::State& state) {
+  auto& f = WarmStartFixture::get();
+  const int nodes = static_cast<int>(state.range(0));
+  if (!f.ok || nodes > static_cast<int>(f.fleet.size())) {
+    state.SkipWithError("warm-start fixture invalid");
+    return;
+  }
+  // One farm for the whole benchmark: after the first iteration every
+  // request is an in-memory specialization-cache hit.
+  service::ShardedRegistry registry;
+  registry.push(f.image, "bench:warm");
+  service::BuildFarmOptions farm_options;
+  farm_options.threads = 4;
+  service::BuildFarm farm(registry, farm_options);
+  for (auto _ : state) {
+    const auto results = farm.deploy_batch(warm_requests(f, nodes));
+    for (const auto& r : results) {
+      if (!r.ok) state.SkipWithError(r.error.c_str());
+    }
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          nodes);
+}
+BENCHMARK(BM_WarmStartMemory)->Arg(32)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -4,13 +4,25 @@
 # trajectory baseline that future PRs compare against.
 #
 # Usage:
-#   bench/run_bench.sh [path/to/perf_microbench]
+#   bench/run_bench.sh [--smoke] [path/to/perf_microbench]
+#
+# --smoke: CI bitrot gate — run every benchmark for a single iteration
+#   and write the JSON to a throwaway file instead of BENCH_results.json.
+#   Catches benches that crash, skip, or fail their internal gates
+#   without perturbing the committed baseline.
 # Environment:
 #   BENCH_OUT     output path (default: <repo>/BENCH_results.json)
 #   BENCH_FILTER  --benchmark_filter regex (default: all benchmarks)
 set -euo pipefail
 
-ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+SMOKE=0
+if [[ "${1:-}" == "--smoke" ]]; then
+  SMOKE=1
+  shift
+fi
+
 BIN="${1:-$ROOT/build/perf_microbench}"
 OUT="${BENCH_OUT:-$ROOT/BENCH_results.json}"
 
@@ -20,10 +32,35 @@ if [[ ! -x "$BIN" ]]; then
   exit 1
 fi
 
-args=(--benchmark_out="$OUT" --benchmark_out_format=json)
+args=()
+if [[ $SMOKE -eq 1 ]]; then
+  OUT="$(mktemp /tmp/bench-smoke-XXXXXX.json)"
+  # min_time=0 -> a single timed iteration per benchmark (the "Nx"
+  # iteration syntax needs google-benchmark >= 1.7; plain 0 works
+  # everywhere).
+  args+=(--benchmark_min_time=0)
+fi
+args+=(--benchmark_out="$OUT" --benchmark_out_format=json)
 if [[ -n "${BENCH_FILTER:-}" ]]; then
   args+=(--benchmark_filter="$BENCH_FILTER")
 fi
 
 "$BIN" "${args[@]}"
-echo "wrote $OUT"
+
+if [[ $SMOKE -eq 1 ]]; then
+  # A benchmark that SkipWithError'd still exits 0; the JSON carries the
+  # error_occurred marker — fail the smoke on it.
+  if grep -q '"error_occurred": true' "$OUT"; then
+    echo "bench smoke FAILED: benchmarks reporting errors:" >&2
+    # Each benchmark object lists "name" several lines before
+    # "error_occurred"; remember the last name seen.
+    awk '/"name":/ { name = $0 } /"error_occurred": true/ { print name }' \
+      "$OUT" >&2
+    rm -f "$OUT"
+    exit 1
+  fi
+  rm -f "$OUT"
+  echo "bench smoke passed (results discarded)"
+else
+  echo "wrote $OUT"
+fi

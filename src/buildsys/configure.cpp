@@ -24,6 +24,113 @@ std::string Configuration::id() const {
 
 namespace {
 
+common::Json strings_to_json(const std::vector<std::string>& values) {
+  common::Json out = common::Json::array();
+  for (const auto& v : values) out.push_back(v);
+  return out;
+}
+
+std::vector<std::string> strings_from_json(const common::Json& doc) {
+  std::vector<std::string> out;
+  out.reserve(doc.items().size());
+  for (const auto& v : doc.items()) out.push_back(v.as_string());
+  return out;
+}
+
+common::Json map_to_json(const std::map<std::string, std::string>& values) {
+  common::Json out = common::Json::object();
+  for (const auto& [k, v] : values) out[k] = v;
+  return out;
+}
+
+std::map<std::string, std::string> map_from_json(const common::Json& doc) {
+  std::map<std::string, std::string> out;
+  for (const auto& [k, v] : doc.as_object()) out[k] = v->as_string();
+  return out;
+}
+
+const common::Json& require(const common::Json& doc, const char* key) {
+  const common::Json* value = doc.find(key);
+  if (!value) {
+    throw common::JsonError(std::string("configuration document missing '") +
+                            key + "'");
+  }
+  return *value;
+}
+
+}  // namespace
+
+common::Json Configuration::to_json() const {
+  common::Json doc = common::Json::object();
+  doc["ok"] = ok;
+  doc["error"] = error;
+  doc["option_values"] = map_to_json(option_values);
+  doc["global_defines"] = strings_to_json(global_defines);
+  doc["global_flags"] = strings_to_json(global_flags);
+  doc["link_libraries"] = strings_to_json(link_libraries);
+  common::Json deps = common::Json::array();
+  for (const auto& [name, min_version] : dependencies) {
+    common::Json entry = common::Json::object();
+    entry["name"] = name;
+    entry["min_version"] = min_version;
+    deps.push_back(std::move(entry));
+  }
+  doc["dependencies"] = std::move(deps);
+  doc["internal_libraries"] = strings_to_json(internal_libraries);
+  common::Json target_docs = common::Json::array();
+  for (const auto& target : targets) {
+    common::Json entry = common::Json::object();
+    entry["name"] = target.name;
+    entry["sources"] = strings_to_json(target.sources);
+    entry["source_globs"] = strings_to_json(target.source_globs);
+    entry["defines"] = strings_to_json(target.defines);
+    entry["include_dirs"] = strings_to_json(target.include_dirs);
+    target_docs.push_back(std::move(entry));
+  }
+  doc["targets"] = std::move(target_docs);
+  common::Json env = common::Json::object();
+  env["build_dir"] = environment.build_dir;
+  env["dependencies"] = map_to_json(environment.dependencies);
+  env["compiler"] = environment.compiler;
+  env["compiler_version"] = environment.compiler_version;
+  doc["environment"] = std::move(env);
+  return doc;
+}
+
+Configuration Configuration::from_json(const common::Json& doc) {
+  Configuration config;
+  config.ok = require(doc, "ok").as_bool();
+  config.error = require(doc, "error").as_string();
+  config.option_values = map_from_json(require(doc, "option_values"));
+  config.global_defines = strings_from_json(require(doc, "global_defines"));
+  config.global_flags = strings_from_json(require(doc, "global_flags"));
+  config.link_libraries = strings_from_json(require(doc, "link_libraries"));
+  for (const auto& entry : require(doc, "dependencies").items()) {
+    config.dependencies.emplace_back(require(entry, "name").as_string(),
+                                     require(entry, "min_version").as_string());
+  }
+  config.internal_libraries =
+      strings_from_json(require(doc, "internal_libraries"));
+  for (const auto& entry : require(doc, "targets").items()) {
+    ResolvedTarget target;
+    target.name = require(entry, "name").as_string();
+    target.sources = strings_from_json(require(entry, "sources"));
+    target.source_globs = strings_from_json(require(entry, "source_globs"));
+    target.defines = strings_from_json(require(entry, "defines"));
+    target.include_dirs = strings_from_json(require(entry, "include_dirs"));
+    config.targets.push_back(std::move(target));
+  }
+  const common::Json& env = require(doc, "environment");
+  config.environment.build_dir = require(env, "build_dir").as_string();
+  config.environment.dependencies = map_from_json(require(env, "dependencies"));
+  config.environment.compiler = require(env, "compiler").as_string();
+  config.environment.compiler_version =
+      require(env, "compiler_version").as_string();
+  return config;
+}
+
+namespace {
+
 bool is_truthy(const std::string& v) {
   return v != "OFF" && v != "0" && v != "FALSE" && v != "NO" && !v.empty();
 }
@@ -129,7 +236,7 @@ Configuration configure(const BuildScript& script,
         config.internal_libraries.push_back(d.args.at(0));
         break;
       case Directive::Kind::AddTarget:
-        config.targets.push_back(ResolvedTarget{d.args.at(0), {}, {}, {}});
+        config.targets.push_back(ResolvedTarget{d.args.at(0), {}, {}, {}, {}});
         break;
       case Directive::Kind::TargetSources: {
         ResolvedTarget* t = find_target(config, d.args.at(0));

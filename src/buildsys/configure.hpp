@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "buildsys/script.hpp"
+#include "common/json.hpp"
 #include "common/vfs.hpp"
 
 namespace xaas::buildsys {
@@ -63,6 +64,15 @@ struct Configuration {
 
   /// The full compile-command database for this configuration.
   std::vector<CompileCommand> compile_commands(const common::Vfs& source_tree) const;
+
+  /// Lossless serialization (every field): from_json(to_json()) yields a
+  /// configuration with identical id() and compile_commands(). Used by
+  /// the serving layer to persist deployed configurations alongside
+  /// their build artifacts.
+  common::Json to_json() const;
+  /// Reconstruct to_json() output. Throws common::JsonError on
+  /// structurally invalid documents.
+  static Configuration from_json(const common::Json& doc);
 };
 
 /// Evaluate the script. Unknown option names or invalid choice values are

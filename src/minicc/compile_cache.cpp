@@ -22,7 +22,9 @@ void scan_idents(std::string_view text, IdentSet& out) {
       while (j < n) {
         const char d = text[j];
         if (!((static_cast<unsigned char>(d) | 32u) - 'a' < 26u ||
-              (static_cast<unsigned char>(d) - '0') < 10u || d == '_')) {
+              static_cast<unsigned>(static_cast<unsigned char>(d)) - '0' <
+                  10u ||
+              d == '_')) {
           break;
         }
         ++j;
@@ -163,6 +165,7 @@ TuCompileResult CompileCache::compile(const common::Vfs& vfs,
   if (!result.pp_hash.empty()) {
     CompileEvent event;
     event.tu_cache_hit = result.tu_cache_hit;
+    event.disk_hit = result.disk_hit;
     event.ok = result.ok;
     event.seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -231,8 +234,20 @@ TuCompileResult CompileCache::compile_impl(const common::Vfs& vfs,
   const auto machine = machines_.get_or_compute(
       key.to_string(),
       [&]() -> std::shared_ptr<const MachineEntry> {
-        tu_compiles_.fetch_add(1);
         auto entry = std::make_shared<MachineEntry>();
+        // Persistent tier between the in-memory map and the compiler:
+        // only the single-flight leader probes it, so concurrent callers
+        // of one key deserialize at most once.
+        if (disk_tier_) {
+          if (auto revived = disk_tier_->load(key)) {
+            tu_disk_hits_.fetch_add(1);
+            entry->machine = std::move(revived);
+            entry->ok = true;
+            entry->from_disk = true;
+            return entry;
+          }
+        }
+        tu_compiles_.fetch_add(1);
         const auto parsed = parses_.get_or_compute(pp->hash, [&] {
           return std::make_shared<const ParseEntry>(
               ParseEntry{parse(pp->output)});
@@ -259,10 +274,18 @@ TuCompileResult CompileCache::compile_impl(const common::Vfs& vfs,
         return entry;
       },
       &hit);
+  // Persist a freshly compiled module AFTER the single-flight publish,
+  // so waiters for this TU are never blocked on serialization and disk
+  // I/O (mirrors the spec cache). Only successes go to disk: failures
+  // are cheap to rediscover and a persisted one could outlive its bug.
+  if (!hit && disk_tier_ && machine->ok && !machine->from_disk) {
+    disk_tier_->store(key, *machine->machine);
+  }
   if (hit) tu_hits_.fetch_add(1);
   // Set before the failure return so a *cached failed* module still
   // reports as the hit it was counted as (telemetry mirrors tu_hits()).
   result.tu_cache_hit = hit;
+  result.disk_hit = !hit && machine->from_disk;
   if (!machine->ok) {
     result.error = machine->error;
     return result;

@@ -131,6 +131,23 @@ struct TuCompileResult {
   /// Whether the machine module came from the cache (another deployment
   /// already compiled an identical TU).
   bool tu_cache_hit = false;
+  /// Whether this resolution revived the module from the persistent tier
+  /// instead of compiling (reported by the single-flight leader only;
+  /// later in-memory hits report tu_cache_hit).
+  bool disk_hit = false;
+};
+
+/// Optional persistent second tier under the in-memory TU cache: the
+/// serving layer's ArtifactStore adapters implement this. load() returns
+/// a module previously persisted under the key (or null), store()
+/// persists a successfully compiled one. Implementations must be safe to
+/// call from any thread and must never throw (a failing disk tier
+/// degrades to a miss/compile).
+class TuDiskTier {
+public:
+  virtual ~TuDiskTier() = default;
+  virtual std::shared_ptr<const MachineModule> load(const TuKey& key) = 0;
+  virtual void store(const TuKey& key, const MachineModule& machine) = 0;
 };
 
 /// Thread-safe single-flight compile cache. One instance serves one
@@ -152,6 +169,8 @@ public:
   /// hit/compile counts stay equal to tu_hits()/tu_compiles().
   struct CompileEvent {
     bool tu_cache_hit = false;
+    /// Revived from the persistent tier (no compilation performed).
+    bool disk_hit = false;
     bool ok = false;
     double seconds = 0.0;
   };
@@ -165,6 +184,13 @@ public:
   /// metrics registry). NOT thread-safe with respect to concurrent
   /// compile(): set it once, before the cache starts serving.
   void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+  /// Attach (or detach, with nullptr) the persistent tier consulted on
+  /// in-memory misses (memory hit → disk hit → compile; the single-flight
+  /// election spans tiers). The tier must outlive the cache. NOT
+  /// thread-safe with respect to concurrent compile(): set it once,
+  /// before the cache starts serving.
+  void set_disk_tier(TuDiskTier* tier) { disk_tier_ = tier; }
 
   /// Full per-TU pipeline (preprocess -> parse -> irgen -> optimize ->
   /// lower) with every stage memoized. Equal TuKeys return the same
@@ -181,6 +207,8 @@ public:
   std::size_t tu_compiles() const { return tu_compiles_.load(); }
   /// Compile requests served from the machine-module cache.
   std::size_t tu_hits() const { return tu_hits_.load(); }
+  /// Modules revived from the persistent tier instead of compiling.
+  std::size_t tu_disk_hits() const { return tu_disk_hits_.load(); }
 
 private:
   TuCompileResult compile_impl(const common::Vfs& vfs,
@@ -245,9 +273,12 @@ private:
     bool ok = false;
     CompileError error;
     std::shared_ptr<const MachineModule> machine;
+    /// Revived from the persistent tier by the single-flight leader.
+    bool from_disk = false;
   };
 
   Observer observer_;  // set once before serving; called after each compile
+  TuDiskTier* disk_tier_ = nullptr;  // set once before serving
 
   SingleFlightMap<TargetFlagInfo> infos_;   // flags.canonical()
   SingleFlightMap<SourceScan> scans_;       // source + dirs_suffix
@@ -258,6 +289,7 @@ private:
   std::atomic<std::size_t> preprocess_runs_{0};
   std::atomic<std::size_t> tu_compiles_{0};
   std::atomic<std::size_t> tu_hits_{0};
+  std::atomic<std::size_t> tu_disk_hits_{0};
 };
 
 }  // namespace xaas::minicc

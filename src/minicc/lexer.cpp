@@ -13,7 +13,7 @@ inline bool is_ascii_alpha(char c) {
   return (static_cast<unsigned char>(c) | 32u) - 'a' < 26u;
 }
 inline bool is_ascii_digit(char c) {
-  return static_cast<unsigned char>(c) - '0' < 10u;
+  return static_cast<unsigned>(static_cast<unsigned char>(c)) - '0' < 10u;
 }
 inline bool is_ident_start(char c) { return is_ascii_alpha(c) || c == '_'; }
 inline bool is_ident_char(char c) {

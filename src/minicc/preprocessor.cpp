@@ -53,7 +53,8 @@ inline bool is_ident_start(char c) {
 
 inline bool is_ident_char(char c) {
   return (static_cast<unsigned char>(c) | 32u) - 'a' < 26u ||
-         static_cast<unsigned char>(c) - '0' < 10u || c == '_';
+         static_cast<unsigned>(static_cast<unsigned char>(c)) - '0' < 10u ||
+         c == '_';
 }
 
 inline bool is_ws(char c) {

@@ -9,7 +9,14 @@ BuildFarm::BuildFarm(ShardedRegistry& registry, BuildFarmOptions options)
     : registry_(registry),
       options_(options),
       cache_(options.cache_shards),
-      pool_(options.threads) {}
+      pool_(options.threads) {
+  if (options_.artifact_store) {
+    spec_tier_ = std::make_unique<SpecArtifactTier>(*options_.artifact_store,
+                                                    options_.predecode);
+    tu_tier_ = std::make_unique<TuArtifactTier>(*options_.artifact_store);
+    cache_.set_disk_tier(spec_tier_.get());
+  }
+}
 
 void BuildFarm::set_tu_observer(minicc::CompileCache::Observer observer) {
   std::lock_guard lock(states_mutex_);
@@ -35,6 +42,9 @@ std::shared_ptr<const BuildFarm::ImageState> BuildFarm::state_for(
         std::make_shared<const Application>(std::move(from_image.app));
     state->tu_cache = std::make_shared<minicc::CompileCache>();
     if (tu_observer) state->tu_cache->set_observer(std::move(tu_observer));
+    // TU keys are image-independent (post-preprocess hash pins the
+    // content), so every per-image cache shares one persistent tier.
+    if (tu_tier_) state->tu_cache->set_disk_tier(tu_tier_.get());
   } else {
     state->app_error = from_image.error;
   }
@@ -138,6 +148,16 @@ std::size_t BuildFarm::tu_cache_hits() const {
   for (const auto& [digest, state] : states_) {
     (void)digest;
     if (state->tu_cache) total += state->tu_cache->tu_hits();
+  }
+  return total;
+}
+
+std::size_t BuildFarm::tu_disk_hits() const {
+  std::size_t total = 0;
+  std::lock_guard lock(states_mutex_);
+  for (const auto& [digest, state] : states_) {
+    (void)digest;
+    if (state->tu_cache) total += state->tu_cache->tu_disk_hits();
   }
   return total;
 }

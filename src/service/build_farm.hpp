@@ -29,6 +29,7 @@
 
 #include "common/thread_pool.hpp"
 #include "minicc/compile_cache.hpp"
+#include "service/artifact_store.hpp"
 #include "service/deploy_scheduler.hpp"
 #include "service/sharded_registry.hpp"
 #include "service/spec_cache.hpp"
@@ -51,6 +52,11 @@ struct BuildFarmOptions {
   /// Route per-TU compiles through the shared compile cache. Disable to
   /// measure the whole-deployment cache alone.
   bool tu_cache = true;
+  /// Persistent tier: when non-null, whole deployments and compiled TUs
+  /// are persisted to (and revived from) this store, so a fresh farm
+  /// pointed at a populated directory warm-starts with zero compiles.
+  /// Borrowed — the store must outlive the farm.
+  ArtifactStore* artifact_store = nullptr;
 };
 
 /// Source-container build farm (the §4.1 path at fleet scale).
@@ -99,6 +105,8 @@ public:
   std::size_t tu_compiles() const;
   /// TU compile requests served from the cache.
   std::size_t tu_cache_hits() const;
+  /// TU modules revived from the persistent tier instead of compiling.
+  std::size_t tu_disk_hits() const;
 
 private:
   /// Per-source-image-digest state: the reconstructed application and the
@@ -115,6 +123,10 @@ private:
   ShardedRegistry& registry_;
   BuildFarmOptions options_;
   SpecializationCache cache_;
+  // Adapters over options_.artifact_store (null when no store): installed
+  // on cache_ and on every per-image TU cache the farm creates.
+  std::unique_ptr<SpecArtifactTier> spec_tier_;
+  std::unique_ptr<TuArtifactTier> tu_tier_;
 
   mutable std::mutex states_mutex_;
   std::map<std::string, std::shared_ptr<const ImageState>> states_;

@@ -11,7 +11,9 @@ DeployScheduler::DeployScheduler(ShardedRegistry& registry,
     : registry_(registry),
       options_(options),
       cache_(options.cache_shards),
-      pool_(options.threads) {}
+      pool_(options.threads) {
+  attach_artifact_store();
+}
 
 DeployScheduler::DeployScheduler(ShardedRegistry& registry, BuildFarm& farm,
                                  DeploySchedulerOptions options)
@@ -19,7 +21,16 @@ DeployScheduler::DeployScheduler(ShardedRegistry& registry, BuildFarm& farm,
       options_(options),
       cache_(options.cache_shards),
       farm_(&farm),
-      pool_(options.threads) {}
+      pool_(options.threads) {
+  attach_artifact_store();
+}
+
+void DeployScheduler::attach_artifact_store() {
+  if (!options_.artifact_store) return;
+  spec_tier_ = std::make_unique<SpecArtifactTier>(*options_.artifact_store,
+                                                  options_.predecode);
+  cache_.set_disk_tier(spec_tier_.get());
+}
 
 vm::RunResult FleetDeployResult::run(vm::Workload& workload,
                                      int threads) const {

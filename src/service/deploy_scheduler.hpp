@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "service/artifact_store.hpp"
 #include "service/sharded_registry.hpp"
 #include "service/spec_cache.hpp"
 #include "vm/node.hpp"
@@ -107,6 +108,10 @@ struct DeploySchedulerOptions {
   /// Pre-decode each cached program for the VM once at deploy time, so
   /// fleet executors share the DecodedProgram instead of re-decoding.
   bool predecode = true;
+  /// Persistent tier: when non-null, lowered specializations persist to
+  /// (and revive from) this store across scheduler lifetimes. Borrowed —
+  /// the store must outlive the scheduler.
+  ArtifactStore* artifact_store = nullptr;
 };
 
 /// Fleet deployment scheduler (IR path + mixed-kind routing).
@@ -163,9 +168,14 @@ private:
   std::shared_ptr<const IrImageManifest> manifest_for(
       const std::string& digest, const container::Image& image);
 
+  /// Install the persistent-tier adapter when options name a store.
+  void attach_artifact_store();
+
   ShardedRegistry& registry_;
   DeploySchedulerOptions options_;
   SpecializationCache cache_;
+  // Adapter over options_.artifact_store (null when no store).
+  std::unique_ptr<SpecArtifactTier> spec_tier_;
   BuildFarm* farm_ = nullptr;  // source-kind routing; may be null
 
   std::mutex manifests_mutex_;

@@ -73,6 +73,13 @@ std::string numerics_digest(const vm::RunResult& run,
 Gateway::Gateway(std::vector<vm::NodeSpec> fleet, GatewayOptions options)
     : options_(std::move(options)),
       fleet_(std::move(fleet)),
+      artifact_store_([&]() -> std::unique_ptr<ArtifactStore> {
+        if (options_.artifact_dir.empty()) return nullptr;
+        ArtifactStoreOptions store_options;
+        store_options.dir = options_.artifact_dir;
+        store_options.max_bytes = options_.artifact_max_bytes;
+        return std::make_unique<ArtifactStore>(std::move(store_options));
+      }()),
       registry_(options_.registry_shards),
       farm_(registry_,
             [&] {
@@ -80,11 +87,13 @@ Gateway::Gateway(std::vector<vm::NodeSpec> fleet, GatewayOptions options)
               // hardware concurrency would only idle.
               BuildFarmOptions farm_options = options_.farm;
               if (farm_options.threads == 0) farm_options.threads = 1;
+              farm_options.artifact_store = artifact_store_.get();
               return farm_options;
             }()),
       scheduler_(registry_, farm_, [&] {
         DeploySchedulerOptions sched_options = options_.scheduler;
         if (sched_options.threads == 0) sched_options.threads = 1;
+        sched_options.artifact_store = artifact_store_.get();
         return sched_options;
       }()) {
   // A zero bound would make every blocking submit() unsatisfiable.
@@ -109,14 +118,19 @@ Gateway::Gateway(std::vector<vm::NodeSpec> fleet, GatewayOptions options)
   // specialization metrics, the farm's per-image TU caches feed the TU
   // metrics.
   auto* spec_hits = &metrics_.counter("spec_cache.hits");
+  auto* spec_disk_hits = &metrics_.counter("spec_cache.disk_hits");
   auto* spec_misses = &metrics_.counter("spec_cache.misses");
   auto* spec_failures = &metrics_.counter("spec_cache.deploy_failures");
   auto* lowering_hist = &metrics_.histogram("spec_cache.lowering_seconds");
   const auto spec_observer =
-      [spec_hits, spec_misses, spec_failures,
+      [spec_hits, spec_disk_hits, spec_misses, spec_failures,
        lowering_hist](const SpecializationCache::Event& event) {
         if (event.hit) {
           spec_hits->add(1);
+          return;
+        }
+        if (event.disk_hit) {
+          spec_disk_hits->add(1);
           return;
         }
         spec_misses->add(1);
@@ -127,18 +141,53 @@ Gateway::Gateway(std::vector<vm::NodeSpec> fleet, GatewayOptions options)
   farm_.cache().set_observer(spec_observer);
 
   auto* tu_hits = &metrics_.counter("tu_cache.hits");
+  auto* tu_disk_hits = &metrics_.counter("tu_cache.disk_hits");
   auto* tu_compiles = &metrics_.counter("tu_cache.compiles");
   auto* tu_hist = &metrics_.histogram("tu_cache.compile_seconds");
   farm_.set_tu_observer(
-      [tu_hits, tu_compiles,
+      [tu_hits, tu_disk_hits, tu_compiles,
        tu_hist](const minicc::CompileCache::CompileEvent& event) {
         if (event.tu_cache_hit) {
           tu_hits->add(1);
           return;
         }
+        if (event.disk_hit) {
+          tu_disk_hits->add(1);
+          return;
+        }
         tu_compiles->add(1);
         tu_hist->observe(event.seconds);
       });
+
+  if (artifact_store_) {
+    auto* store_hits = &metrics_.counter("artifact_store.disk_hits");
+    auto* store_misses = &metrics_.counter("artifact_store.disk_misses");
+    auto* store_writes = &metrics_.counter("artifact_store.writes");
+    auto* store_evictions = &metrics_.counter("artifact_store.evictions");
+    auto* store_verify_failures =
+        &metrics_.counter("artifact_store.verify_failures");
+    artifact_store_->set_observer(
+        [store_hits, store_misses, store_writes, store_evictions,
+         store_verify_failures](const ArtifactStore::Event& event) {
+          switch (event.kind) {
+            case ArtifactStore::Event::Kind::DiskHit:
+              store_hits->add(1);
+              break;
+            case ArtifactStore::Event::Kind::DiskMiss:
+              store_misses->add(1);
+              break;
+            case ArtifactStore::Event::Kind::Write:
+              store_writes->add(1);
+              break;
+            case ArtifactStore::Event::Kind::Eviction:
+              store_evictions->add(1);
+              break;
+            case ArtifactStore::Event::Kind::VerifyFailure:
+              store_verify_failures->add(1);
+              break;
+          }
+        });
+  }
 
   load_.reserve(fleet_.size());
   for (std::size_t i = 0; i < fleet_.size(); ++i) {

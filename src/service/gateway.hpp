@@ -107,8 +107,18 @@ struct GatewayOptions {
   bool reject_on_full = false;
   /// Shards of the owned registry.
   std::size_t registry_shards = 16;
+  /// Persistent artifact store directory. When non-empty the gateway
+  /// owns an ArtifactStore rooted there and installs it as the disk tier
+  /// under both specialization caches and the farm's TU caches — a
+  /// restarted gateway pointed at a populated directory serves its first
+  /// fleet with zero recompiles (bench/warm_start.cpp). Empty = no
+  /// persistence (the seed behavior).
+  std::string artifact_dir;
+  /// Byte budget for the artifact store (0 = unlimited).
+  std::uint64_t artifact_max_bytes = 0;
   /// Forwarded to the owned DeployScheduler / BuildFarm (their `threads`
-  /// fields default to 1 here — see worker_threads).
+  /// fields default to 1 here — see worker_threads; their
+  /// `artifact_store` pointers are overwritten with the owned store).
   DeploySchedulerOptions scheduler;
   BuildFarmOptions farm;
 };
@@ -128,9 +138,10 @@ struct GatewayOptions {
 ///
 /// Telemetry names reported (see docs/SERVICE.md "Telemetry"):
 ///   counters   gateway.{requests,admitted,rejected,completed,failed,
-///              backpressure_waits}, spec_cache.{hits,misses,
-///              deploy_failures}, tu_cache.{hits,compiles},
-///              vm.{runs,instructions}
+///              backpressure_waits}, spec_cache.{hits,disk_hits,misses,
+///              deploy_failures}, tu_cache.{hits,disk_hits,compiles},
+///              artifact_store.{disk_hits,disk_misses,writes,evictions,
+///              verify_failures}, vm.{runs,instructions}
 ///   gauges     gateway.queue_depth, gateway.in_flight
 ///   histograms gateway.{queue,deploy,run,total}_seconds,
 ///              spec_cache.lowering_seconds, tu_cache.compile_seconds
@@ -171,6 +182,8 @@ public:
   DeployScheduler& scheduler() { return scheduler_; }
   BuildFarm& farm() { return farm_; }
   const std::vector<vm::NodeSpec>& fleet() const { return fleet_; }
+  /// The owned persistent store, or nullptr when artifact_dir was empty.
+  ArtifactStore* artifact_store() { return artifact_store_.get(); }
 
 private:
   using Clock = std::chrono::steady_clock;
@@ -216,6 +229,9 @@ private:
   telemetry::Histogram* run_hist_ = nullptr;
   telemetry::Histogram* total_hist_ = nullptr;
 
+  // Constructed before (so destroyed after) the services whose caches
+  // hold tier adapters over it.
+  std::unique_ptr<ArtifactStore> artifact_store_;
   ShardedRegistry registry_;
   BuildFarm farm_;
   DeployScheduler scheduler_;

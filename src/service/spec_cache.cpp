@@ -66,6 +66,27 @@ std::shared_ptr<const DeployedApp> SpecializationCache::get_or_deploy(
     return future.get();  // blocks while the elected deployer lowers
   }
 
+  // Elected deployer: consult the persistent tier before paying the
+  // lowering. Only the leader probes the disk, so the single-flight
+  // guarantee spans both tiers — concurrent requests for one key read
+  // the blob and deserialize at most once.
+  if (disk_tier_) {
+    std::shared_ptr<const DeployedApp> revived = disk_tier_->load(key);
+    if (revived && revived->ok) {
+      disk_hits_.fetch_add(1);
+      // The caller reused a cached artifact (it paid no lowering), which
+      // is what `cache_hit` means to the fleet-result consumers.
+      if (was_hit) *was_hit = true;
+      promise.set_value(revived);
+      if (observer_) {
+        Event event;
+        event.disk_hit = true;
+        observer_(event);
+      }
+      return revived;
+    }
+  }
+
   misses_.fetch_add(1);
   lowerings_.fetch_add(1);
   if (was_hit) *was_hit = false;
@@ -105,6 +126,11 @@ std::shared_ptr<const DeployedApp> SpecializationCache::get_or_deploy(
   if (!result || !result->ok) {
     // Failures are returned to this round of waiters but not cached.
     erase_own_entry();
+  } else if (disk_tier_) {
+    // Persist after publishing so waiters are never blocked on the
+    // serialization/write; a failed store just means the next process
+    // starts cold for this key.
+    disk_tier_->store(key, *result);
   }
   notify_deployed(result && result->ok);
   return result;

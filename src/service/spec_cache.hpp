@@ -39,14 +39,29 @@ struct SpecKey {
   std::string to_string() const;
 };
 
-/// Single-flight whole-deployment cache.
+/// Optional persistent second tier under the in-memory cache: the
+/// serving layer's ArtifactStore adapters implement this. load() returns
+/// a previously persisted deployment (or null), store() persists a
+/// successful one. Implementations must be safe to call from any thread
+/// and must never throw (a failing disk tier degrades to a miss).
+class SpecDiskTier {
+public:
+  virtual ~SpecDiskTier() = default;
+  virtual std::shared_ptr<const DeployedApp> load(const SpecKey& key) = 0;
+  virtual void store(const SpecKey& key, const DeployedApp& app) = 0;
+};
+
+/// Single-flight whole-deployment cache, with an optional persistent
+/// second tier (memory hit → disk hit → miss/deploy; the single-flight
+/// election spans all tiers, so concurrent requests for one key consult
+/// the disk and deploy at most once).
 ///
 /// Thread-safety: get_or_deploy(), get(), clear(), entry_count(), and
 /// the stats accessors are safe from any thread; entries live in sharded
 /// mutex-protected maps and concurrent requests for one key elect
 /// exactly one deployer (the rest block on its shared_future). The only
-/// exception is set_observer(), which must be called before the cache
-/// starts serving.
+/// exception is set_observer()/set_disk_tier(), which must be called
+/// before the cache starts serving.
 /// Ownership: the cache owns its entries and shares the DeployedApp with
 /// every requester via shared_ptr<const DeployedApp>; results remain
 /// valid after clear(). Typically owned by a DeployScheduler, BuildFarm,
@@ -55,11 +70,13 @@ class SpecializationCache {
 public:
   using Deployer = std::function<std::shared_ptr<const DeployedApp>()>;
 
-  /// One telemetry event per get_or_deploy resolution: either the caller
-  /// reused an entry (hit) or it was elected deployer (deployed, with the
+  /// One telemetry event per get_or_deploy resolution: the caller reused
+  /// an in-memory entry (hit), the elected deployer revived a persisted
+  /// deployment (disk_hit), or it deployed for real (deployed, with the
   /// deployer's wall seconds and whether the deployment succeeded).
   struct Event {
     bool hit = false;
+    bool disk_hit = false;
     bool deployed = false;
     bool ok = false;             // meaningful when deployed
     double deploy_seconds = 0.0; // meaningful when deployed
@@ -95,9 +112,18 @@ public:
   /// get_or_deploy: set it once, before the cache starts serving.
   void set_observer(Observer observer) { observer_ = std::move(observer); }
 
-  // Monotonic statistics since construction.
+  /// Attach (or detach, with nullptr) the persistent tier. The tier must
+  /// outlive the cache. NOT thread-safe with respect to concurrent
+  /// get_or_deploy: set it once, before the cache starts serving.
+  void set_disk_tier(SpecDiskTier* tier) { disk_tier_ = tier; }
+
+  // Monotonic statistics since construction. Every resolution is exactly
+  // one of hits() / disk_hits() / misses(); without a disk tier,
+  // disk_hits() is always zero.
   std::size_t hits() const { return hits_.load(); }
   std::size_t misses() const { return misses_.load(); }
+  /// Deployments revived from the persistent tier (no lowering paid).
+  std::size_t disk_hits() const { return disk_hits_.load(); }
   /// Number of deployer invocations == lowerings actually performed.
   std::size_t lowerings() const { return lowerings_.load(); }
 
@@ -120,9 +146,11 @@ private:
 
   std::vector<std::unique_ptr<Shard>> shards_;
   Observer observer_;  // set once before serving; called outside shard locks
+  SpecDiskTier* disk_tier_ = nullptr;  // set once before serving
   std::atomic<std::uint64_t> next_id_{1};
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> misses_{0};
+  std::atomic<std::size_t> disk_hits_{0};
   std::atomic<std::size_t> lowerings_{0};
 };
 

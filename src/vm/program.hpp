@@ -29,6 +29,12 @@ public:
   const minicc::ir::Function* find_function(const std::string& name) const;
   const minicc::TargetSpec& target() const { return target_; }
   std::size_t num_modules() const { return modules_.size(); }
+  /// Linked modules in link order — serialization of a deployment
+  /// round-trips through these (re-linking equal modules in equal order
+  /// reproduces the program bit-identically).
+  const std::vector<minicc::MachineModule>& modules() const {
+    return modules_;
+  }
   std::size_t num_functions() const { return symbols_.size(); }
   /// Resolved symbol table (name -> function), for pre-decoding.
   const std::map<std::string, const minicc::ir::Function*>& symbols() const {

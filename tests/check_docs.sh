@@ -1,14 +1,28 @@
 #!/usr/bin/env bash
-# Documentation drift gate (wired in as the `docs` CTest label):
+# Documentation drift gate (wired in as the `docs` CTest label and run
+# by the CI workflow):
 #  1. every src/<module>/ directory must appear in README.md's module map
 #     and in docs/ARCHITECTURE.md;
-#  2. README.md's tier-1 quickstart command must match the "Tier-1
+#  2. every serving-layer header (src/service/*.hpp) must be documented
+#     in docs/ARCHITECTURE.md or docs/SERVICE.md — a new service module
+#     (e.g. the artifact store) fails the gate until the docs cover it;
+#  3. README.md's tier-1 quickstart command must match the "Tier-1
 #     verify:" line in ROADMAP.md verbatim.
-# A new src/ module or a changed tier-1 command fails CI until the docs
-# catch up.
+# Runnable from any CWD and via symlink: the repo root is resolved from
+# this script's own location, never from $PWD.
 set -euo pipefail
 
-ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+SELF="${BASH_SOURCE[0]}"
+while [[ -L "$SELF" ]]; do
+  target="$(readlink "$SELF")"
+  case "$target" in
+    /*) SELF="$target" ;;
+    # A relative link target resolves against the symlink's directory,
+    # not the caller's CWD.
+    *) SELF="$(dirname "$SELF")/$target" ;;
+  esac
+done
+ROOT="$(cd "$(dirname "$SELF")/.." && pwd)"
 fail=0
 
 for doc in README.md docs/ARCHITECTURE.md; do
@@ -27,6 +41,19 @@ for dir in "$ROOT"/src/*/; do
       fail=1
     fi
   done
+done
+
+# Serving-layer modules are documented individually: each header's stem
+# (artifact_store, spec_cache, ...) must appear in the architecture map
+# or the service internals doc.
+for header in "$ROOT"/src/service/*.hpp; do
+  stem="$(basename "$header" .hpp)"
+  if ! grep -q "$stem" "$ROOT/docs/ARCHITECTURE.md" \
+     && ! grep -q "$stem" "$ROOT/docs/SERVICE.md"; then
+    echo "docs: service module src/service/$stem.hpp is documented in" \
+         "neither docs/ARCHITECTURE.md nor docs/SERVICE.md" >&2
+    fail=1
+  fi
 done
 
 tier1="$(sed -n 's/.*Tier-1 verify:\*\* `\(.*\)`.*/\1/p' "$ROOT/ROADMAP.md")"

@@ -175,7 +175,9 @@ TEST(Lifecycle, EnergyConservedIdenticallyAcrossSystems) {
     vm::Workload w = apps::minilulesh_workload(512, 20);
     const auto r = deployed.run(w, 4);
     ASSERT_TRUE(r.ok) << r.error;
-    if (!first) EXPECT_DOUBLE_EQ(r.ret_f64, previous) << node_name;
+    if (!first) {
+      EXPECT_DOUBLE_EQ(r.ret_f64, previous) << node_name;
+    }
     previous = r.ret_f64;
     first = false;
   }
