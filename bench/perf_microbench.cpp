@@ -15,6 +15,7 @@
 #include "minicc/vectorizer.hpp"
 #include "service/build_farm.hpp"
 #include "service/deploy_scheduler.hpp"
+#include "service/fault.hpp"
 #include "service/gateway.hpp"
 #include "vm/executor.hpp"
 #include "vm/program.hpp"
@@ -363,6 +364,62 @@ void BM_GatewayServing(benchmark::State& state) {
                           requests);
 }
 BENCHMARK(BM_GatewayServing)->Arg(32)->Unit(benchmark::kMillisecond);
+
+// The same serving loop under a deterministic FaultPlan: one batch node
+// crashed, flaky TU builds and IR lowering. Measures what the
+// reliability layer (breakers routing around the dead node, retry with
+// capped backoff) costs relative to BM_GatewayServing; every result
+// must still come back ok.
+void BM_ChaosServing(benchmark::State& state) {
+  const auto& f = FleetFixture::get();
+  const int requests = static_cast<int>(state.range(0));
+  if (!f.build_ok) {
+    state.SkipWithError("fleet fixture invalid (IR build failed)");
+    return;
+  }
+  std::vector<vm::NodeSpec> fleet;
+  for (auto& n : vm::simulated_fleet(vm::node("ault23"), 3, "chbatch-")) {
+    fleet.push_back(std::move(n));
+  }
+  for (auto& n : vm::simulated_fleet(vm::node("devbox"), 1, "chedge-")) {
+    fleet.push_back(std::move(n));
+  }
+  service::fault::FaultPlan plan(42);
+  plan.crash_node("chbatch-0");
+  plan.set_probability(service::fault::kTuBuild, 0.05);
+  plan.set_probability(service::fault::kIrLower, 0.05);
+  service::GatewayOptions options;
+  options.worker_threads = 4;
+  options.max_queue = static_cast<std::size_t>(requests);
+  options.retry.max_attempts = 8;
+  service::Gateway gateway(std::move(fleet), options);
+  gateway.push(f.image, "bench:ir");
+  service::fault::ScopedFaultPlan guard(plan);
+  for (auto _ : state) {
+    std::vector<service::RunRequest> batch;
+    batch.reserve(static_cast<std::size_t>(requests));
+    for (int i = 0; i < requests; ++i) {
+      service::RunRequest request;
+      request.image_reference = "bench:ir";
+      request.selections = {{"MD_SIMD", i % 2 == 0 ? "AVX_512" : "SSE4.1"}};
+      request.workload = apps::minimd_workload({64, 8, 2, 64});
+      batch.push_back(std::move(request));
+    }
+    const auto results = gateway.run_all(std::move(batch));
+    for (const auto& r : results) {
+      if (!r.ok) state.SkipWithError(r.error.c_str());
+      if (r.node_name == "chbatch-0") {
+        state.SkipWithError("request completed on the crashed node");
+      }
+    }
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          requests);
+  state.counters["faults"] =
+      static_cast<double>(plan.total_injected());
+}
+BENCHMARK(BM_ChaosServing)->Arg(32)->Unit(benchmark::kMillisecond);
 
 // Warm-start tiers: the same 32-node single-microarch source fleet
 // deployed by a fresh BuildFarm against (a) an empty artifact directory —

@@ -231,10 +231,25 @@ TuCompileResult CompileCache::compile_impl(const common::Vfs& vfs,
   key.target = target;
 
   bool hit = false;
+  const std::string machine_key = key.to_string();
   const auto machine = machines_.get_or_compute(
-      key.to_string(),
+      machine_key,
       [&]() -> std::shared_ptr<const MachineEntry> {
         auto entry = std::make_shared<MachineEntry>();
+        // Transient-failure injection (flaky builder / I/O): fail this
+        // resolution, but erase the entry *before* it is published so no
+        // later requester inherits the failure as a hit — the next
+        // compile of this key elects a fresh leader and retries. Counted
+        // as a (failed) compile attempt so observer-side compile counts
+        // stay equal to tu_compiles().
+        if (fault_hook_) {
+          if (auto injected = fault_hook_(key)) {
+            tu_compiles_.fetch_add(1);
+            entry->error = {"build", std::move(*injected)};
+            machines_.erase(machine_key);
+            return entry;
+          }
+        }
         // Persistent tier between the in-memory map and the compiler:
         // only the single-flight leader probes it, so concurrent callers
         // of one key deserialize at most once.

@@ -192,6 +192,19 @@ public:
   /// before the cache starts serving.
   void set_disk_tier(TuDiskTier* tier) { disk_tier_ = tier; }
 
+  /// Failure-injection hook, consulted by the single-flight leader before
+  /// resolving a machine module: a returned string fails that resolution
+  /// with the given message, modeling a transient infrastructure failure
+  /// (flaky builder, I/O error). Transient failures are never retained —
+  /// the entry is erased before publication, so the next request for the
+  /// key elects a fresh leader and recompiles. Deterministic *compile*
+  /// failures (bad source) stay cached as before: retrying those cannot
+  /// help. minicc stays service-agnostic; the build farm installs a hook
+  /// that consults the serving layer's fault plan. NOT thread-safe with
+  /// respect to concurrent compile(): set it once, before serving.
+  using FaultHook = std::function<std::optional<std::string>(const TuKey&)>;
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
   /// Full per-TU pipeline (preprocess -> parse -> irgen -> optimize ->
   /// lower) with every stage memoized. Equal TuKeys return the same
   /// shared MachineModule, bit-identical to an uncached
@@ -217,8 +230,10 @@ private:
                                const TargetSpec& target);
 
   /// Single-flight memo map: the first requester of a key runs `compute`,
-  /// concurrent requesters block on its shared_future. Entries are never
-  /// evicted — compiles are deterministic, so failures cache too.
+  /// concurrent requesters block on its shared_future. Entries are only
+  /// ever evicted by erase() — compiles are deterministic, so genuine
+  /// compile failures cache too; only injected/transient failures (see
+  /// set_fault_hook) are erased.
   template <typename V>
   class SingleFlightMap {
   public:
@@ -253,6 +268,17 @@ private:
       return future.get();
     }
 
+    /// Drop the entry for `key`, if any. Used for transient-failure
+    /// poisoning control: the leader erases its own entry *before* the
+    /// failure is published, so no later requester can observe it as a
+    /// hit — waiters already blocked on the future still receive the
+    /// failure (and retry one level up), new requesters elect a fresh
+    /// leader.
+    void erase(const std::string& key) {
+      std::lock_guard lock(mutex_);
+      entries_.erase(key);
+    }
+
   private:
     std::mutex mutex_;
     std::unordered_map<std::string,
@@ -279,6 +305,7 @@ private:
 
   Observer observer_;  // set once before serving; called after each compile
   TuDiskTier* disk_tier_ = nullptr;  // set once before serving
+  FaultHook fault_hook_;             // set once before serving
 
   SingleFlightMap<TargetFlagInfo> infos_;   // flags.canonical()
   SingleFlightMap<SourceScan> scans_;       // source + dirs_suffix

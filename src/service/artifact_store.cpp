@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/sha256.hpp"
+#include "service/fault.hpp"
 #include "vm/decoded.hpp"
 
 namespace xaas::service {
@@ -229,7 +230,11 @@ bool ArtifactStore::put(std::string_view kind, std::string_view key,
   std::size_t evicted = 0;
   {
     std::lock_guard lock(mutex_);
-    if (!write_file_atomic(blob_path(digest), blob, ++temp_seq_)) {
+    // Injected write I/O error first: the blob is never published, and
+    // the caller degrades exactly as on a real failed write (the store
+    // is simply not warm for this key).
+    if (XAAS_FAULT_POINT(fault::kStoreWrite, digest) ||
+        !write_file_atomic(blob_path(digest), blob, ++temp_seq_)) {
       return false;
     }
     auto& info = blobs_[digest];
@@ -263,15 +268,27 @@ std::optional<std::string> ArtifactStore::get(std::string_view kind,
     // the in-memory accounting: another store (or process) sharing the
     // directory may have published the blob after this store opened.
     auto blob = read_file(blob_path(digest));
+    // Injected transient read I/O error: report a miss, but leave the
+    // accounting alone — the blob is still on disk and still valid, so
+    // this must not look like a sibling-store eviction.
+    const bool injected_read_error =
+        blob.has_value() && XAAS_FAULT_POINT(fault::kStoreRead, digest);
+    if (injected_read_error) blob.reset();
     if (!blob) {
       // Accounted but unreadable = evicted/removed underneath us by a
       // sibling store; drop the stale accounting entry.
-      const auto it = blobs_.find(digest);
-      if (it != blobs_.end()) {
-        total_bytes_ -= std::min(total_bytes_, it->second.size);
-        blobs_.erase(it);
+      if (!injected_read_error) {
+        const auto it = blobs_.find(digest);
+        if (it != blobs_.end()) {
+          total_bytes_ -= std::min(total_bytes_, it->second.size);
+          blobs_.erase(it);
+        }
       }
     } else {
+      // Injected on-disk corruption: flip one byte of the blob we just
+      // read, exactly as a decaying disk would, and let the verification
+      // below catch it.
+      fault::corrupts(fault::kStoreCorrupt, digest, *blob);
       const std::size_t newline = blob->find('\n');
       std::string verify_error;
       if (newline == std::string::npos) {
@@ -311,6 +328,11 @@ std::optional<std::string> ArtifactStore::get(std::string_view kind,
         corrupt = true;
         (void)verify_error;
         remove_blob_locked(digest, Event::Kind::VerifyFailure);
+        // Evict from the persisted index synchronously too (as
+        // note_corrupt does): a store recovered from a stale index must
+        // not resurrect the dead entry's LRU record, and entry_count /
+        // total_bytes must reflect the deletion immediately.
+        write_index_locked();
       }
     }
   }

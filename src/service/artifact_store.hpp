@@ -93,7 +93,10 @@ public:
   /// miss. A blob whose header is malformed, whose recorded key does not
   /// match, or whose payload fails sha256 verification is deleted,
   /// counted as a verify failure, and reported as a miss — a corrupt
-  /// blob can cost a recompile, never produce a wrong artifact.
+  /// blob can cost a recompile, never produce a wrong artifact. The
+  /// deletion evicts the entry synchronously everywhere: blob file,
+  /// in-memory accounting, AND the persisted LRU index, so no later
+  /// recovery can resurrect the dead entry.
   std::optional<std::string> get(std::string_view kind, std::string_view key);
 
   /// Report a blob whose *payload* deserialized to garbage one level up

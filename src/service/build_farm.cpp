@@ -1,6 +1,7 @@
 #include "service/build_farm.hpp"
 
 #include "common/hashing.hpp"
+#include "service/fault.hpp"
 #include "vm/decoded.hpp"
 
 namespace xaas::service {
@@ -45,6 +46,17 @@ std::shared_ptr<const BuildFarm::ImageState> BuildFarm::state_for(
     // TU keys are image-independent (post-preprocess hash pins the
     // content), so every per-image cache shares one persistent tier.
     if (tu_tier_) state->tu_cache->set_disk_tier(tu_tier_.get());
+    // minicc cannot depend on the serving layer, so the fault plan is
+    // bridged in via the cache's generic hook: flaky TU builds keyed by
+    // source path (the k-th build attempt of one TU fails or not,
+    // deterministically per seed).
+    state->tu_cache->set_fault_hook(
+        [](const minicc::TuKey& key) -> std::optional<std::string> {
+          if (XAAS_FAULT_POINT(fault::kTuBuild, key.source)) {
+            return "injected TU build fault: " + key.source;
+          }
+          return std::nullopt;
+        });
   } else {
     state->app_error = from_image.error;
   }
@@ -61,6 +73,7 @@ FleetDeployResult BuildFarm::deploy(const SourceDeployRequest& request) {
 
   const auto digest = registry_.resolve(request.image_reference);
   if (!digest) {
+    result.code = ErrorCode::NotFound;
     result.error = "image not found in registry: " + request.image_reference;
     return result;
   }
@@ -68,6 +81,9 @@ FleetDeployResult BuildFarm::deploy(const SourceDeployRequest& request) {
 
   const auto state = state_for(*digest, *image);
   if (!state->app) {
+    // Reconstruction failures are a property of the image content:
+    // deterministic, retrying cannot help.
+    result.code = ErrorCode::DeployFailed;
     result.error = state->app_error;
     return result;
   }
@@ -78,6 +94,9 @@ FleetDeployResult BuildFarm::deploy(const SourceDeployRequest& request) {
   const SourceDeployPlan plan =
       plan_source_deploy(*image, app, request.node, request.options);
   if (!plan.ok) {
+    // Plan failures are deterministic (bad selection, march beyond the
+    // node): not transient, retrying cannot help.
+    result.code = ErrorCode::DeployFailed;
     result.error = plan.error;
     return result;
   }
@@ -107,12 +126,20 @@ FleetDeployResult BuildFarm::deploy(const SourceDeployRequest& request) {
       &result.cache_hit);
 
   if (!app_ptr) {
+    result.code = ErrorCode::DeployFailed;
+    result.transient = true;  // the elected builder threw; not cached
     result.error = "deployment failed";
     return result;
   }
   result.app = app_ptr;
   result.ok = app_ptr->ok;
-  if (!app_ptr->ok) result.error = app_ptr->error;
+  if (!app_ptr->ok) {
+    // The build (or injected TU fault under it) failed; failed entries
+    // are never cached, so a retry elects a fresh builder.
+    result.code = ErrorCode::DeployFailed;
+    result.transient = true;
+    result.error = app_ptr->error;
+  }
   return result;
 }
 

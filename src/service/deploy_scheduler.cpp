@@ -2,6 +2,7 @@
 
 #include "common/hashing.hpp"
 #include "service/build_farm.hpp"
+#include "service/fault.hpp"
 #include "vm/decoded.hpp"
 
 namespace xaas::service {
@@ -49,6 +50,7 @@ FleetDeployResult DeployScheduler::deploy(const FleetDeployRequest& request) {
 
   const auto digest = registry_.resolve(request.image_reference);
   if (!digest) {
+    result.code = ErrorCode::NotFound;
     result.error = "image not found in registry: " + request.image_reference;
     return result;
   }
@@ -58,6 +60,9 @@ FleetDeployResult DeployScheduler::deploy(const FleetDeployRequest& request) {
   const IrDeployPlan plan = plan_ir_deploy(*manifest, request.node,
                                            request.options);
   if (!plan.ok) {
+    // Plan failures are deterministic (bad selection, march beyond the
+    // node): not transient, retrying cannot help.
+    result.code = ErrorCode::DeployFailed;
     result.error = plan.error;
     return result;
   }
@@ -71,6 +76,14 @@ FleetDeployResult DeployScheduler::deploy(const FleetDeployRequest& request) {
   const auto app = cache_.get_or_deploy(
       key,
       [&]() -> std::shared_ptr<const DeployedApp> {
+        // Injected lowering failure: the elected deployer fails; the
+        // cache never retains it (failed lowerings are not cached), so
+        // the gateway's retry elects a fresh deployer.
+        if (XAAS_FAULT_POINT(fault::kIrLower, key.digest)) {
+          auto failed = std::make_shared<DeployedApp>();
+          failed->error = "injected IR lowering fault for " + key.digest;
+          return failed;
+        }
         auto deployed = std::make_shared<DeployedApp>(
             deploy_ir_container(*image, request.node, request.options));
         // The cached deployment is shared by every node whose plan
@@ -90,12 +103,20 @@ FleetDeployResult DeployScheduler::deploy(const FleetDeployRequest& request) {
       &result.cache_hit);
 
   if (!app) {
+    result.code = ErrorCode::DeployFailed;
+    result.transient = true;  // the elected deployer threw; not cached
     result.error = "deployment failed";
     return result;
   }
   result.app = app;
   result.ok = app->ok;
-  if (!app->ok) result.error = app->error;
+  if (!app->ok) {
+    // The deployer (lowering or the infrastructure under it) failed; the
+    // failed entry was not cached, so a retry elects a fresh deployer.
+    result.code = ErrorCode::DeployFailed;
+    result.transient = true;
+    result.error = app->error;
+  }
   return result;
 }
 
@@ -120,6 +141,7 @@ FleetDeployResult DeployScheduler::deploy(const MixedDeployRequest& request) {
     FleetDeployResult result;
     result.node_name = request.node.name;
     result.node = request.node;
+    result.code = ErrorCode::NotFound;
     result.error = "image not found in registry: " + request.image_reference;
     return result;
   }
@@ -130,6 +152,7 @@ FleetDeployResult DeployScheduler::deploy(const MixedDeployRequest& request) {
       FleetDeployResult result;
       result.node_name = request.node.name;
       result.node = request.node;
+      result.code = ErrorCode::DeployFailed;
       result.error = "source image " + request.image_reference +
                      " requires a build farm (none attached)";
       return result;

@@ -20,6 +20,7 @@
 
 #include "common/thread_pool.hpp"
 #include "service/artifact_store.hpp"
+#include "service/reliability.hpp"
 #include "service/sharded_registry.hpp"
 #include "service/spec_cache.hpp"
 #include "vm/node.hpp"
@@ -53,6 +54,15 @@ struct MixedDeployRequest {
 struct FleetDeployResult {
   bool ok = false;
   std::string error;
+  /// Machine-readable failure classification (Ok on success): NotFound
+  /// for unknown references, DeployFailed for everything else.
+  ErrorCode code = ErrorCode::Ok;
+  /// Whether a failure is plausibly transient — the elected deployer (a
+  /// build, a lowering, infrastructure under it) failed, so a retry may
+  /// succeed; failed entries are never cached (spec_cache.cpp), making
+  /// retries meaningful. Plan/manifest/reconstruction failures are
+  /// deterministic and reported non-transient.
+  bool transient = false;
 
   std::string node_name;
   /// The node this request was deployed for (run() executes on it).

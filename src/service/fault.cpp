@@ -1,0 +1,104 @@
+#include "service/fault.hpp"
+
+#include "common/hashing.hpp"
+
+namespace xaas::service::fault {
+
+std::atomic<FaultPlan*> FaultInjector::active_{nullptr};
+
+namespace {
+
+/// SplitMix64 finalizer: the same mixer common::Rng steps with, used
+/// here as a stateless hash so a fault decision is a pure function of
+/// (seed, site, key, evaluation index).
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double unit_double(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+void FaultPlan::set_probability(std::string_view site, double probability) {
+  if (probability < 0.0) probability = 0.0;
+  if (probability > 1.0) probability = 1.0;
+  probabilities_[std::string(site)] = probability;
+}
+
+void FaultPlan::crash_node(std::string node_name) {
+  crashed_nodes_.insert(std::move(node_name));
+}
+
+void FaultPlan::record_injection(std::string_view site) {
+  {
+    std::lock_guard lock(mutex_);
+    ++injected_[std::string(site)];
+  }
+  // Outside the lock: the observer typically bumps a telemetry counter
+  // and must never re-enter the plan while it holds the mutex.
+  if (observer_) observer_(site);
+}
+
+bool FaultPlan::fires(std::string_view site, std::string_view key) {
+  const auto it = probabilities_.find(site);
+  if (it == probabilities_.end() || it->second <= 0.0) return false;
+  const double probability = it->second;
+
+  std::uint64_t index;
+  {
+    std::lock_guard lock(mutex_);
+    std::string counter_key(site);
+    counter_key.push_back('\x1f');
+    counter_key.append(key);
+    index = hits_[counter_key]++;
+  }
+  // The decision depends only on (seed, site, key, index) — never on
+  // which thread asked or in what global order — so identical seeds
+  // reproduce identical per-key fault schedules.
+  const std::uint64_t h =
+      mix(seed_ ^ mix(common::fnv1a_64(site) ^ mix(common::fnv1a_64(key) ^
+                                                   index)));
+  if (probability < 1.0 && unit_double(h) >= probability) return false;
+  record_injection(site);
+  return true;
+}
+
+bool FaultPlan::node_crashed(const std::string& node_name) {
+  if (crashed_nodes_.find(node_name) == crashed_nodes_.end()) return false;
+  record_injection(kNodeCrash);
+  return true;
+}
+
+bool FaultPlan::maybe_corrupt(std::string_view site, std::string_view key,
+                              std::string& bytes) {
+  if (bytes.empty() || !fires(site, key)) return false;
+  // Deterministic position, guaranteed to change the byte (XOR).
+  const std::uint64_t h = mix(seed_ ^ common::fnv1a_64(key));
+  bytes[static_cast<std::size_t>(h % bytes.size())] ^= 0x20;
+  return true;
+}
+
+std::uint64_t FaultPlan::injected(std::string_view site) const {
+  std::lock_guard lock(mutex_);
+  const auto it = injected_.find(std::string(site));
+  return it == injected_.end() ? 0 : it->second;
+}
+
+std::uint64_t FaultPlan::total_injected() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [site, count] : injected_) total += count;
+  return total;
+}
+
+std::map<std::string, std::uint64_t> FaultPlan::injected_by_site() const {
+  std::lock_guard lock(mutex_);
+  return injected_;
+}
+
+}  // namespace xaas::service::fault

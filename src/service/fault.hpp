@@ -1,0 +1,164 @@
+// Deterministic fault injection for the serving plane.
+//
+// A production fleet fails in ways the happy path never exercises: nodes
+// crash mid-run, disks flip bits, builds flake. The reliability layer
+// (deadlines, retries, circuit breakers, load shedding — reliability.hpp)
+// only earns trust if those failures can be *reproduced*, so this
+// framework makes every injected fault a pure function of a seed:
+//
+//   fires(site, key)  =  hash(seed, site, key, n) < probability(site)
+//
+// where `n` is the number of times this (site, key) pair has been
+// evaluated before. Two plans with the same seed and configuration
+// produce identical per-key fault schedules regardless of thread
+// interleaving — the k-th build of one TU fails (or not) identically in
+// every run — which is what lets the chaos bench demand bit-identical
+// results and exactly consistent telemetry under faults. Because the
+// schedule is per-evaluation, a fault is *flaky*, not permanent: the
+// retry that re-evaluates the same key draws the next index and can
+// succeed.
+//
+// Sites are string constants named after the layer they perturb
+// (node.crash, build.tu, store.corrupt, ...). Production code marks a
+// site with XAAS_FAULT_POINT(site, key); with no plan installed the
+// macro is one acquire load of a null pointer and a predictable branch —
+// nothing else — so the hooks stay compiled into release builds at zero
+// measurable cost (the BM_GatewayServing regression gate enforces < 2%).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace xaas::service::fault {
+
+// Named fault sites wired through the serving plane.
+inline constexpr std::string_view kNodeCrash = "node.crash";    // run fails
+inline constexpr std::string_view kNodeSlow = "node.slow";      // run stalls
+inline constexpr std::string_view kTuBuild = "build.tu";        // TU compile fails
+inline constexpr std::string_view kIrLower = "deploy.lower";    // IR lowering fails
+inline constexpr std::string_view kStoreRead = "store.read";    // read I/O error
+inline constexpr std::string_view kStoreWrite = "store.write";  // write I/O error
+inline constexpr std::string_view kStoreCorrupt = "store.corrupt";  // bit flip
+
+/// A seeded schedule of faults.
+///
+/// Thread-safety: configuration (set_probability / crash_node /
+/// set_slowdown_seconds / set_observer) must finish before the plan is
+/// installed; the query side (fires / node_crashed / maybe_corrupt) and
+/// the accounting accessors are safe from any thread.
+/// Ownership: owned by the test/bench that builds it. The plan must stay
+/// alive (and, if an observer touches other objects, those too) until
+/// after FaultInjector::install(nullptr) — ScopedFaultPlan handles the
+/// uninstall; declare the plan before the objects its observer uses die.
+class FaultPlan {
+public:
+  /// Called once per injected fault with the site name (e.g. the Gateway
+  /// mirrors these into "fault.<site>" telemetry counters).
+  using Observer = std::function<void(std::string_view site)>;
+
+  explicit FaultPlan(std::uint64_t seed = 0) : seed_(seed) {}
+
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  // ---- Configuration (before install) ----
+  /// Probability in [0, 1] that an evaluation of `site` fires.
+  void set_probability(std::string_view site, double probability);
+  /// Mark a node as crashed: every run attempt routed to it fails.
+  void crash_node(std::string node_name);
+  /// Stall duration applied where kNodeSlow fires.
+  void set_slowdown_seconds(double seconds) { slowdown_seconds_ = seconds; }
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+  // ---- Queries (hot path, via the XAAS_FAULT_POINT macro) ----
+  /// Whether the fault at `site` fires for this evaluation of `key`.
+  /// Deterministic: the n-th evaluation of one (site, key) pair fires
+  /// identically for equal seeds, independent of other keys and threads.
+  bool fires(std::string_view site, std::string_view key);
+  /// Whether `node_name` is in the crashed set; counts an injected
+  /// kNodeCrash fault per positive query (one per run attempt routed
+  /// there).
+  bool node_crashed(const std::string& node_name);
+  /// Flip one deterministic byte of `bytes` when `site` fires; returns
+  /// whether corruption was injected.
+  bool maybe_corrupt(std::string_view site, std::string_view key,
+                     std::string& bytes);
+  double slowdown_seconds() const { return slowdown_seconds_; }
+
+  // ---- Accounting ----
+  std::uint64_t seed() const { return seed_; }
+  /// Faults injected at `site` so far.
+  std::uint64_t injected(std::string_view site) const;
+  std::uint64_t total_injected() const;
+  std::map<std::string, std::uint64_t> injected_by_site() const;
+
+private:
+  void record_injection(std::string_view site);
+
+  const std::uint64_t seed_;
+  double slowdown_seconds_ = 0.0;
+  Observer observer_;  // set once before install; called outside mutex_
+  // Immutable after configuration; read lock-free on the query side.
+  std::map<std::string, double, std::less<>> probabilities_;
+  std::unordered_set<std::string> crashed_nodes_;
+
+  mutable std::mutex mutex_;
+  /// Evaluations per (site '\x1f' key): the per-key schedule index.
+  std::unordered_map<std::string, std::uint64_t> hits_;
+  std::map<std::string, std::uint64_t> injected_;
+};
+
+/// Process-global plan registration. One plan at a time; production code
+/// reads active() through the site helpers below.
+class FaultInjector {
+public:
+  static void install(FaultPlan* plan) {
+    active_.store(plan, std::memory_order_release);
+  }
+  static FaultPlan* active() {
+    return active_.load(std::memory_order_acquire);
+  }
+
+private:
+  static std::atomic<FaultPlan*> active_;
+};
+
+/// RAII install/uninstall for tests and benches. Declare the plan (and
+/// this guard) before the services under test, so the plan outlives them.
+class ScopedFaultPlan {
+public:
+  explicit ScopedFaultPlan(FaultPlan& plan) { FaultInjector::install(&plan); }
+  ~ScopedFaultPlan() { FaultInjector::install(nullptr); }
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+};
+
+/// Hook bodies behind XAAS_FAULT_POINT: no plan installed (the normal
+/// case) costs one atomic load and a predictable branch.
+inline bool fires(std::string_view site, std::string_view key) {
+  FaultPlan* plan = FaultInjector::active();
+  if (plan == nullptr) return false;
+  return plan->fires(site, key);
+}
+
+inline bool corrupts(std::string_view site, std::string_view key,
+                     std::string& bytes) {
+  FaultPlan* plan = FaultInjector::active();
+  if (plan == nullptr) return false;
+  return plan->maybe_corrupt(site, key, bytes);
+}
+
+}  // namespace xaas::service::fault
+
+/// Named fault site in production code: evaluates to whether the fault
+/// fires. Zero overhead when no plan is installed.
+#define XAAS_FAULT_POINT(site, key) \
+  (::xaas::service::fault::fires((site), (key)))

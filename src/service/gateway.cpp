@@ -101,9 +101,13 @@ Gateway::Gateway(std::vector<vm::NodeSpec> fleet, GatewayOptions options)
   requests_ = &metrics_.counter("gateway.requests");
   admitted_ = &metrics_.counter("gateway.admitted");
   rejected_ = &metrics_.counter("gateway.rejected");
+  shed_ = &metrics_.counter("gateway.shed");
   completed_ = &metrics_.counter("gateway.completed");
   failed_ = &metrics_.counter("gateway.failed");
   backpressure_waits_ = &metrics_.counter("gateway.backpressure_waits");
+  retries_ = &metrics_.counter("gateway.retries");
+  breaker_open_ = &metrics_.counter("gateway.breaker_open");
+  deadline_exceeded_ = &metrics_.counter("gateway.deadline_exceeded");
   vm_runs_ = &metrics_.counter("vm.runs");
   vm_instructions_ = &metrics_.counter("vm.instructions");
   queue_depth_ = &metrics_.gauge("gateway.queue_depth");
@@ -190,8 +194,10 @@ Gateway::Gateway(std::vector<vm::NodeSpec> fleet, GatewayOptions options)
   }
 
   load_.reserve(fleet_.size());
+  breakers_.reserve(fleet_.size());
   for (std::size_t i = 0; i < fleet_.size(); ++i) {
     load_.push_back(std::make_unique<NodeLoad>());
+    breakers_.push_back(std::make_unique<CircuitBreaker>(options_.breaker));
   }
 
   std::size_t worker_count = options_.worker_threads;
@@ -215,18 +221,49 @@ Gateway::~Gateway() {
 }
 
 std::future<RunResult> Gateway::submit(RunRequest request) {
+  return submit_impl(std::move(request), /*never_block=*/false);
+}
+
+std::vector<std::future<RunResult>> Gateway::submit_batch(
+    std::vector<RunRequest> requests) {
+  std::vector<std::future<RunResult>> futures;
+  futures.reserve(requests.size());
+  for (auto& request : requests) {
+    futures.push_back(submit_impl(std::move(request), /*never_block=*/true));
+  }
+  return futures;
+}
+
+std::future<RunResult> Gateway::submit_impl(RunRequest request,
+                                            bool never_block) {
   requests_->add(1);
   std::promise<RunResult> promise;
   auto future = promise.get_future();
 
   std::unique_lock lock(mutex_);
+  if (!stop_ && should_shed_locked()) {
+    const double hint = retry_after_hint_locked();
+    lock.unlock();
+    promise.set_value(shed(request, hint));
+    return future;
+  }
   if (!stop_ && queue_.size() >= options_.max_queue) {
     if (options_.reject_on_full) {
+      const double hint = retry_after_hint_locked();
       lock.unlock();
       promise.set_value(
-          reject(request, "gateway queue full (" +
-                              std::to_string(options_.max_queue) +
-                              " requests waiting)"));
+          reject(request, ErrorCode::QueueFull,
+                 "gateway queue full (" + std::to_string(options_.max_queue) +
+                     " requests waiting)",
+                 hint));
+      return future;
+    }
+    if (never_block) {
+      // Partial-batch degradation: the caller asked never to stall, so
+      // the requests that do not fit are shed rather than queued.
+      const double hint = retry_after_hint_locked();
+      lock.unlock();
+      promise.set_value(shed(request, hint));
       return future;
     }
     backpressure_waits_->add(1);
@@ -235,7 +272,8 @@ std::future<RunResult> Gateway::submit(RunRequest request) {
   }
   if (stop_) {
     lock.unlock();
-    promise.set_value(reject(request, "gateway is shutting down"));
+    promise.set_value(reject(request, ErrorCode::ShuttingDown,
+                             "gateway is shutting down"));
     return future;
   }
   admitted_->add(1);
@@ -243,10 +281,80 @@ std::future<RunResult> Gateway::submit(RunRequest request) {
   const std::uint64_t seq = next_seq_++;
   queue_.emplace(
       std::make_pair(-static_cast<std::int64_t>(request.priority), seq),
-      Job{std::move(request), std::move(promise), Clock::now()});
+      Job{std::move(request), std::move(promise), Clock::now(), seq});
   lock.unlock();
   cv_workers_.notify_one();
   return future;
+}
+
+bool Gateway::should_shed_locked() const {
+  if (options_.shed_queue_fraction > 0.0 &&
+      static_cast<double>(queue_.size()) >=
+          options_.shed_queue_fraction *
+              static_cast<double>(options_.max_queue)) {
+    return true;
+  }
+  if (options_.shed_failure_rate > 0.0) {
+    const auto total = window_total_.load(std::memory_order_relaxed);
+    if (total >= options_.shed_min_samples) {
+      const auto failed = window_failed_.load(std::memory_order_relaxed);
+      if (static_cast<double>(failed) >=
+          options_.shed_failure_rate * static_cast<double>(total)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+double Gateway::retry_after_hint_locked() const {
+  // Estimated drain time of the current backlog: recent per-request
+  // service time (EMA; 1 ms floor before any completion) spread over the
+  // workers, plus one service slot for the retried request itself.
+  const double ema = std::bit_cast<double>(
+      service_ema_bits_.load(std::memory_order_relaxed));
+  const double per_request = ema > 0.0 ? ema : 1e-3;
+  const double workers =
+      static_cast<double>(std::max<std::size_t>(1, workers_.size()));
+  return per_request * (1.0 + static_cast<double>(queue_.size()) / workers);
+}
+
+void Gateway::record_completion(bool ok, double total_seconds) {
+  // Service-time EMA (retry_after hint): seeded by the first completion.
+  auto bits = service_ema_bits_.load(std::memory_order_relaxed);
+  for (;;) {
+    const double current = std::bit_cast<double>(bits);
+    const double next =
+        current == 0.0 ? total_seconds : current * 0.9 + total_seconds * 0.1;
+    if (service_ema_bits_.compare_exchange_weak(
+            bits, std::bit_cast<std::uint64_t>(next),
+            std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  if (options_.shed_failure_rate <= 0.0) return;
+  const auto now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       Clock::now().time_since_epoch())
+                       .count();
+  auto start = window_start_nanos_.load(std::memory_order_relaxed);
+  const auto window_nanos =
+      static_cast<std::int64_t>(options_.shed_window_seconds * 1e9);
+  if (now - start > window_nanos &&
+      window_start_nanos_.compare_exchange_strong(start, now,
+                                                  std::memory_order_relaxed)) {
+    // One completion rotates the window; concurrent completions land in
+    // the fresh window (approximate by design — shedding is advisory).
+    window_total_.store(0, std::memory_order_relaxed);
+    window_failed_.store(0, std::memory_order_relaxed);
+  }
+  window_total_.fetch_add(1, std::memory_order_relaxed);
+  if (!ok) window_failed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Gateway::observe_fault_plan(fault::FaultPlan& plan) {
+  plan.set_observer([this](std::string_view site) {
+    metrics_.counter("fault." + std::string(site)).add(1);
+  });
 }
 
 std::vector<RunResult> Gateway::run_all(std::vector<RunRequest> requests) {
@@ -281,12 +389,22 @@ void Gateway::worker_loop() {
     // overheads inside execute() are never misattributed to the queue.
     const double queue_seconds = seconds_since(job.admitted);
 
-    RunResult result = execute(job.request);
+    RunResult result;
+    if (job.request.deadline_seconds > 0.0 &&
+        queue_seconds >= job.request.deadline_seconds) {
+      // The budget ran out while queued: fail fast, never start work.
+      deadline_exceeded_->add(1);
+      result.code = ErrorCode::DeadlineExceeded;
+      result.error = "deadline exceeded while queued";
+    } else {
+      result = execute(job.request, job.admitted, job.seq);
+    }
     result.total_seconds = seconds_since(job.admitted);
     result.queue_seconds = queue_seconds;
     queue_hist_->observe(result.queue_seconds);
     total_hist_->observe(result.total_seconds);
     (result.ok ? completed_ : failed_)->add(1);
+    record_completion(result.ok, result.total_seconds);
 
     in_flight_->add(-1);
     finish(std::move(job), std::move(result));
@@ -298,16 +416,32 @@ void Gateway::finish(Job job, RunResult result) {
   job.promise.set_value(std::move(result));
 }
 
-RunResult Gateway::reject(RunRequest& request, const std::string& reason) {
+RunResult Gateway::reject(RunRequest& request, ErrorCode code,
+                          const std::string& reason, double retry_after) {
   (void)request;
   rejected_->add(1);
   RunResult result;
+  result.code = code;
   result.error = reason;
+  result.retry_after_seconds = retry_after;
   result.completion_seq = completion_seq_.fetch_add(1) + 1;
   return result;
 }
 
-int Gateway::route(const container::Image& image, const RunRequest& request) {
+RunResult Gateway::shed(const RunRequest& request, double retry_after) {
+  (void)request;
+  shed_->add(1);
+  RunResult result;
+  result.code = ErrorCode::Shed;
+  result.error = "request shed (gateway overloaded)";
+  result.retry_after_seconds = retry_after;
+  result.completion_seq = completion_seq_.fetch_add(1) + 1;
+  return result;
+}
+
+int Gateway::route(const container::Image& image, const RunRequest& request,
+                   Clock::time_point now, bool* any_compatible) {
+  if (any_compatible) *any_compatible = false;
   const std::size_t n = fleet_.size();
   if (n == 0) return -1;
   // Rotate the scan start so equal-load compatible nodes share work.
@@ -327,6 +461,11 @@ int Gateway::route(const container::Image& image, const RunRequest& request) {
         continue;
       }
     }
+    if (any_compatible) *any_compatible = true;
+    // A tripped breaker takes the node out of rotation until it cools;
+    // when the breaker is Closed (always, absent faults) this is one
+    // relaxed-ish atomic load.
+    if (!breakers_[i]->allow(now)) continue;
     const int load = load_[i]->active.load(std::memory_order_relaxed);
     if (load < best_load) {
       best = static_cast<int>(i);
@@ -336,81 +475,215 @@ int Gateway::route(const container::Image& image, const RunRequest& request) {
   return best;
 }
 
-RunResult Gateway::execute(RunRequest& request) {
+bool Gateway::backoff_for_retry(RunResult& out, ErrorCode code,
+                                const std::string& error, int charged_attempts,
+                                std::uint64_t jitter_seed,
+                                const Deadline& deadline, bool immediate) {
+  if (charged_attempts >= options_.retry.max_attempts) {
+    out.code = code;
+    out.error = error + " (gave up after " +
+                std::to_string(charged_attempts) + " attempts)";
+    return false;
+  }
+  double backoff = 0.0;
+  if (!immediate && charged_attempts > 0) {
+    backoff = options_.retry.backoff_seconds(charged_attempts, jitter_seed);
+  }
+  if (deadline.active() &&
+      deadline.remaining_seconds(Clock::now()) <= backoff) {
+    // The budget cannot cover the sleep, let alone the retry.
+    deadline_exceeded_->add(1);
+    out.code = ErrorCode::DeadlineExceeded;
+    out.error = "deadline exceeded while retrying after: " + error;
+    return false;
+  }
+  if (backoff > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+  }
+  retries_->add(1);
+  return true;
+}
+
+RunResult Gateway::execute(RunRequest& request, Clock::time_point admitted,
+                           std::uint64_t seq) {
   RunResult out;
+  const Deadline deadline = request.deadline_seconds > 0.0
+                                ? Deadline::after(request.deadline_seconds,
+                                                  admitted)
+                                : Deadline();
 
   const auto digest = registry_.resolve(request.image_reference);
   if (!digest) {
+    out.code = ErrorCode::NotFound;
     out.error = "image not found in registry: " + request.image_reference;
     return out;
   }
   const auto image = registry_.pull(*digest);  // shared, no layer copy
 
-  const int node_index = route(*image, request);
-  if (node_index < 0) {
-    out.error = "no compatible node in fleet for " + request.image_reference +
-                " (architecture " + image->architecture +
-                (request.march ? ", march " +
-                                     std::string(isa::to_string(*request.march))
-                               : "") +
-                ")";
-    return out;
-  }
-  const vm::NodeSpec& node = fleet_[static_cast<std::size_t>(node_index)];
-  out.node_name = node.name;
-  NodeLoad& load = *load_[static_cast<std::size_t>(node_index)];
-  load.active.fetch_add(1, std::memory_order_relaxed);
+  // Decorrelate backoff jitter across requests while keeping one
+  // request's schedule a pure function of its admission order.
+  const std::uint64_t jitter_seed = (seq + 1) * 0x9e3779b97f4a7c15ULL;
+  // Inherited single-flight failures (a waiter that joined a failing
+  // leader) retry immediately without consuming attempts — but bounded,
+  // so a pathological plan cannot loop forever.
+  constexpr int kMaxInheritedRetries = 32;
+  int inherited_retries = 0;
 
-  // Deploy: the scheduler routes source images to the farm by the
-  // container-kind annotation; both paths land in a specialization cache,
-  // so repeat (image, config, target) requests reuse the cached app.
-  MixedDeployRequest deploy_request;
-  deploy_request.node = node;
-  deploy_request.image_reference = *digest;
-  deploy_request.selections = request.selections;
-  deploy_request.march = request.march;
-  deploy_request.opt_level = request.opt_level;
-  deploy_request.auto_specialize = request.auto_specialize;
-  const auto t_deploy = Clock::now();
-  const FleetDeployResult deployed = scheduler_.deploy(deploy_request);
-  out.deploy_seconds = seconds_since(t_deploy);
-  deploy_hist_->observe(out.deploy_seconds);
-  if (!deployed.ok) {
-    load.active.fetch_sub(1, std::memory_order_relaxed);
-    out.error = deployed.error;
-    return out;
-  }
-  out.configuration = deployed.configuration;
-  out.spec_cache_hit = deployed.cache_hit;
-  // Memoized at deploy time; falling back to a fresh digest only covers
-  // hand-constructed apps that never went through a deploy path.
-  out.image_digest = deployed.app->image_digest.empty()
-                         ? deployed.app->image.digest()
-                         : deployed.app->image_digest;
-
-  // Run on the routed node through the shared pre-decoded program; the
-  // stats hook streams VM counters into telemetry.
-  vm::ExecutorOptions exec_options;
-  exec_options.threads = request.threads;
-  exec_options.stats_hook = [this](const vm::RunResult& run) {
-    vm_runs_->add(1);
-    if (run.instructions > 0) {
-      vm_instructions_->add(static_cast<std::uint64_t>(run.instructions));
+  for (int attempt = 1;; ++attempt) {
+    out.attempts = attempt;
+    const auto now = Clock::now();
+    if (deadline.expired(now)) {
+      deadline_exceeded_->add(1);
+      out.code = ErrorCode::DeadlineExceeded;
+      out.error = "deadline exceeded before attempt " +
+                  std::to_string(attempt);
+      return out;
     }
-  };
-  const auto t_run = Clock::now();
-  out.run = deployed.app->run_on(node, request.workload, exec_options);
-  out.run_seconds = seconds_since(t_run);
-  run_hist_->observe(out.run_seconds);
-  load.active.fetch_sub(1, std::memory_order_relaxed);
 
-  if (!out.run.ok) {
-    out.error = "run failed: " + out.run.error;
+    bool any_compatible = false;
+    const int node_index = route(*image, request, now, &any_compatible);
+    if (node_index < 0) {
+      if (!any_compatible) {
+        // No node can *ever* serve this request: permanent, no retry.
+        out.code = ErrorCode::NoCompatibleNode;
+        out.error =
+            "no compatible node in fleet for " + request.image_reference +
+            " (architecture " + image->architecture +
+            (request.march
+                 ? ", march " + std::string(isa::to_string(*request.march))
+                 : "") +
+            ")";
+        return out;
+      }
+      // Compatible nodes exist but every breaker is open right now.
+      if (!backoff_for_retry(out, ErrorCode::NodesUnavailable,
+                             "all compatible nodes unavailable (circuit "
+                             "breakers open)",
+                             attempt - inherited_retries, jitter_seed,
+                             deadline, /*immediate=*/false)) {
+        return out;
+      }
+      continue;
+    }
+    const vm::NodeSpec& node = fleet_[static_cast<std::size_t>(node_index)];
+    out.node_name = node.name;
+    CircuitBreaker& breaker = *breakers_[static_cast<std::size_t>(node_index)];
+    NodeLoad& load = *load_[static_cast<std::size_t>(node_index)];
+    load.active.fetch_add(1, std::memory_order_relaxed);
+
+    // Deploy: the scheduler routes source images to the farm by the
+    // container-kind annotation; both paths land in a specialization
+    // cache, so repeat (image, config, target) requests reuse the cached
+    // app.
+    MixedDeployRequest deploy_request;
+    deploy_request.node = node;
+    deploy_request.image_reference = *digest;
+    deploy_request.selections = request.selections;
+    deploy_request.march = request.march;
+    deploy_request.opt_level = request.opt_level;
+    deploy_request.auto_specialize = request.auto_specialize;
+    const auto t_deploy = Clock::now();
+    const FleetDeployResult deployed = scheduler_.deploy(deploy_request);
+    const double deploy_seconds = seconds_since(t_deploy);
+    out.deploy_seconds += deploy_seconds;  // accumulated across attempts
+    deploy_hist_->observe(deploy_seconds);
+    if (!deployed.ok) {
+      load.active.fetch_sub(1, std::memory_order_relaxed);
+      if (!deployed.transient) {
+        // Deterministic failure (unknown image, bad plan, malformed
+        // source): retrying cannot help.
+        out.code = deployed.code == ErrorCode::Ok ? ErrorCode::DeployFailed
+                                                  : deployed.code;
+        out.error = deployed.error;
+        return out;
+      }
+      // Transient deploy failure. Failed lowerings are never cached
+      // (spec_cache.cpp / compile_cache.cpp erase before publishing), so
+      // a retry elects a fresh deployer. A waiter that inherited the
+      // leader's failure (cache_hit on a failed result) did not spend
+      // its own attempt — it retries immediately.
+      const bool inherited = deployed.cache_hit;
+      if (inherited) {
+        ++inherited_retries;
+        if (inherited_retries > kMaxInheritedRetries) {
+          out.code = deployed.code;
+          out.error = deployed.error + " (too many inherited failures)";
+          return out;
+        }
+      }
+      if (!backoff_for_retry(out, deployed.code, deployed.error,
+                             attempt - inherited_retries, jitter_seed,
+                             deadline, /*immediate=*/inherited)) {
+        return out;
+      }
+      continue;
+    }
+    out.configuration = deployed.configuration;
+    out.spec_cache_hit = deployed.cache_hit;
+    // Memoized at deploy time; falling back to a fresh digest only covers
+    // hand-constructed apps that never went through a deploy path.
+    out.image_digest = deployed.app->image_digest.empty()
+                           ? deployed.app->image.digest()
+                           : deployed.app->image_digest;
+
+    // The deploy may have eaten the budget: check before committing to
+    // the run.
+    if (deadline.expired(Clock::now())) {
+      load.active.fetch_sub(1, std::memory_order_relaxed);
+      deadline_exceeded_->add(1);
+      out.code = ErrorCode::DeadlineExceeded;
+      out.error = "deadline exceeded after deploy, before run";
+      return out;
+    }
+
+    // Injected node failure modes: a crashed node fails every run routed
+    // to it (its breaker opens and routing moves on); a slow node stalls
+    // before executing.
+    fault::FaultPlan* plan = fault::FaultInjector::active();
+    vm::RunResult run;
+    if (plan != nullptr && plan->node_crashed(node.name)) {
+      run.ok = false;
+      run.error = "injected node crash on " + node.name;
+    } else {
+      if (plan != nullptr && plan->fires(fault::kNodeSlow, node.name)) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(plan->slowdown_seconds()));
+      }
+      // Run on the routed node through the shared pre-decoded program;
+      // the stats hook streams VM counters into telemetry.
+      vm::ExecutorOptions exec_options;
+      exec_options.threads = request.threads;
+      exec_options.stats_hook = [this](const vm::RunResult& r) {
+        vm_runs_->add(1);
+        if (r.instructions > 0) {
+          vm_instructions_->add(static_cast<std::uint64_t>(r.instructions));
+        }
+      };
+      const auto t_run = Clock::now();
+      run = deployed.app->run_on(node, request.workload, exec_options);
+      const double run_seconds = seconds_since(t_run);
+      out.run_seconds += run_seconds;  // accumulated across attempts
+      run_hist_->observe(run_seconds);
+    }
+    load.active.fetch_sub(1, std::memory_order_relaxed);
+
+    if (!run.ok) {
+      if (breaker.record_failure(Clock::now())) breaker_open_->add(1);
+      if (!backoff_for_retry(out, ErrorCode::RunFailed,
+                             "run failed: " + run.error,
+                             attempt - inherited_retries, jitter_seed,
+                             deadline, /*immediate=*/false)) {
+        return out;
+      }
+      continue;
+    }
+    breaker.record_success();
+    out.run = std::move(run);
+    out.numerics_digest = numerics_digest(out.run, request.workload);
+    out.code = ErrorCode::Ok;
+    out.ok = true;
     return out;
   }
-  out.numerics_digest = numerics_digest(out.run, request.workload);
-  out.ok = true;
-  return out;
 }
 
 }  // namespace xaas::service

@@ -35,6 +35,8 @@
 
 #include "service/build_farm.hpp"
 #include "service/deploy_scheduler.hpp"
+#include "service/fault.hpp"
+#include "service/reliability.hpp"
 #include "service/sharded_registry.hpp"
 #include "service/telemetry.hpp"
 #include "vm/executor.hpp"
@@ -56,12 +58,27 @@ struct RunRequest {
   int threads = 1;
   /// Admission priority: higher runs first; FIFO within one priority.
   int priority = 0;
+  /// Total wall-clock budget in seconds, measured from admission
+  /// (0 = no deadline). Checked at dequeue, before each attempt, before
+  /// the run, and before every backoff sleep; work already in flight is
+  /// never preempted.
+  double deadline_seconds = 0.0;
 };
 
 /// Structured completion of one request.
 struct RunResult {
   bool ok = false;
   std::string error;
+  /// Machine-readable classification (Ok iff ok) — clients branch on
+  /// this, never on the error string. is_retryable(code) says whether
+  /// resubmitting can help.
+  ErrorCode code = ErrorCode::Ok;
+  /// For QueueFull/Shed completions: suggested wait before resubmitting,
+  /// seconds (estimated queue drain time); 0 when not applicable.
+  double retry_after_seconds = 0.0;
+  /// Deploy+run attempts consumed (0 when the request never left the
+  /// queue). attempts - 1 retries were granted by the retry policy.
+  int attempts = 0;
 
   std::string node_name;      // fleet node the request ran on
   std::string configuration;  // selected/resolved configuration id
@@ -121,6 +138,24 @@ struct GatewayOptions {
   /// `artifact_store` pointers are overwritten with the owned store).
   DeploySchedulerOptions scheduler;
   BuildFarmOptions farm;
+  /// Retry policy for transient deploy/run failures (max_attempts = 1
+  /// disables retries). A waiter that inherited a failing single-flight
+  /// leader's result retries immediately without consuming an attempt.
+  RetryPolicy retry;
+  /// Per-fleet-node circuit breaker configuration.
+  CircuitBreaker::Options breaker;
+  /// Graceful degradation: shed new submissions (code Shed + retry_after
+  /// hint, distinct from rejected) when the queue holds more than this
+  /// fraction of max_queue. 0 (default) disables depth shedding.
+  double shed_queue_fraction = 0.0;
+  /// Shed when the failure rate over the trailing window exceeds this
+  /// fraction. 0 (default) disables failure-rate shedding.
+  double shed_failure_rate = 0.0;
+  /// Completions required in the window before the failure-rate rule
+  /// applies (avoids shedding on the first unlucky request).
+  std::size_t shed_min_samples = 16;
+  /// Failure-rate window length, seconds.
+  double shed_window_seconds = 1.0;
 };
 
 /// The serving gateway. Owns the registry, the deploy services, the node
@@ -137,15 +172,17 @@ struct GatewayOptions {
 /// queued request (their futures complete), and joins the workers.
 ///
 /// Telemetry names reported (see docs/SERVICE.md "Telemetry"):
-///   counters   gateway.{requests,admitted,rejected,completed,failed,
-///              backpressure_waits}, spec_cache.{hits,disk_hits,misses,
-///              deploy_failures}, tu_cache.{hits,disk_hits,compiles},
+///   counters   gateway.{requests,admitted,rejected,shed,completed,failed,
+///              backpressure_waits,retries,breaker_open,deadline_exceeded},
+///              spec_cache.{hits,disk_hits,misses,deploy_failures},
+///              tu_cache.{hits,disk_hits,compiles},
 ///              artifact_store.{disk_hits,disk_misses,writes,evictions,
-///              verify_failures}, vm.{runs,instructions}
+///              verify_failures}, vm.{runs,instructions},
+///              fault.<site> (via observe_fault_plan)
 ///   gauges     gateway.queue_depth, gateway.in_flight
 ///   histograms gateway.{queue,deploy,run,total}_seconds,
 ///              spec_cache.lowering_seconds, tu_cache.compile_seconds
-/// After the queue drains: requests == admitted + rejected and
+/// After the queue drains: requests == admitted + rejected + shed and
 /// admitted == completed + failed == gateway.total_seconds count.
 class Gateway {
 public:
@@ -168,6 +205,22 @@ public:
 
   /// Submit a batch and wait; results are returned in request order.
   std::vector<RunResult> run_all(std::vector<RunRequest> requests);
+
+  /// Submit a batch without ever blocking the caller: a request that
+  /// would wait for queue space is shed (code Shed + retry_after hint)
+  /// instead, so an overload spike degrades to a partial batch rather
+  /// than a stalled client. Futures are returned in request order.
+  std::vector<std::future<RunResult>> submit_batch(
+      std::vector<RunRequest> requests);
+
+  /// The circuit breaker guarding fleet()[index] (exposed for tests).
+  const CircuitBreaker& node_breaker(std::size_t index) const {
+    return *breakers_[index];
+  }
+
+  /// Mirror the plan's injected faults into this gateway's metrics as
+  /// "fault.<site>" counters. Call before serving under the plan.
+  void observe_fault_plan(fault::FaultPlan& plan);
 
   /// Admitted-but-not-started requests right now.
   std::size_t queue_depth() const;
@@ -192,6 +245,8 @@ private:
     RunRequest request;
     std::promise<RunResult> promise;
     Clock::time_point admitted;
+    /// Admission sequence number; seeds the per-request backoff jitter.
+    std::uint64_t seq = 0;
   };
 
   /// Per-node in-flight count, cache-line-padded (routing reads all,
@@ -201,11 +256,34 @@ private:
   };
 
   void worker_loop();
-  /// Fleet index serving this request, or -1 when no node is compatible
-  /// (architecture mismatch or explicit march beyond every ladder).
-  int route(const container::Image& image, const RunRequest& request);
-  RunResult execute(RunRequest& request);
-  RunResult reject(RunRequest& request, const std::string& reason);
+  std::future<RunResult> submit_impl(RunRequest request, bool never_block);
+  /// Fleet index serving this request, or -1 when none is available.
+  /// `any_compatible` (when non-null) reports whether a compatible node
+  /// exists at all — false means the request can never be served
+  /// (architecture/march mismatch), true with -1 means every compatible
+  /// node's breaker is open right now (transient).
+  int route(const container::Image& image, const RunRequest& request,
+            Clock::time_point now, bool* any_compatible);
+  RunResult execute(RunRequest& request, Clock::time_point admitted,
+                    std::uint64_t seq);
+  /// Sleep-and-continue decision after a transient failure: returns true
+  /// when a retry was granted (counting gateway.retries), false when the
+  /// attempt budget or deadline is spent (out.code/error are then final).
+  bool backoff_for_retry(RunResult& out, ErrorCode code,
+                         const std::string& error, int charged_attempts,
+                         std::uint64_t jitter_seed, const Deadline& deadline,
+                         bool immediate);
+  RunResult reject(RunRequest& request, ErrorCode code,
+                   const std::string& reason, double retry_after = 0.0);
+  RunResult shed(const RunRequest& request, double retry_after);
+  /// Whether admission should shed right now (queue fraction or trailing
+  /// failure rate over threshold); caller holds mutex_.
+  bool should_shed_locked() const;
+  /// Estimated queue drain time — the retry_after hint; caller holds
+  /// mutex_.
+  double retry_after_hint_locked() const;
+  /// Feed the failure-rate window and the service-time EMA.
+  void record_completion(bool ok, double total_seconds);
   void finish(Job job, RunResult result);
 
   GatewayOptions options_;
@@ -217,9 +295,13 @@ private:
   telemetry::Counter* requests_ = nullptr;
   telemetry::Counter* admitted_ = nullptr;
   telemetry::Counter* rejected_ = nullptr;
+  telemetry::Counter* shed_ = nullptr;
   telemetry::Counter* completed_ = nullptr;
   telemetry::Counter* failed_ = nullptr;
   telemetry::Counter* backpressure_waits_ = nullptr;
+  telemetry::Counter* retries_ = nullptr;
+  telemetry::Counter* breaker_open_ = nullptr;
+  telemetry::Counter* deadline_exceeded_ = nullptr;
   telemetry::Counter* vm_runs_ = nullptr;
   telemetry::Counter* vm_instructions_ = nullptr;
   telemetry::Gauge* queue_depth_ = nullptr;
@@ -236,8 +318,17 @@ private:
   BuildFarm farm_;
   DeployScheduler scheduler_;
   std::vector<std::unique_ptr<NodeLoad>> load_;
+  /// One breaker per fleet node (same indexing as fleet_/load_).
+  std::vector<std::unique_ptr<CircuitBreaker>> breakers_;
   std::atomic<std::uint64_t> route_rr_{0};
   std::atomic<std::uint64_t> completion_seq_{0};
+
+  // Trailing failure-rate window (load shedding) + service-time EMA (the
+  // retry_after hint). All relaxed atomics: shedding is advisory.
+  std::atomic<std::int64_t> window_start_nanos_{0};
+  std::atomic<std::uint64_t> window_total_{0};
+  std::atomic<std::uint64_t> window_failed_{0};
+  std::atomic<std::uint64_t> service_ema_bits_{0};  // bit_cast<double>
 
   mutable std::mutex mutex_;
   std::condition_variable cv_workers_;  // queue became non-empty / stopping

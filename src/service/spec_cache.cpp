@@ -115,22 +115,32 @@ std::shared_ptr<const DeployedApp> SpecializationCache::get_or_deploy(
   try {
     result = deploy();
   } catch (...) {
-    // Never leave waiters hanging: publish an empty result, then drop the
-    // entry so the next request retries.
-    promise.set_value(nullptr);
+    // Never leave waiters hanging: erase the entry, then publish an
+    // empty result. Erasing FIRST matters — a requester arriving between
+    // publication and a late erase would count a completed-failed entry
+    // as a hit.
     erase_own_entry();
+    promise.set_value(nullptr);
     notify_deployed(false);
     throw;
   }
-  promise.set_value(result);
   if (!result || !result->ok) {
-    // Failures are returned to this round of waiters but not cached.
+    // Failed lowerings are never cached: erase before publishing, so the
+    // failure reaches only the waiters already blocked on this future —
+    // every later requester elects a fresh deployer. (Those waiters see
+    // cache_hit=true with a failed result; the Gateway's retry loop
+    // treats that as "inherited a leader's failure" and retries
+    // immediately rather than propagating the error.)
     erase_own_entry();
-  } else if (disk_tier_) {
-    // Persist after publishing so waiters are never blocked on the
-    // serialization/write; a failed store just means the next process
-    // starts cold for this key.
-    disk_tier_->store(key, *result);
+    promise.set_value(result);
+  } else {
+    promise.set_value(result);
+    if (disk_tier_) {
+      // Persist after publishing so waiters are never blocked on the
+      // serialization/write; a failed store just means the next process
+      // starts cold for this key.
+      disk_tier_->store(key, *result);
+    }
   }
   notify_deployed(result && result->ok);
   return result;

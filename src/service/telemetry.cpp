@@ -84,6 +84,24 @@ std::string format_seconds(double seconds) {
 
 }  // namespace
 
+double HistogramSnapshot::quantile_upper_seconds(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  std::uint64_t cumulative = 0;
+  for (const auto& [bound, bucket_count] : buckets) {
+    cumulative += bucket_count;
+    if (cumulative >= target) {
+      // The overflow bucket's bound is +inf; the observed max is the
+      // tightest finite bound we have for it.
+      return std::isinf(bound) ? max_seconds : bound;
+    }
+  }
+  return max_seconds;
+}
+
 std::string MetricsSnapshot::render() const {
   std::string out;
   out += "-- telemetry --------------------------------------------------\n";

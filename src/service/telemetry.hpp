@@ -145,6 +145,12 @@ struct HistogramSnapshot {
   double mean_seconds() const {
     return count == 0 ? 0.0 : sum_seconds / static_cast<double>(count);
   }
+
+  /// Conservative quantile estimate: the upper bound of the first bucket
+  /// whose cumulative count reaches q * count (the true q-quantile is <=
+  /// this value). Observations in the overflow bucket report the exact
+  /// observed max instead of +inf. 0 when the histogram is empty.
+  double quantile_upper_seconds(double q) const;
 };
 
 /// Point-in-time copy of every registered metric.

@@ -11,6 +11,7 @@
 
 #include "apps/minimd.hpp"
 #include "service/build_farm.hpp"
+#include "service/fault.hpp"
 
 namespace xaas::service {
 namespace {
@@ -149,6 +150,83 @@ TEST(ArtifactStore, NeverEvictsTheBlobJustWritten) {
   // become a no-op that pretends to persist.
   EXPECT_EQ(store.entry_count(), 1u);
   EXPECT_TRUE(store.get("tu", "k").has_value());
+}
+
+TEST(ArtifactStore, VerifyFailureEvictsDeadEntryEverywhereSynchronously) {
+  TempDir dir("verify-evict");
+  ArtifactStore store({dir.str(), 0});
+  ASSERT_TRUE(store.put("tu", "dead", std::string(128, 'd')));
+  ASSERT_TRUE(store.put("tu", "live", std::string(128, 'l')));
+  store.flush_index();  // the persisted index now lists both entries
+  const auto bytes_before = store.total_bytes();
+
+  flip_last_byte(blob_file(dir.str(), "tu", "dead"));
+  EXPECT_FALSE(store.get("tu", "dead").has_value());
+
+  // Regression: the dead entry must be gone from ALL three places
+  // immediately — blob file, in-memory accounting, and the persisted
+  // index — with no flush_index() call in between. A crash right here
+  // must not let recovery resurrect the entry's LRU record.
+  EXPECT_FALSE(fs::exists(blob_file(dir.str(), "tu", "dead")));
+  EXPECT_EQ(store.entry_count(), 1u);
+  EXPECT_LT(store.total_bytes(), bytes_before);
+  const auto dead_digest = ArtifactStore::blob_digest("tu", "dead");
+  std::ifstream index(dir.path() / "index.json");
+  ASSERT_TRUE(index.is_open());
+  const std::string index_text((std::istreambuf_iterator<char>(index)),
+                               std::istreambuf_iterator<char>());
+  EXPECT_EQ(index_text.find(dead_digest), std::string::npos) << index_text;
+  EXPECT_NE(index_text.find(ArtifactStore::blob_digest("tu", "live")),
+            std::string::npos);
+}
+
+TEST(ArtifactStore, InjectedWriteFaultFailsThePutCleanly) {
+  TempDir dir("fault-write");
+  ArtifactStore store({dir.str(), 0});
+  fault::FaultPlan plan(21);
+  plan.set_probability(fault::kStoreWrite, 1.0);
+  fault::ScopedFaultPlan guard(plan);
+
+  EXPECT_FALSE(store.put("tu", "k", "payload"));
+  EXPECT_EQ(store.entry_count(), 0u);
+  EXPECT_FALSE(fs::exists(blob_file(dir.str(), "tu", "k")));
+  EXPECT_FALSE(store.get("tu", "k").has_value());
+  EXPECT_GE(plan.injected(fault::kStoreWrite), 1u);
+}
+
+TEST(ArtifactStore, InjectedReadFaultIsTransientNotDestructive) {
+  TempDir dir("fault-read");
+  ArtifactStore store({dir.str(), 0});
+  ASSERT_TRUE(store.put("tu", "k", "payload"));
+
+  fault::FaultPlan plan(22);
+  plan.set_probability(fault::kStoreRead, 1.0);
+  {
+    fault::ScopedFaultPlan guard(plan);
+    // An injected read I/O error is a miss, but the blob stays on disk
+    // and accounted — unlike a truly unreadable blob, nothing is purged.
+    EXPECT_FALSE(store.get("tu", "k").has_value());
+    EXPECT_EQ(store.entry_count(), 1u);
+    EXPECT_TRUE(fs::exists(blob_file(dir.str(), "tu", "k")));
+  }
+  EXPECT_EQ(*store.get("tu", "k"), "payload");  // plan gone: read recovers
+  EXPECT_EQ(store.verify_failures(), 0u);
+}
+
+TEST(ArtifactStore, InjectedCorruptionIsCaughtByVerification) {
+  TempDir dir("fault-corrupt");
+  ArtifactStore store({dir.str(), 0});
+  ASSERT_TRUE(store.put("tu", "k", "genuine payload"));
+
+  fault::FaultPlan plan(23);
+  plan.set_probability(fault::kStoreCorrupt, 1.0);
+  fault::ScopedFaultPlan guard(plan);
+  // The flipped byte fails sha256 verification: a corrupt read can cost
+  // a recompile, never serve wrong bytes.
+  EXPECT_FALSE(store.get("tu", "k").has_value());
+  EXPECT_EQ(store.verify_failures(), 1u);
+  EXPECT_EQ(store.entry_count(), 0u);
+  EXPECT_GE(plan.injected(fault::kStoreCorrupt), 1u);
 }
 
 TEST(ArtifactStore, IndexRoundTripAfterUncleanShutdown) {
