@@ -6,9 +6,12 @@
 #include <unistd.h>
 
 #include <filesystem>
+#include <map>
+#include <shared_mutex>
 
 #include "apps/minilulesh.hpp"
 #include "apps/minimd.hpp"
+#include "common/hashing.hpp"
 #include "common/sha256.hpp"
 #include "service/artifact_store.hpp"
 #include "minicc/driver.hpp"
@@ -364,6 +367,148 @@ void BM_GatewayServing(benchmark::State& state) {
                           requests);
 }
 BENCHMARK(BM_GatewayServing)->Arg(32)->Unit(benchmark::kMillisecond);
+
+// Serving-plane read contention: 31 reader threads pull hot tags while
+// thread 0 continuously re-pushes them (the 95/5 serving mix realised
+// as a thread partition). BM_ReadContention runs the RCU-snapshot
+// registry (the shipped read path); BM_ReadContentionBaseline runs an
+// in-bench replica of the pre-refactor 16-shard shared_mutex design on
+// the identical workload. items_per_second counts reads only — the
+// ratio between the two entries is the bench/read_contention PASS
+// gate's headline number (see docs/PERFORMANCE.md).
+namespace read_contention {
+
+constexpr int kHotKeys = 64;
+
+struct Fixture {
+  Fixture() {
+    for (int i = 0; i < kHotKeys; ++i) {
+      container::Image image;
+      image.architecture = container::kArchLlvmIrAmd64;
+      image.annotations["bench.key"] = std::to_string(i);
+      auto shared = std::make_shared<const container::Image>(image);
+      digests.push_back(shared->digest());
+      images.push_back(std::move(shared));
+      refs.push_back("bench/app:" + std::to_string(i));
+    }
+  }
+  static const Fixture& get() {
+    static Fixture fixture;
+    return fixture;
+  }
+  std::vector<std::shared_ptr<const container::Image>> images;
+  std::vector<std::string> digests;
+  std::vector<std::string> refs;
+};
+
+/// Pre-refactor registry replica: 16-shard shared_mutex tag/blob maps,
+/// three reader-lock acquisitions per pull (resolve + fetch).
+struct LockedRegistry {
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    std::map<std::string, std::shared_ptr<const container::Image>> images;
+    std::map<std::string, std::string> tags;
+  };
+  static constexpr std::size_t kShards = 16;
+  std::vector<Shard> shards{2 * kShards};
+
+  Shard& blob_shard(const std::string& key) {
+    return shards[common::shard_index(key, kShards)];
+  }
+  Shard& tag_shard(const std::string& key) {
+    return shards[kShards + common::shard_index(key, kShards)];
+  }
+  void push(const Fixture& f, int i) {
+    const auto idx = static_cast<std::size_t>(i % kHotKeys);
+    {
+      Shard& shard = blob_shard(f.digests[idx]);
+      std::unique_lock lock(shard.mutex);
+      shard.images[f.digests[idx]] = f.images[idx];
+    }
+    Shard& shard = tag_shard(f.refs[idx]);
+    std::unique_lock lock(shard.mutex);
+    shard.tags[f.refs[idx]] = f.digests[idx];
+  }
+  bool pull(const Fixture& f, int i) {
+    const auto idx = static_cast<std::size_t>(i % kHotKeys);
+    std::string digest;
+    {
+      Shard& shard = tag_shard(f.refs[idx]);
+      std::shared_lock lock(shard.mutex);
+      const auto it = shard.tags.find(f.refs[idx]);
+      if (it == shard.tags.end()) return false;
+      digest = it->second;
+    }
+    {
+      Shard& shard = blob_shard(digest);
+      std::shared_lock lock(shard.mutex);
+      if (!shard.images.count(digest)) return false;
+    }
+    Shard& shard = blob_shard(digest);
+    std::shared_lock lock(shard.mutex);
+    return shard.images.find(digest) != shard.images.end();
+  }
+};
+
+template <typename Registry, typename Read, typename Write>
+void run_threads(benchmark::State& state, Registry& registry,
+                 const Read& read, const Write& write) {
+  const auto& f = Fixture::get();
+  if (state.thread_index() == 0) {
+    int i = 0;
+    for (auto _ : state) write(registry, f, i++);
+    state.SetItemsProcessed(0);  // writer: interference, not throughput
+    return;
+  }
+  std::uint64_t reads = 0;
+  int i = state.thread_index();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(read(registry, f, i++));
+    ++reads;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(reads));
+}
+
+}  // namespace read_contention
+
+void BM_ReadContention(benchmark::State& state) {
+  namespace rc = read_contention;
+  static service::ShardedRegistry* registry = [] {
+    auto* r = new service::ShardedRegistry();
+    const auto& f = rc::Fixture::get();
+    for (int i = 0; i < rc::kHotKeys; ++i) r->push(f.images[i], f.refs[i]);
+    return r;
+  }();
+  rc::run_threads(
+      state, *registry,
+      [](service::ShardedRegistry& r, const rc::Fixture& f, int i) {
+        return r.pull(f.refs[static_cast<std::size_t>(i % rc::kHotKeys)]) !=
+               nullptr;
+      },
+      [](service::ShardedRegistry& r, const rc::Fixture& f, int i) {
+        const auto idx = static_cast<std::size_t>(i % rc::kHotKeys);
+        r.push(f.images[idx], f.refs[idx]);
+      });
+}
+BENCHMARK(BM_ReadContention)->Threads(32)->UseRealTime();
+
+void BM_ReadContentionBaseline(benchmark::State& state) {
+  namespace rc = read_contention;
+  static rc::LockedRegistry* registry = [] {
+    auto* r = new rc::LockedRegistry();
+    for (int i = 0; i < rc::kHotKeys; ++i) r->push(rc::Fixture::get(), i);
+    return r;
+  }();
+  rc::run_threads(
+      state, *registry,
+      [](rc::LockedRegistry& r, const rc::Fixture& f, int i) {
+        return r.pull(f, i);
+      },
+      [](rc::LockedRegistry& r, const rc::Fixture& f, int i) {
+        r.push(f, i);
+      });
+}
+BENCHMARK(BM_ReadContentionBaseline)->Threads(32)->UseRealTime();
 
 // The same serving loop under a deterministic FaultPlan: one batch node
 // crashed, flaky TU builds and IR lowering. Measures what the

@@ -1,0 +1,102 @@
+// Bounded lock-free MPMC ring (Vyukov's bounded queue).
+//
+// Each slot carries a sequence number: slot i starts at seq == i. A
+// producer claims position p when seq == p (CAS on the enqueue
+// cursor), writes the value, then publishes seq = p + 1. A consumer
+// claims position p when seq == p + 1, reads the value, then recycles
+// seq = p + capacity. The cursors only ever advance, so elements are
+// FIFO in claim order, and a slot is never read before its producer
+// published nor overwritten before its consumer drained — no lost or
+// duplicated elements under any interleaving.
+//
+// Capacity is rounded up to a power of two so position -> slot is a
+// mask. try_push/try_pop never block and never spin unboundedly: a
+// full (or empty) ring returns false.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace xaas::common {
+
+template <typename T>
+class MpmcRing {
+ public:
+  explicit MpmcRing(std::size_t min_capacity) {
+    std::size_t cap = 1;
+    while (cap < min_capacity) cap <<= 1;
+    if (cap < 2) cap = 2;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<Slot[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcRing(const MpmcRing&) = delete;
+  MpmcRing& operator=(const MpmcRing&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  bool try_push(T&& value) {
+    std::size_t pos = enqueue_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      const std::size_t seq = slot.seq.load(std::memory_order_acquire);
+      const std::ptrdiff_t diff =
+          static_cast<std::ptrdiff_t>(seq) - static_cast<std::ptrdiff_t>(pos);
+      if (diff == 0) {
+        if (enqueue_.compare_exchange_weak(pos, pos + 1,
+                                           std::memory_order_relaxed)) {
+          slot.value = std::move(value);
+          slot.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS updated pos; retry with the fresh position.
+      } else if (diff < 0) {
+        return false;  // slot still holds an undrained element: full
+      } else {
+        pos = enqueue_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  bool try_pop(T& out) {
+    std::size_t pos = dequeue_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      const std::size_t seq = slot.seq.load(std::memory_order_acquire);
+      const std::ptrdiff_t diff = static_cast<std::ptrdiff_t>(seq) -
+                                  static_cast<std::ptrdiff_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_.compare_exchange_weak(pos, pos + 1,
+                                           std::memory_order_relaxed)) {
+          out = std::move(slot.value);
+          slot.value = T{};  // drop payload refs eagerly
+          slot.seq.store(pos + mask_ + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // slot not yet published: empty
+      } else {
+        pos = dequeue_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> enqueue_{0};
+  alignas(64) std::atomic<std::size_t> dequeue_{0};
+};
+
+}  // namespace xaas::common

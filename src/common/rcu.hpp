@@ -1,0 +1,265 @@
+// Epoch-based reclamation (EBR) and read-mostly snapshots.
+//
+// The serving plane's hot reads (registry pulls, cache probes, routing
+// scans) are wait-free: a reader pins the current epoch into a
+// per-thread slot, loads an immutable snapshot pointer, and works on
+// that version for as long as it holds the guard. Writers copy the
+// current version, swap the pointer under a small mutex, and *retire*
+// the old version into a limbo list tagged with a fresh epoch; a
+// retired version is freed only once every pinned reader has advanced
+// past its tag, so readers never observe a freed snapshot.
+//
+// Memory-ordering contract (all proofs assume it):
+//   - reader pin (slot store), the global epoch counter, the writer's
+//     slot scan, and the snapshot pointer load/store are seq_cst. The
+//     dangerous interleaving is store-buffering: reader pins, writer
+//     scans and misses the fresh pin. Under the seq_cst total order
+//     swap < scan < pin implies pin < reader's pointer load, so the
+//     reader sees the *new* pointer and the old version has no reader.
+//   - reader unpin is a release store of 0; the writer's scan loads
+//     acquire, which orders everything the reader did with the old
+//     version before the writer frees it.
+//   - no standalone fences: TSan does not model atomic_thread_fence,
+//     and the stress suites must stay TSan-clean.
+//
+// A reader pinned at epoch P protects every version retired with tag
+// T >= P: tags are handed out by fetch_add on the same counter the
+// reader pinned from, and a version retired with tag T < P was
+// unreachable before the reader pinned (the swap preceded the tag),
+// so the reader cannot hold it. Hence min-pinned-epoch > T  =>  no
+// reader can reference the version tagged T.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace xaas::common::rcu {
+
+// Process-wide reclamation domain. Deliberately leaked (never
+// destroyed) so thread_local guard destructors that run during static
+// destruction still find a live domain; per-thread slots live in a
+// leaked lock-free list and are recycled across threads via a claimed
+// flag, so the slot count is bounded by the peak thread count.
+class EpochDomain {
+ public:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> pinned{0};  // 0 = quiescent
+    std::atomic<bool> claimed{false};
+    Slot* next = nullptr;
+  };
+
+  static EpochDomain& instance() {
+    static EpochDomain* domain = new EpochDomain();  // leaked on purpose
+    return *domain;
+  }
+
+  // RAII read-side critical section. Re-entrant: nested guards on one
+  // thread share the outermost pin.
+  class Guard {
+   public:
+    Guard() {
+      ThreadState& ts = thread_state();
+      if (ts.depth++ == 0) {
+        ts.slot->pinned.store(
+            instance().epoch_.load(std::memory_order_seq_cst),
+            std::memory_order_seq_cst);
+      }
+    }
+    ~Guard() {
+      ThreadState& ts = thread_state();
+      if (--ts.depth == 0) {
+        ts.slot->pinned.store(0, std::memory_order_release);
+      }
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+  };
+
+  // Queue a deleter to run once every current reader has unpinned or
+  // advanced. Tags the entry with a fresh epoch, then opportunistically
+  // reclaims whatever is already safe.
+  void retire(std::function<void()> deleter) {
+    const std::uint64_t tag =
+        epoch_.fetch_add(1, std::memory_order_seq_cst);
+    {
+      std::lock_guard<std::mutex> lock(limbo_mutex_);
+      limbo_.push_back(Limbo{tag, std::move(deleter)});
+    }
+    retired_.fetch_add(1, std::memory_order_relaxed);
+    try_reclaim();
+  }
+
+  // Free every limbo entry whose tag is below the minimum pinned
+  // epoch. Deleters run outside the limbo lock so they may retire
+  // further objects without deadlocking.
+  void try_reclaim() {
+    const std::uint64_t horizon = min_pinned();
+    std::vector<Limbo> ready;
+    {
+      std::lock_guard<std::mutex> lock(limbo_mutex_);
+      std::size_t kept = 0;
+      for (auto& entry : limbo_) {
+        if (entry.tag < horizon) {
+          ready.push_back(std::move(entry));
+        } else {
+          limbo_[kept++] = std::move(entry);
+        }
+      }
+      limbo_.resize(kept);
+    }
+    for (auto& entry : ready) entry.deleter();
+    freed_.fetch_add(ready.size(), std::memory_order_relaxed);
+  }
+
+  std::uint64_t retired() const {
+    return retired_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t freed() const {
+    return freed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t pending() const {
+    std::lock_guard<std::mutex> lock(limbo_mutex_);
+    return limbo_.size();
+  }
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  struct Limbo {
+    std::uint64_t tag = 0;
+    std::function<void()> deleter;
+  };
+
+  struct ThreadState {
+    Slot* slot = nullptr;
+    unsigned depth = 0;
+
+    ThreadState() : slot(instance().claim_slot()) {}
+    ~ThreadState() {
+      slot->pinned.store(0, std::memory_order_release);
+      slot->claimed.store(false, std::memory_order_release);
+    }
+  };
+
+  EpochDomain() = default;
+
+  static ThreadState& thread_state() {
+    thread_local ThreadState state;
+    return state;
+  }
+
+  Slot* claim_slot() {
+    for (Slot* s = slots_.load(std::memory_order_acquire); s != nullptr;
+         s = s->next) {
+      bool expected = false;
+      if (s->claimed.compare_exchange_strong(expected, true,
+                                             std::memory_order_acq_rel)) {
+        return s;
+      }
+    }
+    Slot* fresh = new Slot();  // leaked: slots outlive all threads
+    fresh->claimed.store(true, std::memory_order_relaxed);
+    Slot* head = slots_.load(std::memory_order_acquire);
+    do {
+      fresh->next = head;
+    } while (!slots_.compare_exchange_weak(head, fresh,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire));
+    return fresh;
+  }
+
+  // Minimum epoch pinned by any active reader; the current epoch if
+  // everyone is quiescent. Scanning unclaimed slots is safe (they read
+  // pinned == 0) and required: release of a slot and release of its
+  // claim are two stores.
+  std::uint64_t min_pinned() const {
+    std::uint64_t min = epoch_.load(std::memory_order_seq_cst);
+    for (Slot* s = slots_.load(std::memory_order_acquire); s != nullptr;
+         s = s->next) {
+      const std::uint64_t pinned =
+          s->pinned.load(std::memory_order_seq_cst);
+      if (pinned != 0 && pinned < min) min = pinned;
+    }
+    return min;
+  }
+
+  std::atomic<std::uint64_t> epoch_{1};  // 0 is the quiescent sentinel
+  std::atomic<Slot*> slots_{nullptr};
+  mutable std::mutex limbo_mutex_;
+  std::vector<Limbo> limbo_;
+  std::atomic<std::uint64_t> retired_{0};
+  std::atomic<std::uint64_t> freed_{0};
+};
+
+// An atomically-swappable immutable version of T. Readers get a
+// pinned, stable `Ref`; writers copy-mutate-swap under a small mutex
+// and retire the previous version into the epoch domain.
+template <typename T>
+class Snapshot {
+ public:
+  // A pinned reference: holds the epoch guard for its lifetime, so the
+  // pointed-to version cannot be reclaimed while the Ref is alive.
+  class Ref {
+   public:
+    const T& operator*() const { return *ptr_; }
+    const T* operator->() const { return ptr_; }
+    const T* get() const { return ptr_; }
+
+   private:
+    friend class Snapshot;
+    explicit Ref(const Snapshot& owner)
+        : guard_(), ptr_(owner.ptr_.load(std::memory_order_seq_cst)) {}
+    EpochDomain::Guard guard_;  // constructed before ptr_ is loaded
+    const T* ptr_;
+  };
+
+  explicit Snapshot(std::unique_ptr<T> initial = std::make_unique<T>())
+      : ptr_(initial.release()) {}
+
+  ~Snapshot() {
+    // Ownership contract: the owner outlives all readers, so the
+    // current version has no pinned reference by now. Versions already
+    // retired are reclaimed by the (leaked) domain as epochs advance.
+    delete ptr_.load(std::memory_order_seq_cst);
+  }
+
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+
+  Ref read() const { return Ref(*this); }
+
+  // Copy the current version, apply `mutate`, publish the result.
+  template <typename Fn>
+  void update(Fn&& mutate) {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    const T* current = ptr_.load(std::memory_order_seq_cst);
+    auto next = std::make_unique<T>(*current);
+    mutate(*next);
+    publish_locked(next.release(), current);
+  }
+
+  // Replace the current version wholesale.
+  void store(std::unique_ptr<T> next) {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    const T* current = ptr_.load(std::memory_order_seq_cst);
+    publish_locked(next.release(), current);
+  }
+
+ private:
+  void publish_locked(const T* next, const T* old) {
+    ptr_.store(next, std::memory_order_seq_cst);
+    EpochDomain::instance().retire([old] { delete old; });
+  }
+
+  std::atomic<const T*> ptr_;
+  std::mutex write_mutex_;
+};
+
+}  // namespace xaas::common::rcu

@@ -31,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/rcu.hpp"
 #include "common/vfs.hpp"
 #include "minicc/driver.hpp"
 #include "minicc/lower.hpp"
@@ -229,6 +230,14 @@ private:
                                const CompileFlags& flags,
                                const TargetSpec& target);
 
+  /// Request-level fast-path key: (ordered defines, include dirs, openmp,
+  /// source, opt level, target) fully determine the compile output for
+  /// one source tree, so a completed successful result can be served
+  /// before any scan/preprocess/memo-map work happens.
+  static std::string fast_key(const std::string& source,
+                              const CompileFlags& flags,
+                              const TargetSpec& target);
+
   /// Single-flight memo map: the first requester of a key runs `compute`,
   /// concurrent requesters block on its shared_future. Entries are only
   /// ever evicted by erase() — compiles are deterministic, so genuine
@@ -306,6 +315,15 @@ private:
   Observer observer_;  // set once before serving; called after each compile
   TuDiskTier* disk_tier_ = nullptr;  // set once before serving
   FaultHook fault_hook_;             // set once before serving
+
+  // Lock-free hit tier in front of the memo maps: completed *successful*
+  // compiles keyed by fast_key(). Readers pin an RCU snapshot and probe
+  // without any mutex; the slow path publishes after resolution. Failures
+  // (deterministic or transient) never enter — they keep their existing
+  // machines_-map semantics exactly.
+  using FastMap =
+      std::unordered_map<std::string, std::shared_ptr<const TuCompileResult>>;
+  common::rcu::Snapshot<FastMap> fast_path_;
 
   SingleFlightMap<TargetFlagInfo> infos_;   // flags.canonical()
   SingleFlightMap<SourceScan> scans_;       // source + dirs_suffix

@@ -199,6 +199,12 @@ Gateway::Gateway(std::vector<vm::NodeSpec> fleet, GatewayOptions options)
     load_.push_back(std::make_unique<NodeLoad>());
     breakers_.push_back(std::make_unique<CircuitBreaker>(options_.breaker));
   }
+  // Routing snapshot starts all-closed (matches the fresh breakers).
+  {
+    auto table = std::make_unique<RouteTable>();
+    table->nodes.resize(fleet_.size());
+    route_table_.store(std::move(table));
+  }
 
   std::size_t worker_count = options_.worker_threads;
   if (worker_count == 0) {
@@ -211,9 +217,12 @@ Gateway::Gateway(std::vector<vm::NodeSpec> fleet, GatewayOptions options)
 }
 
 Gateway::~Gateway() {
+  stop_.store(true, std::memory_order_seq_cst);
   {
-    std::lock_guard lock(mutex_);
-    stop_ = true;
+    // Empty critical section: serializes with a worker/submitter that
+    // checked the predicate but has not yet slept, so the notify below
+    // cannot be lost.
+    std::lock_guard lock(wait_mutex_);
   }
   cv_workers_.notify_all();
   cv_space_.notify_all();
@@ -240,56 +249,139 @@ std::future<RunResult> Gateway::submit_impl(RunRequest request,
   std::promise<RunResult> promise;
   auto future = promise.get_future();
 
-  std::unique_lock lock(mutex_);
-  if (!stop_ && should_shed_locked()) {
-    const double hint = retry_after_hint_locked();
-    lock.unlock();
-    promise.set_value(shed(request, hint));
-    return future;
-  }
-  if (!stop_ && queue_.size() >= options_.max_queue) {
-    if (options_.reject_on_full) {
-      const double hint = retry_after_hint_locked();
-      lock.unlock();
-      promise.set_value(
-          reject(request, ErrorCode::QueueFull,
-                 "gateway queue full (" + std::to_string(options_.max_queue) +
-                     " requests waiting)",
-                 hint));
-      return future;
-    }
-    if (never_block) {
-      // Partial-batch degradation: the caller asked never to stall, so
-      // the requests that do not fit are shed rather than queued.
-      const double hint = retry_after_hint_locked();
-      lock.unlock();
-      promise.set_value(shed(request, hint));
-      return future;
-    }
-    backpressure_waits_->add(1);
-    cv_space_.wait(lock,
-                   [&] { return stop_ || queue_.size() < options_.max_queue; });
-  }
-  if (stop_) {
-    lock.unlock();
+  if (stop_.load(std::memory_order_acquire)) {
     promise.set_value(reject(request, ErrorCode::ShuttingDown,
                              "gateway is shutting down"));
     return future;
   }
+  if (should_shed()) {
+    promise.set_value(shed(request, retry_after_hint()));
+    return future;
+  }
+
+  // Lock-free admission ticket: queued_ (incremented here, decremented
+  // after a worker pops) enforces max_queue across every class ring, so
+  // a won ticket's push below can never find its ring full.
+  bool counted_wait = false;
+  for (;;) {
+    std::size_t depth = queued_.load(std::memory_order_acquire);
+    if (depth >= options_.max_queue) {
+      if (options_.reject_on_full) {
+        promise.set_value(reject(
+            request, ErrorCode::QueueFull,
+            "gateway queue full (" + std::to_string(options_.max_queue) +
+                " requests waiting)",
+            retry_after_hint()));
+        return future;
+      }
+      if (never_block) {
+        // Partial-batch degradation: the caller asked never to stall, so
+        // the requests that do not fit are shed rather than queued.
+        promise.set_value(shed(request, retry_after_hint()));
+        return future;
+      }
+      if (!counted_wait) {
+        counted_wait = true;  // once per submission, not per wakeup
+        backpressure_waits_->add(1);
+      }
+      std::unique_lock lock(wait_mutex_);
+      cv_space_.wait(lock, [&] {
+        return stop_.load(std::memory_order_acquire) ||
+               queued_.load(std::memory_order_acquire) < options_.max_queue;
+      });
+      if (stop_.load(std::memory_order_acquire)) {
+        lock.unlock();
+        promise.set_value(reject(request, ErrorCode::ShuttingDown,
+                                 "gateway is shutting down"));
+        return future;
+      }
+      continue;  // room may be gone again by the time we re-ticket
+    }
+    if (queued_.compare_exchange_weak(depth, depth + 1,
+                                      std::memory_order_acq_rel)) {
+      break;
+    }
+  }
+
   admitted_->add(1);
   queue_depth_->add(1);
-  const std::uint64_t seq = next_seq_++;
-  queue_.emplace(
-      std::make_pair(-static_cast<std::int64_t>(request.priority), seq),
-      Job{std::move(request), std::move(promise), Clock::now(), seq});
-  lock.unlock();
+  const std::uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  Job job{std::move(request), std::move(promise), Clock::now(), seq};
+  const std::int64_t priority = job.request.priority;
+  common::MpmcRing<Job>* ring = ring_for(priority);
+  // Cannot fail: queued_ <= max_queue <= every ring's capacity.
+  while (!ring->try_push(std::move(job))) {
+  }
+  {
+    // Serialize with a worker deciding to sleep (see ~Gateway).
+    std::lock_guard lock(wait_mutex_);
+  }
   cv_workers_.notify_one();
   return future;
 }
 
-bool Gateway::should_shed_locked() const {
+common::MpmcRing<Gateway::Job>* Gateway::ring_for(std::int64_t priority) {
+  {
+    const auto table = class_table_.read();
+    for (ClassRing* cls : *table) {
+      if (cls->priority == priority) return &cls->ring;
+    }
+  }
+  std::lock_guard lock(class_mutex_);
+  {
+    const auto table = class_table_.read();  // re-check under the lock
+    for (ClassRing* cls : *table) {
+      if (cls->priority == priority) return &cls->ring;
+    }
+  }
+  class_storage_.push_back(
+      std::make_unique<ClassRing>(priority, options_.max_queue));
+  ClassRing* fresh = class_storage_.back().get();
+  class_table_.update([&](ClassTable& table) {
+    table.push_back(fresh);
+    std::sort(table.begin(), table.end(),
+              [](const ClassRing* a, const ClassRing* b) {
+                return a->priority > b->priority;
+              });
+  });
+  return &fresh->ring;
+}
+
+bool Gateway::try_dequeue(Job& out, DrainState& drain) {
+  const auto table = class_table_.read();
+  const ClassTable& classes = *table;
+  const std::size_t n = classes.size();
+  if (n == 0) return false;
+  std::size_t start = 0;
+  if (options_.drain_quantum > 0 && drain.streak >= options_.drain_quantum) {
+    // This worker has drained a full quantum from one class: offer the
+    // next lower class the first shot this round (weighted drain).
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      if (classes[i]->priority == drain.last_priority) {
+        start = i + 1;
+        break;
+      }
+    }
+    drain.streak = 0;
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = (start + k) % n;
+    if (classes[i]->ring.try_pop(out)) {
+      if (classes[i]->priority == drain.last_priority) {
+        ++drain.streak;
+      } else {
+        drain.last_priority = classes[i]->priority;
+        drain.streak = 1;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Gateway::should_shed() const {
   if (options_.shed_queue_fraction > 0.0 &&
-      static_cast<double>(queue_.size()) >=
+      static_cast<double>(queued_.load(std::memory_order_acquire)) >=
           options_.shed_queue_fraction *
               static_cast<double>(options_.max_queue)) {
     return true;
@@ -307,7 +399,7 @@ bool Gateway::should_shed_locked() const {
   return false;
 }
 
-double Gateway::retry_after_hint_locked() const {
+double Gateway::retry_after_hint() const {
   // Estimated drain time of the current backlog: recent per-request
   // service time (EMA; 1 ms floor before any completion) spread over the
   // workers, plus one service slot for the retried request itself.
@@ -316,7 +408,9 @@ double Gateway::retry_after_hint_locked() const {
   const double per_request = ema > 0.0 ? ema : 1e-3;
   const double workers =
       static_cast<double>(std::max<std::size_t>(1, workers_.size()));
-  return per_request * (1.0 + static_cast<double>(queue_.size()) / workers);
+  const double depth =
+      static_cast<double>(queued_.load(std::memory_order_acquire));
+  return per_request * (1.0 + depth / workers);
 }
 
 void Gateway::record_completion(bool ok, double total_seconds) {
@@ -368,21 +462,45 @@ std::vector<RunResult> Gateway::run_all(std::vector<RunRequest> requests) {
 }
 
 std::size_t Gateway::queue_depth() const {
-  std::lock_guard lock(mutex_);
-  return queue_.size();
+  return queued_.load(std::memory_order_acquire);
+}
+
+telemetry::MetricsSnapshot Gateway::snapshot() const {
+  telemetry::MetricsSnapshot snap = metrics_.snapshot();
+  // Process-wide RCU reclamation counters: every snapshot swap retires
+  // one version, every deferred free reclaims one.
+  const auto& domain = common::rcu::EpochDomain::instance();
+  snap.counters["epoch.swaps"] = domain.retired();
+  snap.counters["epoch.deferred_frees"] = domain.freed();
+  return snap;
 }
 
 void Gateway::worker_loop() {
+  DrainState drain;
   for (;;) {
     Job job;
+    // Fast path: pop without touching the wait mutex.
+    bool got = try_dequeue(job, drain);
+    if (!got) {
+      std::unique_lock lock(wait_mutex_);
+      cv_workers_.wait(lock, [&] {
+        if ((got = try_dequeue(job, drain))) return true;
+        // Exit only once stopping AND no ticket is outstanding (a
+        // ticketed job may still be in flight between CAS and push).
+        return stop_.load(std::memory_order_acquire) &&
+               queued_.load(std::memory_order_acquire) == 0;
+      });
+      if (!got) return;  // stop_ set and nothing left to drain
+    }
+    queued_.fetch_sub(1, std::memory_order_acq_rel);
     {
-      std::unique_lock lock(mutex_);
-      cv_workers_.wait(lock, [&] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and nothing left to drain
-      job = std::move(queue_.begin()->second);
-      queue_.erase(queue_.begin());
+      // Serialize with a submitter deciding to block (see ~Gateway).
+      std::lock_guard space_lock(wait_mutex_);
     }
     cv_space_.notify_one();
+    // During shutdown, peers sleep until queued_ drains to zero — the
+    // worker that took the last job must wake them to exit.
+    if (stop_.load(std::memory_order_acquire)) cv_workers_.notify_all();
     queue_depth_->add(-1);
     in_flight_->add(1);
     // Queue wait is admission→dequeue, measured here so resolve/routing
@@ -439,40 +557,67 @@ RunResult Gateway::shed(const RunRequest& request, double retry_after) {
   return result;
 }
 
+void Gateway::publish_route_state(std::size_t node_index, bool open,
+                                  Clock::time_point open_until) {
+  route_table_.update([&](RouteTable& table) {
+    table.nodes[node_index].open = open;
+    table.nodes[node_index].open_until = open_until;
+  });
+}
+
 int Gateway::route(const container::Image& image, const RunRequest& request,
                    Clock::time_point now, bool* any_compatible) {
   if (any_compatible) *any_compatible = false;
   const std::size_t n = fleet_.size();
   if (n == 0) return -1;
-  // Rotate the scan start so equal-load compatible nodes share work.
-  const std::size_t start =
-      static_cast<std::size_t>(route_rr_.fetch_add(1) % n);
-  int best = -1;
-  int best_load = std::numeric_limits<int>::max();
-  for (std::size_t k = 0; k < n; ++k) {
-    const std::size_t i = (start + k) % n;
-    const vm::NodeSpec& node = fleet_[i];
-    if (!node_serves_arch(node, image.architecture)) continue;
-    if (request.march) {
-      // An explicit march the node cannot execute would only fail the
-      // plan downstream — route around it up front.
-      if (isa::arch_of(*request.march) != node.cpu.arch ||
-          !isa::runs_on(*request.march, node.best_vector_isa())) {
-        continue;
+  // Two passes at most: the second covers a breaker that opened while
+  // the first pass was scanning (detected by the post-selection check).
+  for (int pass = 0; pass < 2; ++pass) {
+    // One pinned snapshot per pass: breaker state and the skip decision
+    // come from the same epoch, so a node whose breaker opened before
+    // the pass began can never be selected by it.
+    const auto table = route_table_.read();
+    // Rotate the scan start so equal-load compatible nodes share work.
+    const std::size_t start =
+        static_cast<std::size_t>(route_rr_.fetch_add(1) % n);
+    int best = -1;
+    int best_load = std::numeric_limits<int>::max();
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t i = (start + k) % n;
+      const vm::NodeSpec& node = fleet_[i];
+      if (!node_serves_arch(node, image.architecture)) continue;
+      if (request.march) {
+        // An explicit march the node cannot execute would only fail the
+        // plan downstream — route around it up front.
+        if (isa::arch_of(*request.march) != node.cpu.arch ||
+            !isa::runs_on(*request.march, node.best_vector_isa())) {
+          continue;
+        }
+      }
+      if (any_compatible) *any_compatible = true;
+      // A tripped breaker takes the node out of rotation until it
+      // cools. Cooling nodes are skipped from the snapshot alone; once
+      // the cooldown has elapsed the live breaker arbitrates half-open
+      // probes (allow() hands out the bounded probe tokens).
+      const RouteTable::Node& gate = table->nodes[i];
+      if (gate.open && now < gate.open_until) continue;
+      if (!breakers_[i]->allow(now)) continue;
+      const int load = load_[i]->active.load(std::memory_order_relaxed);
+      if (load < best_load) {
+        best = static_cast<int>(i);
+        best_load = load;
       }
     }
-    if (any_compatible) *any_compatible = true;
-    // A tripped breaker takes the node out of rotation until it cools;
-    // when the breaker is Closed (always, absent faults) this is one
-    // relaxed-ish atomic load.
-    if (!breakers_[i]->allow(now)) continue;
-    const int load = load_[i]->active.load(std::memory_order_relaxed);
-    if (load < best_load) {
-      best = static_cast<int>(i);
-      best_load = load;
+    if (best < 0) return -1;
+    // Re-validate against the live breaker: if it opened mid-pass (after
+    // our snapshot was pinned), rescan once with the fresh table instead
+    // of routing to a node already known bad.
+    if (breakers_[static_cast<std::size_t>(best)]->state() !=
+        CircuitBreaker::State::Open) {
+      return best;
     }
   }
-  return best;
+  return -1;  // both passes raced an opening breaker: transient
 }
 
 bool Gateway::backoff_for_retry(RunResult& out, ErrorCode code,
@@ -668,7 +813,17 @@ RunResult Gateway::execute(RunRequest& request, Clock::time_point admitted,
     load.active.fetch_sub(1, std::memory_order_relaxed);
 
     if (!run.ok) {
-      if (breaker.record_failure(Clock::now())) breaker_open_->add(1);
+      const auto failure_now = Clock::now();
+      if (breaker.record_failure(failure_now)) {
+        breaker_open_->add(1);
+        // Publish the trip into the routing snapshot: every route() pass
+        // that pins a later epoch skips this node until it cools.
+        publish_route_state(
+            static_cast<std::size_t>(node_index), /*open=*/true,
+            failure_now + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(
+                                  options_.breaker.open_seconds)));
+      }
       if (!backoff_for_retry(out, ErrorCode::RunFailed,
                              "run failed: " + run.error,
                              attempt - inherited_retries, jitter_seed,
@@ -678,6 +833,13 @@ RunResult Gateway::execute(RunRequest& request, Clock::time_point admitted,
       continue;
     }
     breaker.record_success();
+    // Close the routing gate if this node was marked open (a successful
+    // half-open probe just re-admitted it). Probe only the snapshot on
+    // the common path so healthy-node successes publish nothing.
+    if (route_table_.read()->nodes[static_cast<std::size_t>(node_index)].open) {
+      publish_route_state(static_cast<std::size_t>(node_index),
+                          /*open=*/false, Clock::time_point{});
+    }
     out.run = std::move(run);
     out.numerics_digest = numerics_digest(out.run, request.workload);
     out.code = ErrorCode::Ok;

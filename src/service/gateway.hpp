@@ -7,9 +7,10 @@
 //
 // One request travels:
 //
-//   submit() ── admission ──> priority queue ── worker ──> routing
-//     (bounded, backpressure)    (priority desc,     (ISA compatibility +
-//                                 FIFO within)        least current load)
+//   submit() ── admission ──> per-class MPMC rings ── worker ──> routing
+//     (bounded, backpressure)    (priority desc,          (ISA compatibility +
+//                                 FIFO within a class)     least current load,
+//                                                          one epoch snapshot)
 //        ──> deploy (DeployScheduler/BuildFarm; SpecializationCache and
 //             CompileCache make repeat specializations ~free)
 //        ──> run (pre-decoded program on the routed node, per-run stats
@@ -33,6 +34,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/mpmc_ring.hpp"
+#include "common/rcu.hpp"
 #include "service/build_farm.hpp"
 #include "service/deploy_scheduler.hpp"
 #include "service/fault.hpp"
@@ -156,6 +159,12 @@ struct GatewayOptions {
   std::size_t shed_min_samples = 16;
   /// Failure-rate window length, seconds.
   double shed_window_seconds = 1.0;
+  /// Weighted priority drain: after this many consecutive dequeues from
+  /// one priority class, a worker offers the next lower class one
+  /// dequeue before returning to the top — bounds starvation of low
+  /// classes under a sustained high-priority stream. 0 (the default)
+  /// keeps strict priority order (higher always drains first).
+  std::size_t drain_quantum = 0;
 };
 
 /// The serving gateway. Owns the registry, the deploy services, the node
@@ -179,11 +188,14 @@ struct GatewayOptions {
 ///              artifact_store.{disk_hits,disk_misses,writes,evictions,
 ///              verify_failures}, vm.{runs,instructions},
 ///              fault.<site> (via observe_fault_plan)
+///              epoch.{swaps,deferred_frees} (RCU reclamation, overlaid
+///              by snapshot() from the process-wide epoch domain)
 ///   gauges     gateway.queue_depth, gateway.in_flight
 ///   histograms gateway.{queue,deploy,run,total}_seconds,
 ///              spec_cache.lowering_seconds, tu_cache.compile_seconds
 /// After the queue drains: requests == admitted + rejected + shed and
-/// admitted == completed + failed == gateway.total_seconds count.
+/// admitted == completed + failed == gateway.total_seconds count —
+/// exactly, including across the per-class admission rings.
 class Gateway {
 public:
   explicit Gateway(std::vector<vm::NodeSpec> fleet,
@@ -225,10 +237,11 @@ public:
   /// Admitted-but-not-started requests right now.
   std::size_t queue_depth() const;
 
-  /// Point-in-time view of every metric.
-  telemetry::MetricsSnapshot snapshot() const { return metrics_.snapshot(); }
+  /// Point-in-time view of every metric, including the process-wide
+  /// epoch-reclamation counters (epoch.swaps, epoch.deferred_frees).
+  telemetry::MetricsSnapshot snapshot() const;
   /// Text render of snapshot() (what the demo and benches print).
-  std::string render_telemetry() const { return metrics_.render(); }
+  std::string render_telemetry() const { return snapshot().render(); }
 
   ShardedRegistry& registry() { return registry_; }
   telemetry::MetricsRegistry& metrics() { return metrics_; }
@@ -255,8 +268,47 @@ private:
     std::atomic<int> active{0};
   };
 
+  /// One bounded MPMC ring per priority value, FIFO within the class.
+  /// Classes are created on demand, owned forever (class_storage_), and
+  /// published to workers through an RCU snapshot sorted by descending
+  /// priority — admission and drain never take a queue-wide lock.
+  struct ClassRing {
+    ClassRing(std::int64_t priority_, std::size_t capacity)
+        : priority(priority_), ring(capacity) {}
+    const std::int64_t priority;
+    common::MpmcRing<Job> ring;
+  };
+  using ClassTable = std::vector<ClassRing*>;
+
+  /// Per-worker weighted-drain state (see GatewayOptions::drain_quantum).
+  struct DrainState {
+    std::int64_t last_priority = 0;
+    std::size_t streak = 0;
+  };
+
+  /// Routing-epoch view of the breaker fleet: `open` nodes cooling until
+  /// `open_until` are skipped by route() without consulting the live
+  /// breaker, so one pass sees load and breaker state from the same
+  /// snapshot (a node can never be selected after its breaker opened in
+  /// the same pass).
+  struct RouteTable {
+    struct Node {
+      bool open = false;
+      Clock::time_point open_until{};
+    };
+    std::vector<Node> nodes;
+  };
+
   void worker_loop();
   std::future<RunResult> submit_impl(RunRequest request, bool never_block);
+  /// Ring for `priority`, creating (and publishing) the class on first use.
+  common::MpmcRing<Job>* ring_for(std::int64_t priority);
+  /// Pop the next job honoring priority order (strict, or weighted when
+  /// drain_quantum > 0). Lock-free: pins the class table and scans.
+  bool try_dequeue(Job& out, DrainState& drain);
+  /// Publish a node's breaker transition into the routing snapshot.
+  void publish_route_state(std::size_t node_index, bool open,
+                           Clock::time_point open_until);
   /// Fleet index serving this request, or -1 when none is available.
   /// `any_compatible` (when non-null) reports whether a compatible node
   /// exists at all — false means the request can never be served
@@ -277,11 +329,10 @@ private:
                    const std::string& reason, double retry_after = 0.0);
   RunResult shed(const RunRequest& request, double retry_after);
   /// Whether admission should shed right now (queue fraction or trailing
-  /// failure rate over threshold); caller holds mutex_.
-  bool should_shed_locked() const;
-  /// Estimated queue drain time — the retry_after hint; caller holds
-  /// mutex_.
-  double retry_after_hint_locked() const;
+  /// failure rate over threshold). Lock-free.
+  bool should_shed() const;
+  /// Estimated queue drain time — the retry_after hint. Lock-free.
+  double retry_after_hint() const;
   /// Feed the failure-rate window and the service-time EMA.
   void record_completion(bool ok, double total_seconds);
   void finish(Job job, RunResult result);
@@ -320,8 +371,17 @@ private:
   std::vector<std::unique_ptr<NodeLoad>> load_;
   /// One breaker per fleet node (same indexing as fleet_/load_).
   std::vector<std::unique_ptr<CircuitBreaker>> breakers_;
-  std::atomic<std::uint64_t> route_rr_{0};
-  std::atomic<std::uint64_t> completion_seq_{0};
+  /// Epoch-snapshotted breaker view consumed by route() (see RouteTable).
+  common::rcu::Snapshot<RouteTable> route_table_;
+  // Hot independently-written atomics, each on its own cache line so a
+  // routing scan, a completion, and an admission never false-share.
+  alignas(64) std::atomic<std::uint64_t> route_rr_{0};
+  alignas(64) std::atomic<std::uint64_t> completion_seq_{0};
+  alignas(64) std::atomic<std::uint64_t> next_seq_{0};
+  /// Admitted-but-not-started count: the ticket that enforces max_queue
+  /// across all class rings (incremented before push, decremented after
+  /// pop — so no ring can ever be offered more than its capacity).
+  alignas(64) std::atomic<std::size_t> queued_{0};
 
   // Trailing failure-rate window (load shedding) + service-time EMA (the
   // retry_after hint). All relaxed atomics: shedding is advisory.
@@ -330,15 +390,22 @@ private:
   std::atomic<std::uint64_t> window_failed_{0};
   std::atomic<std::uint64_t> service_ema_bits_{0};  // bit_cast<double>
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_workers_;  // queue became non-empty / stopping
-  std::condition_variable cv_space_;    // queue has room again
-  /// Admission queue keyed by (-priority, seq): begin() is the highest
-  /// priority, FIFO within equal priorities. The key widens priority to
-  /// 64 bits so negating INT_MIN cannot overflow.
-  std::map<std::pair<std::int64_t, std::uint64_t>, Job> queue_;
-  std::uint64_t next_seq_ = 0;
-  bool stop_ = false;
+  /// Class-ring ownership: rings are created on demand, never freed
+  /// while the gateway lives (workers hold raw pointers via the pinned
+  /// ClassTable snapshot). class_mutex_ serializes creation only —
+  /// admission and drain go through class_table_ lock-free.
+  std::mutex class_mutex_;
+  std::vector<std::unique_ptr<ClassRing>> class_storage_;
+  common::rcu::Snapshot<ClassTable> class_table_;
+
+  /// Sleep/wake plumbing only — never guards queue state. Producers and
+  /// consumers touch it solely to publish "something changed" to a
+  /// blocked peer (acquired empty before notify so wakeups can't be
+  /// lost); the job handoff itself is the lock-free ring.
+  std::mutex wait_mutex_;
+  std::condition_variable cv_workers_;  // a job was pushed / stopping
+  std::condition_variable cv_space_;    // a job was popped / stopping
+  std::atomic<bool> stop_{false};
 
   std::vector<std::thread> workers_;  // last member: started after, joined in dtor
 };

@@ -113,7 +113,7 @@ private:
 /// Thread-safety: all methods are safe from any thread; transitions
 /// serialize on an internal mutex, the Closed fast path does not touch
 /// it.
-class CircuitBreaker {
+class alignas(64) CircuitBreaker {
 public:
   using Clock = std::chrono::steady_clock;
   enum class State { Closed, Open, HalfOpen };

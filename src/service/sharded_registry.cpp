@@ -1,42 +1,12 @@
 #include "service/sharded_registry.hpp"
 
 #include <algorithm>
-#include <mutex>
-
-#include "common/hashing.hpp"
-#include "common/strings.hpp"
+#include <utility>
 
 namespace xaas::service {
 
-ShardedRegistry::ShardedRegistry(std::size_t shard_count) {
-  shard_count = std::max<std::size_t>(1, shard_count);
-  blob_shards_.reserve(shard_count);
-  tag_shards_.reserve(shard_count);
-  for (std::size_t i = 0; i < shard_count; ++i) {
-    blob_shards_.push_back(std::make_unique<BlobShard>());
-    tag_shards_.push_back(std::make_unique<TagShard>());
-  }
-}
-
-ShardedRegistry::BlobShard& ShardedRegistry::blob_shard_for(
-    const std::string& digest) {
-  return *blob_shards_[common::shard_index(digest, blob_shards_.size())];
-}
-
-const ShardedRegistry::BlobShard& ShardedRegistry::blob_shard_for(
-    const std::string& digest) const {
-  return *blob_shards_[common::shard_index(digest, blob_shards_.size())];
-}
-
-ShardedRegistry::TagShard& ShardedRegistry::tag_shard_for(
-    const std::string& reference) {
-  return *tag_shards_[common::shard_index(reference, tag_shards_.size())];
-}
-
-const ShardedRegistry::TagShard& ShardedRegistry::tag_shard_for(
-    const std::string& reference) const {
-  return *tag_shards_[common::shard_index(reference, tag_shards_.size())];
-}
+ShardedRegistry::ShardedRegistry(std::size_t shard_count)
+    : shard_count_(std::max<std::size_t>(1, shard_count)) {}
 
 std::string ShardedRegistry::push(const container::Image& image,
                                   const std::string& reference) {
@@ -47,44 +17,37 @@ std::string ShardedRegistry::push(
     std::shared_ptr<const container::Image> image,
     const std::string& reference) {
   const std::string digest = image->digest();
-  {
-    BlobShard& shard = blob_shard_for(digest);
-    std::unique_lock lock(shard.mutex);
+  state_.update([&](State& state) {
     // Idempotent: identical content keeps the first blob (digests are
     // content addresses, so the images are interchangeable).
-    shard.images.emplace(digest, std::move(image));
-  }
-  {
-    TagShard& shard = tag_shard_for(reference);
-    std::unique_lock lock(shard.mutex);
-    shard.tags[reference] = digest;
-  }
+    const auto [blob_it, _] = state.images.emplace(digest, std::move(image));
+    state.tags[reference] = digest;
+    // Point the read index at the stored blob (not the argument), so a
+    // re-push of identical content keeps sharing the first blob.
+    state.by_ref[reference] = blob_it->second;
+  });
   return digest;
 }
 
 std::optional<std::string> ShardedRegistry::resolve(
     const std::string& reference_or_digest) const {
+  const auto state = state_.read();
   std::string digest = reference_or_digest;
-  {
-    const TagShard& shard = tag_shard_for(reference_or_digest);
-    std::shared_lock lock(shard.mutex);
-    const auto it = shard.tags.find(reference_or_digest);
-    if (it != shard.tags.end()) digest = it->second;
-  }
-  const BlobShard& shard = blob_shard_for(digest);
-  std::shared_lock lock(shard.mutex);
-  if (!shard.images.count(digest)) return std::nullopt;
+  const auto tag_it = state->tags.find(reference_or_digest);
+  if (tag_it != state->tags.end()) digest = tag_it->second;
+  if (!state->images.count(digest)) return std::nullopt;
   return digest;
 }
 
 std::shared_ptr<const container::Image> ShardedRegistry::pull(
     const std::string& reference_or_digest) const {
-  const auto digest = resolve(reference_or_digest);
-  if (!digest) return nullptr;
-  const BlobShard& shard = blob_shard_for(*digest);
-  std::shared_lock lock(shard.mutex);
-  const auto it = shard.images.find(*digest);
-  return it == shard.images.end() ? nullptr : it->second;
+  const auto state = state_.read();
+  // Hot path: pull by tag is one probe of the denormalized index.
+  const auto ref_it = state->by_ref.find(reference_or_digest);
+  if (ref_it != state->by_ref.end()) return ref_it->second;
+  // Digest (or unknown reference): fall back to the content store.
+  const auto it = state->images.find(reference_or_digest);
+  return it == state->images.end() ? nullptr : it->second;
 }
 
 std::optional<std::string> ShardedRegistry::annotation(
@@ -97,40 +60,27 @@ std::optional<std::string> ShardedRegistry::annotation(
 }
 
 std::vector<std::string> ShardedRegistry::tags() const {
+  const auto state = state_.read();
   std::vector<std::string> out;
-  for (const auto& shard : tag_shards_) {
-    std::shared_lock lock(shard->mutex);
-    for (const auto& [reference, _] : shard->tags) out.push_back(reference);
-  }
+  out.reserve(state->tags.size());
+  for (const auto& [reference, _] : state->tags) out.push_back(reference);
   std::sort(out.begin(), out.end());
   return out;
 }
 
 std::vector<std::string> ShardedRegistry::tags_for_architecture(
     const std::string& arch) const {
+  const auto state = state_.read();
   std::vector<std::string> out;
-  for (const auto& shard : tag_shards_) {
-    std::vector<std::pair<std::string, std::string>> entries;
-    {
-      std::shared_lock lock(shard->mutex);
-      entries.assign(shard->tags.begin(), shard->tags.end());
-    }
-    for (const auto& [reference, digest] : entries) {
-      const auto image = pull(digest);
-      if (image && image->architecture == arch) out.push_back(reference);
-    }
+  for (const auto& [reference, image] : state->by_ref) {
+    if (image->architecture == arch) out.push_back(reference);
   }
   std::sort(out.begin(), out.end());
   return out;
 }
 
 std::size_t ShardedRegistry::image_count() const {
-  std::size_t count = 0;
-  for (const auto& shard : blob_shards_) {
-    std::shared_lock lock(shard->mutex);
-    count += shard->images.size();
-  }
-  return count;
+  return state_.read()->images.size();
 }
 
 }  // namespace xaas::service

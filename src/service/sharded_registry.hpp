@@ -1,4 +1,4 @@
-// Thread-safe sharded registry — the serving-layer counterpart of
+// Thread-safe registry — the serving-layer counterpart of
 // container::Registry (§4.3/§5.2: many heterogeneous nodes pull IR
 // containers and specialize on demand).
 //
@@ -6,37 +6,39 @@
 //  - images are held as shared_ptr<const Image>, so `pull` hands out a
 //    reference instead of deep-copying every layer, and a popular image
 //    is stored once no matter how many fleets pull it;
-//  - state is split into N digest-keyed blob shards and N reference-keyed
-//    tag shards, each behind its own shared_mutex, so pushes and pulls of
-//    unrelated images never contend on one lock.
+//  - the whole (images, tags) state is one immutable RCU snapshot
+//    (common/rcu.hpp): reads pin an epoch and probe without taking any
+//    lock; pushes copy-swap-retire the state under a small write mutex.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "common/rcu.hpp"
 #include "container/image.hpp"
 
 namespace xaas::service {
 
-/// Thread-safe sharded image registry.
+/// Thread-safe image registry with a wait-free read path.
 ///
 /// Thread-safety: every member is safe to call concurrently from any
-/// thread. Digest-keyed blob shards and reference-keyed tag shards each
-/// sit behind their own shared_mutex (readers share, writers exclude);
-/// cross-shard queries (tags(), image_count(), tags_for_architecture())
-/// lock shards one at a time and therefore see a consistent per-shard —
-/// not global — snapshot.
+/// thread. Reads (pull/resolve/annotation/tags/...) pin an epoch and
+/// work on one immutable snapshot — they never block, and a single read
+/// sees tags and blobs from the *same* version (a tag can never point
+/// at a blob the same snapshot lacks). Writes serialize on one small
+/// mutex, copy the state, and publish the new version atomically; the
+/// old version is reclaimed only after every pinned reader advances.
 /// Ownership: the registry owns its images as shared_ptr<const Image>;
 /// pull() hands out shared ownership (never a deep copy), so returned
 /// images remain valid after the registry drops or replaces them.
 class ShardedRegistry {
 public:
-  /// `shard_count` is clamped to >= 1. The default suits tens of
-  /// concurrent clients; shards cost one mutex + one map each.
+  /// `shard_count` is kept for API compatibility with the lock-sharded
+  /// implementation; it only sizes shard_count() reporting. Reads are
+  /// wait-free regardless.
   explicit ShardedRegistry(std::size_t shard_count = 16);
 
   ShardedRegistry(const ShardedRegistry&) = delete;
@@ -69,30 +71,30 @@ public:
   std::vector<std::string> tags() const;
 
   /// Tags resolving to images of the given architecture — the "image
-  /// index" query a multi-arch/multi-IR client performs.
+  /// index" query a multi-arch/multi-IR client performs. One consistent
+  /// snapshot: every returned tag resolved against the same version.
   std::vector<std::string> tags_for_architecture(
       const std::string& arch) const;
 
   std::size_t image_count() const;
-  std::size_t shard_count() const { return blob_shards_.size(); }
+  std::size_t shard_count() const { return shard_count_; }
 
 private:
-  struct BlobShard {
-    mutable std::shared_mutex mutex;
-    std::map<std::string, std::shared_ptr<const container::Image>> images;
-  };
-  struct TagShard {
-    mutable std::shared_mutex mutex;
-    std::map<std::string, std::string> tags;  // reference -> digest
+  struct State {
+    // Content store (digest -> blob) plus the tag table, and a
+    // denormalized reference -> blob index maintained on push so the
+    // hot read (pull by tag) is a single hash probe. Denormalizing on
+    // the write side is free here: every publish copies the state
+    // anyway, and immutability means the index can never go stale.
+    std::unordered_map<std::string, std::shared_ptr<const container::Image>>
+        images;
+    std::unordered_map<std::string, std::string> tags;  // reference -> digest
+    std::unordered_map<std::string, std::shared_ptr<const container::Image>>
+        by_ref;  // reference -> blob (always tags composed with images)
   };
 
-  BlobShard& blob_shard_for(const std::string& digest);
-  const BlobShard& blob_shard_for(const std::string& digest) const;
-  TagShard& tag_shard_for(const std::string& reference);
-  const TagShard& tag_shard_for(const std::string& reference) const;
-
-  std::vector<std::unique_ptr<BlobShard>> blob_shards_;
-  std::vector<std::unique_ptr<TagShard>> tag_shards_;
+  std::size_t shard_count_;
+  common::rcu::Snapshot<State> state_;
 };
 
 }  // namespace xaas::service

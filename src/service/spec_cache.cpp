@@ -33,8 +33,41 @@ const SpecializationCache::Shard& SpecializationCache::shard_for(
   return *shards_[common::shard_index(key, shards_.size())];
 }
 
+void SpecializationCache::publish_fast_path(
+    const SpecKey& key, std::shared_ptr<const DeployedApp> app,
+    std::uint64_t generation) {
+  std::lock_guard lock(publish_mutex_);
+  // A clear() since this resolution started invalidated the key: do not
+  // resurrect the entry into the fresh generation's snapshot.
+  if (generation_.load(std::memory_order_relaxed) != generation) return;
+  fast_path_.update([&](FastMap& map) { map[key] = std::move(app); });
+}
+
 std::shared_ptr<const DeployedApp> SpecializationCache::get_or_deploy(
     const SpecKey& key, const Deployer& deploy, bool* was_hit) {
+  const std::uint64_t generation =
+      generation_.load(std::memory_order_acquire);
+
+  // Wait-free fast path: a completed successful deployment is served
+  // straight from the pinned snapshot — no shard mutex, no future, and
+  // (because the map is keyed by SpecKey) no composite-string
+  // materialization. Relaxed counter: hits_ is a statistic, not a
+  // synchronization edge.
+  {
+    const auto fast = fast_path_.read();
+    const auto it = fast->find(key);
+    if (it != fast->end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (was_hit) *was_hit = true;
+      if (observer_) {
+        Event event;
+        event.hit = true;
+        observer_(event);
+      }
+      return it->second;
+    }
+  }
+
   const std::string composite = key.to_string();
   Shard& shard = shard_for(composite);
 
@@ -56,7 +89,7 @@ std::shared_ptr<const DeployedApp> SpecializationCache::get_or_deploy(
   }
 
   if (!deployer) {
-    hits_.fetch_add(1);
+    hits_.fetch_add(1, std::memory_order_relaxed);
     if (was_hit) *was_hit = true;
     if (observer_) {
       Event event;
@@ -73,10 +106,11 @@ std::shared_ptr<const DeployedApp> SpecializationCache::get_or_deploy(
   if (disk_tier_) {
     std::shared_ptr<const DeployedApp> revived = disk_tier_->load(key);
     if (revived && revived->ok) {
-      disk_hits_.fetch_add(1);
+      disk_hits_.fetch_add(1, std::memory_order_relaxed);
       // The caller reused a cached artifact (it paid no lowering), which
       // is what `cache_hit` means to the fleet-result consumers.
       if (was_hit) *was_hit = true;
+      publish_fast_path(key, revived, generation);
       promise.set_value(revived);
       if (observer_) {
         Event event;
@@ -87,8 +121,8 @@ std::shared_ptr<const DeployedApp> SpecializationCache::get_or_deploy(
     }
   }
 
-  misses_.fetch_add(1);
-  lowerings_.fetch_add(1);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  lowerings_.fetch_add(1, std::memory_order_relaxed);
   if (was_hit) *was_hit = false;
   const auto deploy_start = std::chrono::steady_clock::now();
   const auto notify_deployed = [&](bool ok) {
@@ -134,6 +168,7 @@ std::shared_ptr<const DeployedApp> SpecializationCache::get_or_deploy(
     erase_own_entry();
     promise.set_value(result);
   } else {
+    publish_fast_path(key, result, generation);
     promise.set_value(result);
     if (disk_tier_) {
       // Persist after publishing so waiters are never blocked on the
@@ -148,6 +183,11 @@ std::shared_ptr<const DeployedApp> SpecializationCache::get_or_deploy(
 
 std::shared_ptr<const DeployedApp> SpecializationCache::get(
     const SpecKey& key) const {
+  {
+    const auto fast = fast_path_.read();
+    const auto it = fast->find(key);
+    if (it != fast->end()) return it->second;
+  }
   const std::string composite = key.to_string();
   const Shard& shard = shard_for(composite);
   std::shared_future<std::shared_ptr<const DeployedApp>> future;
@@ -168,6 +208,14 @@ std::shared_ptr<const DeployedApp> SpecializationCache::get(
 }
 
 void SpecializationCache::clear() {
+  {
+    // Bump the generation before emptying the snapshot: an in-flight
+    // deployer that elected before this clear() fails its generation
+    // check and cannot resurrect its key afterwards.
+    std::lock_guard lock(publish_mutex_);
+    generation_.fetch_add(1, std::memory_order_release);
+    fast_path_.store(std::make_unique<FastMap>());
+  }
   for (const auto& shard : shards_) {
     std::lock_guard lock(shard->mutex);
     shard->entries.clear();

@@ -9,6 +9,13 @@
 // The cache is single-flight: concurrent requests for one key elect a
 // single deployer; the rest block on its shared_future instead of
 // duplicating the lowering.
+//
+// Steady-state hits are lock-free: successful deployments are also
+// published into an RCU snapshot map (common/rcu.hpp) that get() and
+// get_or_deploy() probe before touching any shard mutex. Only misses —
+// which are bounded by the distinct-specialization count, not the
+// request count — fall through to the single-flight slow path, so
+// misses == lowerings and the disk-tier semantics are unchanged.
 #pragma once
 
 #include <atomic>
@@ -19,8 +26,10 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "common/rcu.hpp"
 #include "minicc/lower.hpp"
 #include "xaas/source_container.hpp"
 
@@ -37,6 +46,29 @@ struct SpecKey {
 
   /// Collision-free composite string (components joined with '\x1f').
   std::string to_string() const;
+
+  friend bool operator==(const SpecKey& a, const SpecKey& b) {
+    return a.digest == b.digest && a.selections == b.selections &&
+           a.target.visa == b.target.visa &&
+           a.target.openmp == b.target.openmp &&
+           a.target.opt_level == b.target.opt_level;
+  }
+};
+
+/// Field-wise hash so the lock-free read tier probes by SpecKey directly
+/// — the hot (hit) path never materializes the composite string.
+struct SpecKeyHash {
+  std::size_t operator()(const SpecKey& key) const {
+    std::size_t h = std::hash<std::string>{}(key.digest);
+    const auto mix = [&h](std::size_t v) {
+      h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    };
+    mix(std::hash<std::string>{}(key.selections));
+    mix(static_cast<std::size_t>(key.target.visa));
+    mix(static_cast<std::size_t>(key.target.openmp));
+    mix(static_cast<std::size_t>(key.target.opt_level));
+    return h;
+  }
 };
 
 /// Optional persistent second tier under the in-memory cache: the
@@ -141,10 +173,24 @@ private:
     std::map<std::string, Entry> entries;
   };
 
+  // Keyed by SpecKey (field-wise hash/equality), not the composite
+  // string: a hit costs one hash probe with zero allocations.
+  using FastMap = std::unordered_map<SpecKey, std::shared_ptr<const DeployedApp>,
+                                     SpecKeyHash>;
+
   Shard& shard_for(const std::string& key);
   const Shard& shard_for(const std::string& key) const;
+  void publish_fast_path(const SpecKey& key,
+                         std::shared_ptr<const DeployedApp> app,
+                         std::uint64_t generation);
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Lock-free read tier: completed successful deployments only. Guarded
+  // for writes by publish_mutex_, which also makes the generation check
+  // atomic with the publish (a clear() can never lose to a stale insert).
+  common::rcu::Snapshot<FastMap> fast_path_;
+  std::mutex publish_mutex_;
+  std::atomic<std::uint64_t> generation_{0};
   Observer observer_;  // set once before serving; called outside shard locks
   SpecDiskTier* disk_tier_ = nullptr;  // set once before serving
   std::atomic<std::uint64_t> next_id_{1};

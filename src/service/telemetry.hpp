@@ -86,7 +86,10 @@ public:
   }
 
 private:
-  std::atomic<std::int64_t> v_{0};
+  // Cache-line padded: hot gauges (queue_depth, in_flight) are bumped
+  // from every worker and must not false-share with their registry
+  // neighbors.
+  alignas(64) std::atomic<std::int64_t> v_{0};
 };
 
 /// Fixed-bucket latency histogram over a 1-2-5 ladder from 1 µs to 60 s

@@ -45,12 +45,14 @@ done
 
 # Serving-layer modules are documented individually: each header's stem
 # (artifact_store, spec_cache, ...) must appear in the architecture map
-# or the service internals doc.
-for header in "$ROOT"/src/service/*.hpp; do
+# or the service internals doc. Shared concurrency primitives
+# (src/common/*.hpp: rcu, mpmc_ring, ...) are held to the same rule —
+# a new common header fails the gate until the docs cover it.
+for header in "$ROOT"/src/service/*.hpp "$ROOT"/src/common/*.hpp; do
   stem="$(basename "$header" .hpp)"
   if ! grep -q "$stem" "$ROOT/docs/ARCHITECTURE.md" \
      && ! grep -q "$stem" "$ROOT/docs/SERVICE.md"; then
-    echo "docs: service module src/service/$stem.hpp is documented in" \
+    echo "docs: module $header is documented in" \
          "neither docs/ARCHITECTURE.md nor docs/SERVICE.md" >&2
     fail=1
   fi

@@ -1,0 +1,140 @@
+// Bounded MPMC ring (common/mpmc_ring.hpp): capacity rounding,
+// full/empty edges, per-producer FIFO, and the no-lost/no-duplicated
+// slots property under 16 producers x 16 consumers (stress label, also
+// run under TSan/ASan via tests/run_tsan.sh).
+#include "common/mpmc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <vector>
+
+using xaas::common::MpmcRing;
+
+TEST(MpmcRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(MpmcRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(MpmcRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(MpmcRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(MpmcRing<int>(256).capacity(), 256u);
+  EXPECT_EQ(MpmcRing<int>(257).capacity(), 512u);
+}
+
+TEST(MpmcRing, PushPopAndEmptyFullEdges) {
+  MpmcRing<int> ring(4);
+  int out = 0;
+  EXPECT_FALSE(ring.try_pop(out));  // empty
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(i + 10));
+  EXPECT_FALSE(ring.try_push(99));  // full
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i + 10);  // FIFO
+  }
+  EXPECT_FALSE(ring.try_pop(out));  // empty again
+  // Slots recycle: the ring is reusable after wraparound.
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_TRUE(ring.try_push(int{round}));
+    EXPECT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, round);
+  }
+}
+
+TEST(MpmcRing, MoveOnlyPayloads) {
+  MpmcRing<std::unique_ptr<int>> ring(2);
+  EXPECT_TRUE(ring.try_push(std::make_unique<int>(42)));
+  std::unique_ptr<int> out;
+  EXPECT_TRUE(ring.try_pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 42);
+}
+
+// Single consumer drains what 16 producers pushed; values from one
+// producer must arrive in that producer's push order (per-class FIFO is
+// what the gateway's priority rings rely on).
+TEST(MpmcRingStress, PerProducerFifo) {
+  constexpr int kProducers = 16;
+  constexpr int kPerProducer = 500;
+  MpmcRing<std::uint64_t> ring(kProducers * kPerProducer);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ring, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t token =
+            (static_cast<std::uint64_t>(p) << 32) | static_cast<std::uint32_t>(i);
+        while (!ring.try_push(std::uint64_t{token})) std::this_thread::yield();
+      }
+    });
+  }
+  std::vector<std::int64_t> last_seen(kProducers, -1);
+  int drained = 0;
+  while (drained < kProducers * kPerProducer) {
+    std::uint64_t token = 0;
+    if (!ring.try_pop(token)) {
+      std::this_thread::yield();
+      continue;
+    }
+    const int p = static_cast<int>(token >> 32);
+    const std::int64_t i = static_cast<std::int64_t>(token & 0xffffffffu);
+    ASSERT_LT(p, kProducers);
+    ASSERT_GT(i, last_seen[static_cast<std::size_t>(p)]);  // in-order
+    last_seen[static_cast<std::size_t>(p)] = i;
+    ++drained;
+  }
+  for (auto& t : producers) t.join();
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(last_seen[static_cast<std::size_t>(p)], kPerProducer - 1);
+  }
+}
+
+// 16 producers x 16 consumers over a ring smaller than the workload:
+// every pushed value must be popped exactly once (no lost, no
+// duplicated slots), asserted by a full multiset comparison.
+TEST(MpmcRingStress, NoLostOrDuplicatedSlots) {
+  constexpr int kProducers = 16;
+  constexpr int kConsumers = 16;
+  constexpr int kPerProducer = 400;
+  constexpr int kTotal = kProducers * kPerProducer;
+  MpmcRing<std::uint64_t> ring(64);  // forces heavy wraparound
+
+  std::vector<std::vector<std::uint64_t>> popped(kConsumers);
+  std::atomic<int> drained{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&, c] {
+      std::uint64_t token = 0;
+      while (drained.load(std::memory_order_acquire) < kTotal) {
+        if (ring.try_pop(token)) {
+          popped[static_cast<std::size_t>(c)].push_back(token);
+          drained.fetch_add(1, std::memory_order_acq_rel);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ring, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t token =
+            (static_cast<std::uint64_t>(p) << 32) | static_cast<std::uint32_t>(i);
+        while (!ring.try_push(std::uint64_t{token})) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  for (auto& t : consumers) t.join();
+
+  std::map<std::uint64_t, int> counts;
+  for (const auto& batch : popped) {
+    for (const auto token : batch) ++counts[token];
+  }
+  ASSERT_EQ(counts.size(), static_cast<std::size_t>(kTotal));  // none lost
+  for (const auto& [token, count] : counts) {
+    ASSERT_EQ(count, 1) << "token popped twice: " << token;  // none duplicated
+  }
+  std::uint64_t leftover = 0;
+  EXPECT_FALSE(ring.try_pop(leftover));  // fully drained
+}
