@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 #include <unistd.h>
 
+#include <cstring>
 #include <filesystem>
 #include <map>
 #include <shared_mutex>
@@ -87,7 +88,15 @@ void BM_Vectorize(benchmark::State& state) {
 }
 BENCHMARK(BM_Vectorize)->Arg(2)->Arg(8);
 
-void BM_ExecutorDot(benchmark::State& state) {
+// Shared setup for the executor dot benchmarks: the vectorized dot
+// kernel, linked for AVX-512 and bound to a Skylake-AVX512 node (on the
+// AVX2-only devbox this would measure the illegal-instruction error
+// path). `batch` toggles the fused superinstruction tier so the two
+// benchmarks bracket its speedup; before timing, the batch result is
+// checked bit-for-bit against the reference interpreter and any
+// divergence fails the run (and the bench smoke gate) via
+// SkipWithError — a fusion regression cannot slip through as a number.
+void executor_dot_bench(benchmark::State& state, bool batch) {
   common::Vfs vfs;
   vfs.write("k.c", kKernel);
   minicc::TargetSpec target;
@@ -95,9 +104,9 @@ void BM_ExecutorDot(benchmark::State& state) {
   const auto compiled = minicc::compile_to_target(vfs, "k.c", {}, target);
   std::vector<minicc::MachineModule> modules{compiled.machine};
   const vm::Program program = vm::Program::link(std::move(modules));
-  // ault23 is Skylake-AVX512: the binary actually executes there (on the
-  // AVX2-only devbox this would measure the illegal-instruction error path).
-  const vm::Executor exec(program, vm::node("ault23"));
+  vm::ExecutorOptions options;
+  options.batch_superinstructions = batch;
+  const vm::Executor exec(program, vm::node("ault23"), options);
   const auto n = static_cast<std::size_t>(state.range(0));
   vm::Workload w;
   w.entry = "dot";
@@ -105,6 +114,24 @@ void BM_ExecutorDot(benchmark::State& state) {
   w.f64_buffers["b"] = std::vector<double>(n, 2.0);
   w.args = {vm::Workload::Arg::buf_f64("a"), vm::Workload::Arg::buf_f64("b"),
             vm::Workload::Arg::i64(static_cast<long long>(n))};
+
+  {
+    vm::ExecutorOptions ref_options = options;
+    ref_options.reference_interpreter = true;
+    vm::Workload w_ref = w;
+    vm::Workload w_probe = w;
+    const auto ref = vm::Executor(program, vm::node("ault23"), ref_options)
+                         .run(w_ref);
+    const auto probe = exec.run(w_probe);
+    if (!ref.ok || !probe.ok ||
+        std::memcmp(&ref.ret_f64, &probe.ret_f64, sizeof(double)) != 0 ||
+        ref.instructions != probe.instructions ||
+        ref.cycles_serial != probe.cycles_serial) {
+      state.SkipWithError("executor tiers diverged from the reference");
+      return;
+    }
+  }
+
   for (auto _ : state) {
     auto r = exec.run(w);
     if (!r.ok) state.SkipWithError(r.error.c_str());
@@ -113,7 +140,19 @@ void BM_ExecutorDot(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           state.range(0));
 }
+
+void BM_ExecutorDot(benchmark::State& state) {
+  executor_dot_bench(state, /*batch=*/true);
+}
 BENCHMARK(BM_ExecutorDot)->Arg(1024)->Arg(16384);
+
+// The same workload with fusion disabled: the per-instruction decoded
+// tier, kept as the denominator of the batch-tier speedup tables in
+// docs/PERFORMANCE.md.
+void BM_ExecutorDotNoBatch(benchmark::State& state) {
+  executor_dot_bench(state, /*batch=*/false);
+}
+BENCHMARK(BM_ExecutorDotNoBatch)->Arg(16384);
 
 void BM_IrContainerBuildLulesh(benchmark::State& state) {
   const Application app = apps::make_minilulesh();

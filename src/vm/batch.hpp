@@ -1,0 +1,376 @@
+// Batch execution tier: superinstruction plans for fusable VM loops.
+//
+// The decoded interpreter still dispatches one instruction at a time, so
+// a vectorized dot kernel pays ~13 dispatches per 8 lanes. At decode
+// time, `DecodedProgram::build` pattern-matches counted loops whose body
+// is a straight-line float kernel over unit-stride buffer streams — the
+// dot / axpy / scale / reduce shapes minimd, minilulesh and minillama
+// emit, in both their vectorized and scalar-remainder forms — and folds
+// each into a `FusedLoopPlan`. At run time the decoded machine executes
+// all but the final iteration of such a loop as one superinstruction:
+// whole lane batches flow through compile-time-width kernels over a
+// reusable 64-byte-aligned arena, and the last iteration (plus the exit
+// evaluation of the header) is interpreted normally so every register
+// the loop writes ends with exactly the state per-instruction execution
+// would have produced.
+//
+// Bit-identity contract (asserted by tests/vm/batch_equivalence_test.cpp
+// against both the decoded and the reference interpreter):
+//  - numerics: each kernel evaluates the same C++ expression per lane,
+//    in the same operand order, as the interpreter's switch — no
+//    reassociation, no FMA contraction the interpreter would not do;
+//    reductions keep one serial chain per vector lane. NaN results are
+//    canonicalized in every tier (see canonicalize_nan below) so the
+//    identity holds even where hardware NaN propagation would depend
+//    on compiler operand ordering.
+//  - accounting: a fused run of k iterations retires exactly
+//    k * (header + body + latch) instructions and the same integer cost
+//    units the per-block interpreter would, before the remainder is
+//    interpreted; the instruction budget clamps k so trap counts match
+//    the per-instruction reference (see decoded.hpp).
+//  - memory: stream bounds are checked for the whole fused range up
+//    front; iterations that would trap are left to the interpreter,
+//    which produces the identical trap at the identical point.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "minicc/ir.hpp"
+
+namespace xaas::vm {
+
+/// Every float op in every tier funnels its result through this: a NaN
+/// result — propagated or freshly produced by an invalid operation —
+/// becomes THE canonical quiet NaN (0x7FF8000000000000), WebAssembly
+/// style. Without it bit-identity across tiers is at the mercy of the
+/// C++ compiler: x86 `addsd` keeps the *first* NaN operand, GCC freely
+/// commutes `a + b` per translation unit, so `+NaN + -NaN` compiled in
+/// executor.cpp and in decoded.cpp can disagree on the sign bit. The
+/// ternary compiles branch-free (unordered-compare + blend), so fused
+/// kernels still vectorize.
+inline double canonicalize_nan(double r) {
+  return r != r ? std::numeric_limits<double>::quiet_NaN() : r;
+}
+
+/// fmin/fmax with pinned-down semantics. C leaves fmax(+0, -0)
+/// unspecified, so libm (the interpreters) and an auto-vectorized loop
+/// (the batch tier) can legitimately pick different zero signs. The VM
+/// defines: NaN operands lose (both NaN -> canonical NaN), and equal
+/// operands — the ±0 pair — resolve by sign, fmax preferring +0 and
+/// fmin preferring -0. Every tier calls these, never libm directly.
+inline double vm_fmax(double x, double y) {
+  if (x != x) return canonicalize_nan(y != y ? x : y);
+  if (y != y) return x;
+  if (x < y) return y;
+  if (y < x) return x;
+  return std::signbit(x) ? y : x;
+}
+inline double vm_fmin(double x, double y) {
+  if (x != x) return canonicalize_nan(y != y ? x : y);
+  if (y != y) return x;
+  if (x < y) return x;
+  if (y < x) return y;
+  return std::signbit(x) ? x : y;
+}
+
+/// Lanes per arena chunk. A multiple of every supported batch width
+/// (1/2/4/8) so chunks never split a lane group, and small enough that
+/// the working set of a fused body stays L1/L2-resident.
+inline constexpr int kBatchChunkLanes = 1024;
+
+// Caps on fused-body complexity. Loops that exceed them simply stay on
+// the per-instruction path; the recognizer never truncates a body.
+inline constexpr int kMaxBatchLoads = 4;
+inline constexpr int kMaxBatchStores = 2;
+inline constexpr int kMaxBatchTemps = 8;
+inline constexpr int kMaxBatchInvariants = 4;
+inline constexpr int kMaxBatchSteps = 12;
+
+/// Value operand of a batch step: a unit-stride load stream, the result
+/// of an earlier step (temp), or a loop-invariant register broadcast.
+struct BatchRef {
+  enum class Kind : std::uint8_t { None, Load, Temp, Inv };
+  Kind kind = Kind::None;
+  int idx = 0;
+};
+
+/// Element-wise kernels a fused body may contain. Each mirrors one
+/// interpreter case (decoded.cpp's switch) expression-for-expression.
+enum class BatchOpKind : std::uint8_t {
+  Add, Sub, Mul, Div, Neg, FmaOp, ConstVal,
+  Sqrt, Rsqrt, Exp, Fabs, Floor, Fmin, Fmax, Pow2,
+};
+
+/// Reduction combine forms (the only loop-carried shapes the recognizer
+/// accepts). Operand order is part of the form: `acc + v` and `v + acc`
+/// are distinct so NaN payload propagation matches the interpreter.
+enum class CombineKind : std::uint8_t {
+  AddAccFirst,   // acc = acc + v
+  AddAccSecond,  // acc = v + acc
+  SubAccFirst,   // acc = acc - v
+  FmaAcc,        // acc = v1 * v2 + acc
+};
+
+/// One fused counted loop: header trip test, unit-stride streams, the
+/// element-wise step program, and an optional serial reduction.
+struct FusedLoopPlan {
+  int width = 1;        // lane width W of every body op; step == W
+  long long step = 1;
+  long long bound_offset = 0;  // header tests ind + offset REL bound
+  minicc::ir::CmpPred pred = minicc::ir::CmpPred::LT;
+  int ind_reg = -1;
+  int bound_reg = -1;
+  int latch_block = -1;
+  long long iter_insts = 0;          // header + body + latch counts
+  long long iter_serial_units = 0;   // folded cost of non-parallel blocks
+  long long iter_parallel_units = 0; // folded cost of parallel blocks
+  // False when some parallel loop headed at the header/body/latch does
+  // not contain that block's steady-state predecessor: iterating
+  // natively would then skip per-iteration fork accounting, so fusion
+  // stands down unless already inside a parallel region (where the
+  // dispatch loop skips fork accounting entirely).
+  bool safe_outside_parallel = true;
+
+  struct Stream { int ptr_reg = -1; };
+  std::vector<Stream> loads;
+  std::vector<Stream> stores;
+  std::vector<int> inv_regs;
+
+  struct Step {
+    enum class Kind : std::uint8_t { Load, Compute, Store };
+    Kind kind = Kind::Compute;
+    BatchOpKind op = BatchOpKind::Add;
+    int dst = -1;     // temp index (Compute)
+    int stream = -1;  // loads/stores index (Load/Store)
+    BatchRef a, b, c; // operands; Store value travels in `a`
+    double fimm = 0.0;
+  };
+  std::vector<Step> steps;
+  int num_temps = 0;
+
+  // Reduction tail: `mov acc_reg <- combine(...)` closing the body.
+  int acc_reg = -1;
+  CombineKind combine = CombineKind::AddAccFirst;
+  BatchRef comb_a, comb_b;  // value operand(s) of the combine, in order
+};
+
+/// Runtime binding of a plan to one activation: resolved stream bases
+/// (already offset to the first fused index), aliasing decisions, the
+/// broadcast lanes of each invariant, and the accumulator lanes.
+struct BatchBinding {
+  const double* load_base[kMaxBatchLoads] = {};
+  bool load_copy[kMaxBatchLoads] = {};  // stream aliases a store stream
+  double* store_base[kMaxBatchStores] = {};
+  double inv_lanes[kMaxBatchInvariants][8] = {};
+  double acc[8] = {};
+};
+
+/// Reusable 64-byte-aligned chunk arena (one per thread; grow-only).
+/// Slot i is a kBatchChunkLanes-double scratch array: temps first, then
+/// invariant broadcasts, then load staging copies.
+class BatchArena {
+public:
+  double* slot(std::size_t idx) {
+    while (slots_.size() <= idx) {
+      constexpr std::size_t bytes = kBatchChunkLanes * sizeof(double);
+      void* p = ::operator new(bytes, std::align_val_t{64});
+      slots_.emplace_back(static_cast<double*>(p));
+    }
+    return slots_[idx].get();
+  }
+
+private:
+  struct AlignedDelete {
+    void operator()(double* p) const {
+      ::operator delete(p, std::align_val_t{64});
+    }
+  };
+  std::vector<std::unique_ptr<double[], AlignedDelete>> slots_;
+};
+
+namespace batch_detail {
+
+// One element-wise step over a chunk. Each case is the interpreter's
+// per-lane expression verbatim; operands are disjoint from dst except
+// through earlier-step temps, so evaluation order across lanes cannot
+// change the bits.
+inline void run_elementwise(const FusedLoopPlan::Step& st, double* dst,
+                            const double* a, const double* b,
+                            const double* c, long long n) {
+  switch (st.op) {
+    case BatchOpKind::Add:
+      for (long long i = 0; i < n; ++i) dst[i] = canonicalize_nan(a[i] + b[i]);
+      break;
+    case BatchOpKind::Sub:
+      for (long long i = 0; i < n; ++i) dst[i] = canonicalize_nan(a[i] - b[i]);
+      break;
+    case BatchOpKind::Mul:
+      for (long long i = 0; i < n; ++i) dst[i] = canonicalize_nan(a[i] * b[i]);
+      break;
+    case BatchOpKind::Div:
+      for (long long i = 0; i < n; ++i) dst[i] = canonicalize_nan(a[i] / b[i]);
+      break;
+    case BatchOpKind::Neg:
+      for (long long i = 0; i < n; ++i) dst[i] = canonicalize_nan(-a[i]);
+      break;
+    case BatchOpKind::FmaOp:
+      for (long long i = 0; i < n; ++i) dst[i] = canonicalize_nan(a[i] * b[i] + c[i]);
+      break;
+    case BatchOpKind::ConstVal:
+      for (long long i = 0; i < n; ++i) dst[i] = st.fimm;
+      break;
+    case BatchOpKind::Sqrt:
+      for (long long i = 0; i < n; ++i) dst[i] = canonicalize_nan(std::sqrt(a[i]));
+      break;
+    case BatchOpKind::Rsqrt:
+      for (long long i = 0; i < n; ++i) dst[i] = canonicalize_nan(1.0 / std::sqrt(a[i]));
+      break;
+    case BatchOpKind::Exp:
+      for (long long i = 0; i < n; ++i) dst[i] = canonicalize_nan(std::exp(a[i]));
+      break;
+    case BatchOpKind::Fabs:
+      for (long long i = 0; i < n; ++i) dst[i] = canonicalize_nan(std::fabs(a[i]));
+      break;
+    case BatchOpKind::Floor:
+      for (long long i = 0; i < n; ++i) dst[i] = canonicalize_nan(std::floor(a[i]));
+      break;
+    case BatchOpKind::Fmin:
+      for (long long i = 0; i < n; ++i) dst[i] = vm_fmin(a[i], b[i]);
+      break;
+    case BatchOpKind::Fmax:
+      for (long long i = 0; i < n; ++i) dst[i] = vm_fmax(a[i], b[i]);
+      break;
+    case BatchOpKind::Pow2:
+      for (long long i = 0; i < n; ++i) dst[i] = canonicalize_nan(a[i] * a[i]);
+      break;
+  }
+}
+
+// Serial reduction chain at compile-time width: one independent chain
+// per vector lane, groups consumed in iteration order — the exact
+// association the interpreter produces.
+template <int W>
+inline void run_combine(CombineKind kind, double* acc, const double* x,
+                        const double* y, long long groups) {
+  switch (kind) {
+    case CombineKind::AddAccFirst:
+      for (long long g = 0; g < groups; ++g)
+        for (int l = 0; l < W; ++l) acc[l] = canonicalize_nan(acc[l] + x[g * W + l]);
+      break;
+    case CombineKind::AddAccSecond:
+      for (long long g = 0; g < groups; ++g)
+        for (int l = 0; l < W; ++l) acc[l] = canonicalize_nan(x[g * W + l] + acc[l]);
+      break;
+    case CombineKind::SubAccFirst:
+      for (long long g = 0; g < groups; ++g)
+        for (int l = 0; l < W; ++l) acc[l] = canonicalize_nan(acc[l] - x[g * W + l]);
+      break;
+    case CombineKind::FmaAcc:
+      for (long long g = 0; g < groups; ++g)
+        for (int l = 0; l < W; ++l)
+          acc[l] = canonicalize_nan(x[g * W + l] * y[g * W + l] + acc[l]);
+      break;
+  }
+}
+
+inline void run_combine_width(int width, CombineKind kind, double* acc,
+                              const double* x, const double* y,
+                              long long groups) {
+  switch (width) {
+    case 1: run_combine<1>(kind, acc, x, y, groups); break;
+    case 2: run_combine<2>(kind, acc, x, y, groups); break;
+    case 4: run_combine<4>(kind, acc, x, y, groups); break;
+    default: run_combine<8>(kind, acc, x, y, groups); break;
+  }
+}
+
+}  // namespace batch_detail
+
+/// Execute `iterations` fused iterations of `plan` against `bind`.
+/// Stream bounds, aliasing flags and the iteration clamp are the
+/// caller's responsibility (decoded.cpp checks them before engaging).
+inline void run_fused(const FusedLoopPlan& plan, BatchBinding& bind,
+                      BatchArena& arena, long long iterations) {
+  const int width = plan.width;
+  const int mask = width - 1;  // widths are powers of two
+  const long long total = iterations * width;
+  const int num_invs = static_cast<int>(plan.inv_regs.size());
+  const int num_loads = static_cast<int>(plan.loads.size());
+
+  double* temps[kMaxBatchTemps] = {};
+  for (int t = 0; t < plan.num_temps; ++t) {
+    temps[t] = arena.slot(static_cast<std::size_t>(t));
+  }
+  double* invs[kMaxBatchInvariants] = {};
+  for (int j = 0; j < num_invs; ++j) {
+    invs[j] = arena.slot(static_cast<std::size_t>(plan.num_temps + j));
+    for (int l = 0; l < kBatchChunkLanes; ++l) {
+      invs[j][l] = bind.inv_lanes[j][l & mask];
+    }
+  }
+  double* copies[kMaxBatchLoads] = {};
+  for (int s = 0; s < num_loads; ++s) {
+    if (bind.load_copy[s]) {
+      copies[s] =
+          arena.slot(static_cast<std::size_t>(plan.num_temps + num_invs + s));
+    }
+  }
+
+  const double* load_ptr[kMaxBatchLoads] = {};
+  const auto resolve = [&](const BatchRef& r) -> const double* {
+    switch (r.kind) {
+      case BatchRef::Kind::Load: return load_ptr[r.idx];
+      case BatchRef::Kind::Temp: return temps[r.idx];
+      case BatchRef::Kind::Inv: return invs[r.idx];
+      case BatchRef::Kind::None: return nullptr;
+    }
+    return nullptr;
+  };
+
+  for (long long base = 0; base < total; base += kBatchChunkLanes) {
+    const long long len =
+        std::min<long long>(kBatchChunkLanes, total - base);
+    for (int s = 0; s < num_loads; ++s) {
+      load_ptr[s] =
+          bind.load_copy[s] ? copies[s] : bind.load_base[s] + base;
+    }
+    for (const auto& st : plan.steps) {
+      switch (st.kind) {
+        case FusedLoopPlan::Step::Kind::Load:
+          // Staged only when the stream aliases a store stream, so a
+          // later store in the same body cannot clobber values this
+          // iteration's earlier load already observed.
+          if (bind.load_copy[st.stream]) {
+            std::memcpy(copies[st.stream], bind.load_base[st.stream] + base,
+                        static_cast<std::size_t>(len) * sizeof(double));
+          }
+          break;
+        case FusedLoopPlan::Step::Kind::Compute:
+          batch_detail::run_elementwise(st, temps[st.dst], resolve(st.a),
+                                        resolve(st.b), resolve(st.c), len);
+          break;
+        case FusedLoopPlan::Step::Kind::Store: {
+          double* out = bind.store_base[st.stream] + base;
+          const double* v = resolve(st.a);
+          for (long long i = 0; i < len; ++i) out[i] = v[i];
+          break;
+        }
+      }
+    }
+    if (plan.acc_reg >= 0) {
+      batch_detail::run_combine_width(width, plan.combine, bind.acc,
+                                      resolve(plan.comb_a),
+                                      resolve(plan.comb_b), len / width);
+    }
+  }
+}
+
+}  // namespace xaas::vm

@@ -23,20 +23,33 @@
 // Both the decoded machine and the reference interpreter in executor.cpp
 // share these unit helpers, so their results are bit-identical.
 //
-// One deliberate divergence: the instruction budget is checked once per
-// block instead of once per instruction, so a run that exceeds the budget
-// traps at a block boundary (possibly a few instructions earlier/later
-// than the seed). Both report the same "instruction budget exceeded"
-// error; successful runs are unaffected.
+// The instruction budget is enforced per instruction in every tier. The
+// decoded machine keeps the folded fast path while a whole block fits
+// under the remaining budget; a block that could cross the boundary is
+// re-executed through a per-op-accounting instantiation of the same
+// switch, so the trap fires after exactly max_instructions + 1 retired
+// instructions — the same count, error text, and architectural state as
+// the per-instruction reference interpreter (`BudgetExceeded` below
+// carries the count so RunResult can report it). The batch tier clamps
+// its fused iteration count to the remaining budget up front, then lets
+// the interpreter run into the trap, which preserves the identity.
+//
+// Loops whose body is a straight-line float kernel over unit-stride
+// streams are additionally folded into superinstructions at decode time
+// (see batch.hpp); `DecodedBlock::fused` points at the plan and the
+// machine engages it per activation when the runtime preconditions hold.
 #pragma once
 
 #include <cmath>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "minicc/ir.hpp"
+#include "vm/batch.hpp"
 #include "vm/executor.hpp"
 #include "vm/node.hpp"
 #include "vm/program.hpp"
@@ -67,12 +80,41 @@ inline double gpu_offload_cycles(long long child_serial_units,
 /// overhead; intrinsic calls use intrinsic_cost_units instead).
 long long op_cost_units(minicc::ir::Opcode op);
 
-/// Intrinsics resolved to tags at decode time.
+/// Intrinsics resolved to tags at decode time. There is no catch-all
+/// tag: a callee that is not in the table decodes as
+/// `CallKind::Unresolved` and traps with its name if reached, instead of
+/// silently costing like a mismodeled intrinsic.
 enum class Intrinsic : std::uint8_t {
-  Sqrt, Rsqrt, Exp, Fabs, Floor, Fmin, Fmax, Pow2, Other,
+  Sqrt, Rsqrt, Exp, Fabs, Floor, Fmin, Fmax, Pow2,
 };
-Intrinsic intrinsic_tag(const std::string& name);
+
+/// One row of the static intrinsic table: frontend name, decoded tag,
+/// and static cost in 1/20-cycle units.
+struct IntrinsicSpec {
+  std::string_view name;
+  Intrinsic tag;
+  long long cost_units;
+};
+
+/// The full table, in tag order (for diagnostics and coverage tests).
+const std::vector<IntrinsicSpec>& intrinsic_table();
+
+/// Single lookup used by decode and by the reference interpreter's Call
+/// path; nullptr when `name` is not an intrinsic.
+const IntrinsicSpec* find_intrinsic(std::string_view name);
+
 long long intrinsic_cost_units(Intrinsic tag);
+
+/// Thrown when a frame retires more than `max_instructions`; carries the
+/// retired count (always budget + 1: the check runs before each
+/// instruction executes) so RunResult can report the exact trap point.
+class BudgetExceeded : public std::runtime_error {
+public:
+  BudgetExceeded(const std::string& fn, long long retired)
+      : std::runtime_error("vm trap: instruction budget exceeded in " + fn),
+        instructions(retired) {}
+  long long instructions;
+};
 
 /// How a Call instruction's callee was resolved at decode time.
 enum class CallKind : std::uint8_t { None, User, IntrinsicCall, Unresolved };
@@ -81,7 +123,7 @@ struct DecodedInst {
   minicc::ir::Opcode op;
   minicc::ir::CmpPred pred;
   CallKind call_kind = CallKind::None;
-  Intrinsic intrinsic = Intrinsic::Other;
+  Intrinsic intrinsic = Intrinsic::Sqrt;  // meaningful only for IntrinsicCall
   int width = 1;  // already clamped to the executor's lane maximum
   int dst = -1;
   int a = -1, b = -1, c = -1;
@@ -104,6 +146,7 @@ struct DecodedBlock {
   std::uint8_t parallel = 0;        // block sits inside a parallel loop
   std::uint8_t has_terminator = 0;
   int loops_begin = 0, loops_end = 0;  // parallel loops headed here
+  int fused = -1;  // index into DecodedFunction::fused_loops, or -1
 };
 
 struct DecodedFunction {
@@ -116,6 +159,7 @@ struct DecodedFunction {
   std::vector<DecodedBlock> blocks;
   std::vector<int> call_args;       // flattened Call argument registers
   std::vector<DecodedLoop> header_loops;
+  std::vector<FusedLoopPlan> fused_loops;  // batch-tier superinstructions
 };
 
 /// A linked program pre-lowered for execution. Built once per Program and
@@ -132,6 +176,12 @@ public:
   const std::vector<DecodedFunction>& functions() const { return functions_; }
   const std::string& unresolved_name(int idx) const {
     return unresolved_names_[static_cast<std::size_t>(idx)];
+  }
+  /// Diagnostics: every callee name that decoded to CallKind::Unresolved
+  /// (neither an intrinsic nor a linked function). Deduplicated, in
+  /// first-seen order. Empty for a fully linked program.
+  const std::vector<std::string>& unresolved() const {
+    return unresolved_names_;
   }
 
 private:

@@ -96,6 +96,12 @@ public:
     Slot ret;
     try {
       ret = exec_function(*entry, args, /*in_parallel=*/false, cost);
+    } catch (const BudgetExceeded& e) {
+      // Keep the retired count observable at the trap: the decoded and
+      // batch tiers pin their trap accounting against it.
+      result.error = e.what();
+      result.instructions = e.instructions;
+      return result;
     } catch (const std::runtime_error& e) {
       result.error = e.what();
       return result;
@@ -184,7 +190,7 @@ private:
 
       for (const Inst& inst : block.insts) {
         if (++cost.instructions > options_.max_instructions) {
-          trap("instruction budget exceeded in " + fn.name);
+          throw BudgetExceeded(fn.name, cost.instructions);
         }
         long long cycles = op_cost_units(inst.op);
         const int w = std::min(inst.width, kMaxLanes);
@@ -215,27 +221,33 @@ private:
             break;
           case Opcode::FAdd:
             for (int l = 0; l < w; ++l)
-              out.f[l] = lane_f(inst.a, l) + lane_f(inst.b, l);
+              out.f[l] =
+                  canonicalize_nan(lane_f(inst.a, l) + lane_f(inst.b, l));
             break;
           case Opcode::FSub:
             for (int l = 0; l < w; ++l)
-              out.f[l] = lane_f(inst.a, l) - lane_f(inst.b, l);
+              out.f[l] =
+                  canonicalize_nan(lane_f(inst.a, l) - lane_f(inst.b, l));
             break;
           case Opcode::FMul:
             for (int l = 0; l < w; ++l)
-              out.f[l] = lane_f(inst.a, l) * lane_f(inst.b, l);
+              out.f[l] =
+                  canonicalize_nan(lane_f(inst.a, l) * lane_f(inst.b, l));
             break;
           case Opcode::FDiv:
             for (int l = 0; l < w; ++l)
-              out.f[l] = lane_f(inst.a, l) / lane_f(inst.b, l);
+              out.f[l] =
+                  canonicalize_nan(lane_f(inst.a, l) / lane_f(inst.b, l));
             break;
           case Opcode::FNeg:
-            for (int l = 0; l < w; ++l) out.f[l] = -lane_f(inst.a, l);
+            for (int l = 0; l < w; ++l)
+              out.f[l] = canonicalize_nan(-lane_f(inst.a, l));
             break;
           case Opcode::Fma:
             for (int l = 0; l < w; ++l)
-              out.f[l] = lane_f(inst.a, l) * lane_f(inst.b, l) +
-                         lane_f(inst.c, l);
+              out.f[l] = canonicalize_nan(lane_f(inst.a, l) *
+                                              lane_f(inst.b, l) +
+                                          lane_f(inst.c, l));
             break;
           case Opcode::IAdd:
             for (int l = 0; l < w; ++l)
@@ -378,29 +390,32 @@ private:
           case Opcode::HReduceAdd: {
             const Slot& v = regs[static_cast<std::size_t>(inst.a)];
             double sum = 0.0;
-            for (int l = 0; l < v.lanes; ++l) sum += v.f[l];
+            for (int l = 0; l < v.lanes; ++l)
+              sum = canonicalize_nan(sum + v.f[l]);
             out.lanes = 1;
             out.f[0] = sum;
             break;
           }
           case Opcode::Call: {
-            if (minicc::ir::is_intrinsic(inst.callee)) {
-              cycles = intrinsic_cost_units(intrinsic_tag(inst.callee));
+            if (const IntrinsicSpec* spec = find_intrinsic(inst.callee)) {
+              cycles = spec->cost_units;
               for (int l = 0; l < w; ++l) {
                 const double x =
                     inst.args.empty() ? 0.0 : lane_f(inst.args[0], l);
                 const double y =
                     inst.args.size() > 1 ? lane_f(inst.args[1], l) : 0.0;
                 double v = 0.0;
-                if (inst.callee == "sqrt") v = std::sqrt(x);
-                else if (inst.callee == "rsqrt") v = 1.0 / std::sqrt(x);
-                else if (inst.callee == "exp") v = std::exp(x);
-                else if (inst.callee == "fabs") v = std::fabs(x);
-                else if (inst.callee == "floor") v = std::floor(x);
-                else if (inst.callee == "fmin") v = std::fmin(x, y);
-                else if (inst.callee == "fmax") v = std::fmax(x, y);
-                else if (inst.callee == "pow2") v = x * x;
-                out.f[l] = v;
+                switch (spec->tag) {
+                  case Intrinsic::Sqrt: v = std::sqrt(x); break;
+                  case Intrinsic::Rsqrt: v = 1.0 / std::sqrt(x); break;
+                  case Intrinsic::Exp: v = std::exp(x); break;
+                  case Intrinsic::Fabs: v = std::fabs(x); break;
+                  case Intrinsic::Floor: v = std::floor(x); break;
+                  case Intrinsic::Fmin: v = vm_fmin(x, y); break;
+                  case Intrinsic::Fmax: v = vm_fmax(x, y); break;
+                  case Intrinsic::Pow2: v = x * x; break;
+                }
+                out.f[l] = canonicalize_nan(v);
               }
             } else {
               const Function* callee = program_.find_function(inst.callee);

@@ -83,6 +83,13 @@ struct ExecutorOptions {
   /// tests/vm/decoded_equivalence_test.cpp); the reference exists as the
   /// executable specification of the cost model.
   bool reference_interpreter = false;
+  /// Batch tier: let the decoded machine execute fused loops (dot, axpy,
+  /// scale, reduce shapes) as whole-lane superinstructions. Results,
+  /// cost accounting, and trap behavior are bit-identical either way
+  /// (asserted by tests/vm/batch_equivalence_test.cpp); disabling this
+  /// only selects the per-instruction decoded path, e.g. to isolate a
+  /// suspected fusion bug. Ignored by the reference interpreter.
+  bool batch_superinstructions = true;
   /// Per-run stats hook: invoked once at the end of every run() (success
   /// and failure) with the final RunResult, before it is returned. The
   /// serving layer points this at its telemetry counters (instructions
@@ -114,8 +121,15 @@ public:
 private:
   RunResult run_impl(Workload& workload) const;
 
+  // Lifetime contract: the Program is held by reference and must outlive
+  // the Executor (every caller — tests, gateway, fleet — owns the linked
+  // Program for the deployment's lifetime; an Executor is a cheap view
+  // plus a cached decode). The NodeSpec is copied: fleet and gateway
+  // paths routinely pass node specs materialized on the stack, and a
+  // dangling reference there survives just long enough to corrupt a
+  // later run (see ExecutorTest.NodeSpecTemporaryDoesNotDangle).
   const Program& program_;
-  const NodeSpec& node_;
+  const NodeSpec node_;
   ExecutorOptions options_;
   // Pre-decoded form of program_, built on first run() and reused by
   // every later run (the benchmark / portability-sweep pattern).

@@ -46,9 +46,11 @@ done
 # Serving-layer modules are documented individually: each header's stem
 # (artifact_store, spec_cache, ...) must appear in the architecture map
 # or the service internals doc. Shared concurrency primitives
-# (src/common/*.hpp: rcu, mpmc_ring, ...) are held to the same rule —
-# a new common header fails the gate until the docs cover it.
-for header in "$ROOT"/src/service/*.hpp "$ROOT"/src/common/*.hpp; do
+# (src/common/*.hpp: rcu, mpmc_ring, ...) and the VM's execution tiers
+# (src/vm/*.hpp: executor, decoded, batch, ...) are held to the same
+# rule — a new header fails the gate until the docs cover it.
+for header in "$ROOT"/src/service/*.hpp "$ROOT"/src/common/*.hpp \
+              "$ROOT"/src/vm/*.hpp; do
   stem="$(basename "$header" .hpp)"
   if ! grep -q "$stem" "$ROOT/docs/ARCHITECTURE.md" \
      && ! grep -q "$stem" "$ROOT/docs/SERVICE.md"; then

@@ -1,15 +1,15 @@
 // The pre-decoded interpreter (vm/decoded.cpp) must be observationally
 // identical to the per-instruction reference interpreter (the seed
-// semantics kept in executor.cpp): same return values, same cost-model
-// outputs to the last bit, same buffer contents, same errors. Costs
-// accumulate in exact integer units in both (see decoded.hpp), so the
-// comparisons here are strict equality, not tolerances.
-#include <cstring>
+// semantics kept in executor.cpp) on whole applications: same return
+// values, same cost-model outputs to the last bit, same buffer
+// contents, same errors. Shared assertions live in equivalence_util.hpp;
+// the batch-tier-specific suites are in batch_equivalence_test.cpp.
 #include <gtest/gtest.h>
 
 #include "apps/minilulesh.hpp"
 #include "apps/minimd.hpp"
 #include "tests/minicc/test_util.hpp"
+#include "tests/vm/equivalence_util.hpp"
 #include "vm/executor.hpp"
 #include "xaas/ir_deploy.hpp"
 #include "xaas/ir_pipeline.hpp"
@@ -17,62 +17,8 @@
 namespace xaas::vm {
 namespace {
 
-std::uint64_t bits(double v) {
-  std::uint64_t out;
-  std::memcpy(&out, &v, sizeof(out));
-  return out;
-}
-
-void expect_identical(const RunResult& decoded, const RunResult& reference) {
-  ASSERT_EQ(decoded.ok, reference.ok);
-  EXPECT_EQ(decoded.error, reference.error);
-  EXPECT_EQ(bits(decoded.ret_f64), bits(reference.ret_f64));
-  EXPECT_EQ(decoded.ret_i64, reference.ret_i64);
-  EXPECT_EQ(bits(decoded.cycles_serial), bits(reference.cycles_serial));
-  EXPECT_EQ(bits(decoded.cycles_parallel), bits(reference.cycles_parallel));
-  EXPECT_EQ(bits(decoded.cycles_gpu), bits(reference.cycles_gpu));
-  EXPECT_EQ(decoded.fork_joins, reference.fork_joins);
-  EXPECT_EQ(decoded.instructions, reference.instructions);
-  EXPECT_EQ(decoded.threads_used, reference.threads_used);
-  EXPECT_EQ(bits(decoded.elapsed_seconds), bits(reference.elapsed_seconds));
-}
-
-void expect_buffers_identical(const Workload& a, const Workload& b) {
-  ASSERT_EQ(a.f64_buffers.size(), b.f64_buffers.size());
-  for (const auto& [name, va] : a.f64_buffers) {
-    const auto& vb = b.f64_buffers.at(name);
-    ASSERT_EQ(va.size(), vb.size()) << name;
-    EXPECT_EQ(
-        std::memcmp(va.data(), vb.data(), va.size() * sizeof(double)), 0)
-        << name;
-  }
-  for (const auto& [name, va] : a.i64_buffers) {
-    const auto& vb = b.i64_buffers.at(name);
-    ASSERT_EQ(va.size(), vb.size()) << name;
-    EXPECT_EQ(
-        std::memcmp(va.data(), vb.data(), va.size() * sizeof(long long)), 0)
-        << name;
-  }
-}
-
-/// Run the workload through both interpreters on the same program/node
-/// and assert every observable output matches.
-void check_program(const Program& program, const std::string& node_name,
-                   const Workload& workload, int threads) {
-  ExecutorOptions decoded_options;
-  decoded_options.threads = threads;
-  ExecutorOptions reference_options = decoded_options;
-  reference_options.reference_interpreter = true;
-
-  Workload w_decoded = workload;
-  Workload w_reference = workload;
-  const Executor decoded(program, node(node_name), decoded_options);
-  const Executor reference(program, node(node_name), reference_options);
-  const RunResult rd = decoded.run(w_decoded);
-  const RunResult rr = reference.run(w_reference);
-  expect_identical(rd, rr);
-  expect_buffers_identical(w_decoded, w_reference);
-}
+using testing::check_program;
+using testing::expect_identical;
 
 TEST(DecodedEquivalence, MinimdWorkload) {
   apps::MinimdOptions app_options;

@@ -202,5 +202,95 @@ TEST(Executor, InstructionBudgetStopsRunaways) {
   EXPECT_NE(r.error.find("instruction budget"), std::string::npos);
 }
 
+TEST(Executor, NodeSpecTemporaryDoesNotDangle) {
+  // Regression: Executor used to hold the NodeSpec by reference, so a
+  // caller passing a stack-materialized spec (the fleet/gateway pattern)
+  // left the executor reading freed stack once the spec went out of
+  // scope. The spec is copied now: mutating (or destroying) the
+  // caller's copy after construction must not change what runs.
+  const std::string src =
+      "#pragma xaas gpu_kernel\n"
+      "void k(double* a, int n) {\n"
+      "  for (int i = 0; i < n; i++) { a[i] = a[i] * 2.0; }\n"
+      "}\n"
+      "void launch(double* a, int n) { k(a, n); }\n";
+  std::vector<minicc::MachineModule> modules;
+  modules.push_back(xaas::testing::compile_one(src));
+  const Program program = Program::link(std::move(modules));
+
+  NodeSpec spec = node("ault23");  // has a GPU
+  const Executor exec(program, spec, {});
+  spec = node("ault01");  // CPU-only: a dangling reference would see this
+
+  Workload w;
+  w.entry = "launch";
+  w.f64_buffers["a"] = std::vector<double>(64, 1.0);
+  w.args = {Workload::Arg::buf_f64("a"), Workload::Arg::i64(64)};
+  auto r = exec.run(w);
+  ASSERT_TRUE(r.ok) << r.error;  // fails "without a GPU" if spec dangled
+  EXPECT_GT(r.cycles_gpu, 0.0);
+  EXPECT_DOUBLE_EQ(w.f64_buffers["a"][0], 2.0);
+}
+
+TEST(Executor, BudgetTrapCountsPinnedAcrossTiers) {
+  // The budget check runs before each instruction retires, in every
+  // tier: a trapped run reports exactly max_instructions + 1, and a
+  // budget of exactly the program's count does not trap. The loop is a
+  // fusable dot shape, so the batch tier's clamp logic is on the line.
+  const std::string src =
+      "double dot(double* a, double* b, int n) {\n"
+      "  double acc = 0.0;\n"
+      "  for (int i = 0; i < n; i++) { acc += a[i] * b[i]; }\n"
+      "  return acc;\n"
+      "}\n";
+  minicc::TargetSpec target;
+  target.visa = isa::VectorIsa::AVX_512;
+  std::vector<minicc::MachineModule> modules;
+  modules.push_back(xaas::testing::compile_one(src, target));
+  const Program program = Program::link(std::move(modules));
+
+  const auto make_workload = [] {
+    Workload w;
+    w.entry = "dot";
+    w.f64_buffers["a"] = std::vector<double>(500, 1.5);
+    w.f64_buffers["b"] = std::vector<double>(500, -0.5);
+    w.args = {Workload::Arg::buf_f64("a"), Workload::Arg::buf_f64("b"),
+              Workload::Arg::i64(500)};
+    return w;
+  };
+  const auto run_tier = [&](int tier, long long budget) {
+    ExecutorOptions options;
+    if (budget >= 0) options.max_instructions = budget;
+    options.reference_interpreter = (tier == 2);
+    options.batch_superinstructions = (tier == 0);
+    Workload w = make_workload();
+    return Executor(program, node("ault23"), options).run(w);
+  };
+
+  const RunResult full = run_tier(2, -1);
+  ASSERT_TRUE(full.ok) << full.error;
+  const long long total = full.instructions;
+  ASSERT_GT(total, 100);
+
+  for (int tier : {0, 1, 2}) {
+    // Exact budget: completes, same count.
+    const RunResult exact = run_tier(tier, total);
+    EXPECT_TRUE(exact.ok) << exact.error;
+    EXPECT_EQ(exact.instructions, total);
+    // One short: traps having retired exactly total instructions.
+    const RunResult shy = run_tier(tier, total - 1);
+    EXPECT_FALSE(shy.ok);
+    EXPECT_NE(shy.error.find("instruction budget"), std::string::npos);
+    EXPECT_EQ(shy.instructions, total);
+    // Mid-loop budgets trap at exactly budget + 1 in every tier.
+    for (long long budget : {50LL, 101LL, total / 2}) {
+      const RunResult r = run_tier(tier, budget);
+      EXPECT_FALSE(r.ok);
+      EXPECT_NE(r.error.find("instruction budget"), std::string::npos);
+      EXPECT_EQ(r.instructions, budget + 1) << "tier " << tier;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace xaas::vm
