@@ -18,6 +18,7 @@
 #include "minicc/driver.hpp"
 #include "minicc/vectorizer.hpp"
 #include "service/build_farm.hpp"
+#include "service/cluster.hpp"
 #include "service/deploy_scheduler.hpp"
 #include "service/fault.hpp"
 #include "service/gateway.hpp"
@@ -406,6 +407,52 @@ void BM_GatewayServing(benchmark::State& state) {
                           requests);
 }
 BENCHMARK(BM_GatewayServing)->Arg(32)->Unit(benchmark::kMillisecond);
+
+// The same steady-state serving loop through the cluster front tier:
+// range(0) gateways behind the consistent-hash router, range(1) requests
+// per batch (mixed AVX-512 / SSE4.1 classes from several tenants). On
+// top of BM_GatewayServing this pays ring lookup, token-bucket
+// admission, WFQ ordering, and any work steals — the per-request cost of
+// multi-tenant fan-out.
+void BM_ClusterServing(benchmark::State& state) {
+  const auto& f = FleetFixture::get();
+  const auto gateways = static_cast<std::size_t>(state.range(0));
+  const int requests = static_cast<int>(state.range(1));
+  if (!f.build_ok) {
+    state.SkipWithError("fleet fixture invalid (IR build failed)");
+    return;
+  }
+  service::ClusterOptions options;
+  options.gateways = gateways;
+  options.dispatchers_per_gateway = 2;
+  options.max_pending = static_cast<std::size_t>(requests);
+  options.gateway.max_queue = static_cast<std::size_t>(requests);
+  service::Cluster cluster(
+      vm::simulated_fleet(vm::node("ault23"), 2 * gateways, "clnode-"),
+      options);
+  cluster.push(f.image, "bench:ir");
+  static const char* kTenants[] = {"alice", "bob", "carol"};
+  for (auto _ : state) {
+    std::vector<service::RunRequest> batch;
+    batch.reserve(static_cast<std::size_t>(requests));
+    for (int i = 0; i < requests; ++i) {
+      service::RunRequest request;
+      request.image_reference = "bench:ir";
+      request.selections = {{"MD_SIMD", i % 2 == 0 ? "AVX_512" : "SSE4.1"}};
+      request.workload = apps::minimd_workload({64, 8, 2, 64});
+      request.tenant = kTenants[i % 3];
+      batch.push_back(std::move(request));
+    }
+    const auto results = cluster.run_all(std::move(batch));
+    for (const auto& r : results) {
+      if (!r.result.ok) state.SkipWithError(r.result.error.c_str());
+    }
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          requests);
+}
+BENCHMARK(BM_ClusterServing)->Args({4, 32})->Unit(benchmark::kMillisecond);
 
 // Serving-plane read contention: 31 reader threads pull hot tags while
 // thread 0 continuously re-pushes them (the 95/5 serving mix realised

@@ -66,6 +66,15 @@ struct RunRequest {
   /// the run, and before every backoff sleep; work already in flight is
   /// never preempted.
   double deadline_seconds = 0.0;
+
+  // Multi-tenancy (consumed by the cluster front tier,
+  // service/cluster.hpp — a single Gateway ignores both fields).
+  /// Tenant identity for quota and fair-share accounting; "" is the
+  /// anonymous default tenant.
+  std::string tenant;
+  /// Per-request WFQ weight override (0 = the tenant's configured
+  /// weight). Larger weights drain faster while backlogged.
+  double weight = 0.0;
 };
 
 /// Structured completion of one request.

@@ -26,6 +26,8 @@ std::string_view to_string(ErrorCode code) {
       return "run_failed";
     case ErrorCode::DeadlineExceeded:
       return "deadline_exceeded";
+    case ErrorCode::QuotaExceeded:
+      return "quota_exceeded";
   }
   return "unknown";
 }
@@ -35,6 +37,7 @@ bool is_retryable(ErrorCode code) {
     case ErrorCode::QueueFull:
     case ErrorCode::Shed:
     case ErrorCode::NodesUnavailable:
+    case ErrorCode::QuotaExceeded:
       return true;
     default:
       return false;

@@ -41,6 +41,10 @@ enum class ErrorCode {
   /// The request's deadline budget ran out (in queue, before deploy,
   /// before run, or before a backoff sleep).
   DeadlineExceeded,
+  /// The tenant's token-bucket quota is exhausted (cluster admission —
+  /// see service/cluster.hpp). Retryable; retry_after_seconds carries
+  /// the bucket's refill wait and is always > 0.
+  QuotaExceeded,
 };
 
 std::string_view to_string(ErrorCode code);
