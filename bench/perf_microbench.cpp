@@ -20,6 +20,7 @@
 #include "service/build_farm.hpp"
 #include "service/cluster.hpp"
 #include "service/deploy_scheduler.hpp"
+#include "service/distribution.hpp"
 #include "service/fault.hpp"
 #include "service/gateway.hpp"
 #include "vm/executor.hpp"
@@ -819,6 +820,77 @@ void BM_WarmStartMemory(benchmark::State& state) {
                           nodes);
 }
 BENCHMARK(BM_WarmStartMemory)->Arg(32)->Unit(benchmark::kMillisecond);
+
+// Registry replication at fleet scale: the builder store from the
+// warm-start fixture synced twice to N cold peers over the distribution
+// fabric. Naive replication (push_full) re-ships the whole store on
+// every sync; the registry protocol (push_to) negotiates manifests, so
+// the second sync ships nothing. The MB counter is total fabric traffic
+// per iteration — the cold_fleet bench gates the full serving-path
+// version of this comparison.
+void replicate_fleet(benchmark::State& state, bool delta) {
+  auto& f = WarmStartFixture::get();
+  const int peers = static_cast<int>(state.range(0));
+  if (!f.ok) {
+    state.SkipWithError("warm-start fixture invalid");
+    return;
+  }
+  std::uint64_t seq = 0;
+  double mb = 0.0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::string label = "dist-";
+    label += std::to_string(seq++);
+    const auto root = f.root / label;
+    state.ResumeTiming();
+    {
+      service::DistributionFabric fabric;
+      service::ArtifactStore builder_store({f.warm_dir.string(), 0});
+      service::DistributionPeer builder("builder", builder_store, fabric);
+      std::vector<std::unique_ptr<service::ArtifactStore>> stores;
+      std::vector<std::unique_ptr<service::DistributionPeer>> fleet;
+      for (int i = 0; i < peers; ++i) {
+        std::string name = "node-";
+        name += std::to_string(i);
+        stores.push_back(std::make_unique<service::ArtifactStore>(
+            service::ArtifactStoreOptions{(root / name).string(), 0}));
+        fleet.push_back(std::make_unique<service::DistributionPeer>(
+            name, *stores.back(), fabric));
+      }
+      for (auto& peer : fleet) {
+        const auto first =
+            delta ? builder.push_to(*peer) : builder.push_full(*peer);
+        const auto second =
+            delta ? builder.push_to(*peer) : builder.push_full(*peer);
+        if (first.shipped == 0 || (delta && second.shipped != 0)) {
+          state.SkipWithError("replication did not behave as expected");
+        }
+        benchmark::DoNotOptimize(second);
+      }
+      mb += static_cast<double>(fabric.stats().bytes_total()) /
+            (1024.0 * 1024.0);
+    }
+    state.PauseTiming();
+    std::error_code ec;
+    std::filesystem::remove_all(root, ec);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          peers);
+  if (state.iterations() > 0) {
+    state.counters["MB"] = mb / static_cast<double>(state.iterations());
+  }
+}
+
+void BM_ColdFleetNaive(benchmark::State& state) {
+  replicate_fleet(state, /*delta=*/false);
+}
+BENCHMARK(BM_ColdFleetNaive)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_ColdFleetDelta(benchmark::State& state) {
+  replicate_fleet(state, /*delta=*/true);
+}
+BENCHMARK(BM_ColdFleetDelta)->Arg(64)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -143,7 +143,10 @@ struct TuCompileResult {
 /// a module previously persisted under the key (or null), store()
 /// persists a successfully compiled one. Implementations must be safe to
 /// call from any thread and must never throw (a failing disk tier
-/// degrades to a miss/compile).
+/// degrades to a miss/compile). Only the elected single-flight builder
+/// consults this tier, so an implementation may stack further levels
+/// beneath the local disk (the serving layer's TuDistributionTier pulls
+/// missing TUs from remote registry peers here).
 class TuDiskTier {
 public:
   virtual ~TuDiskTier() = default;

@@ -213,20 +213,8 @@ std::size_t ArtifactStore::evict_to_budget_locked(
   return evicted;
 }
 
-bool ArtifactStore::put(std::string_view kind, std::string_view key,
-                        std::string_view payload) {
-  const std::string digest = blob_digest(kind, key);
-
-  Json header = Json::object();
-  header["v"] = kBlobVersion;
-  header["kind"] = kind;
-  header["key"] = key;
-  header["payload_sha256"] = common::sha256_hex(payload);
-  header["payload_size"] = static_cast<std::int64_t>(payload.size());
-  std::string blob = header.dump();
-  blob.push_back('\n');
-  blob.append(payload);
-
+bool ArtifactStore::publish_blob(const std::string& digest,
+                                 std::string_view blob) {
   std::size_t evicted = 0;
   {
     std::lock_guard lock(mutex_);
@@ -255,6 +243,22 @@ bool ArtifactStore::put(std::string_view kind, std::string_view key,
   notify(Event::Kind::Write, blob.size());
   for (std::size_t i = 0; i < evicted; ++i) notify(Event::Kind::Eviction);
   return true;
+}
+
+bool ArtifactStore::put(std::string_view kind, std::string_view key,
+                        std::string_view payload) {
+  const std::string digest = blob_digest(kind, key);
+
+  Json header = Json::object();
+  header["v"] = kBlobVersion;
+  header["kind"] = kind;
+  header["key"] = key;
+  header["payload_sha256"] = common::sha256_hex(payload);
+  header["payload_size"] = static_cast<std::int64_t>(payload.size());
+  std::string blob = header.dump();
+  blob.push_back('\n');
+  blob.append(payload);
+  return publish_blob(digest, blob);
 }
 
 std::optional<std::string> ArtifactStore::get(std::string_view kind,
@@ -354,6 +358,96 @@ void ArtifactStore::note_corrupt(std::string_view kind, std::string_view key) {
     write_index_locked();
   }
   notify(Event::Kind::VerifyFailure);
+}
+
+// ---- Blob-level registry surface -----------------------------------------
+
+bool ArtifactStore::verify_blob(const std::string& digest,
+                                std::string_view blob) {
+  const std::size_t newline = blob.find('\n');
+  if (newline == std::string_view::npos) return false;
+  try {
+    const Json header = Json::parse(blob.substr(0, newline));
+    const std::string_view body = blob.substr(newline + 1);
+    // The header echoes the address inputs: a blob grafted onto another
+    // digest (or corrupted anywhere) fails one of these three checks.
+    if (blob_digest(header.get_string("kind"), header.get_string("key")) !=
+        digest) {
+      return false;
+    }
+    if (header.get_int("payload_size", -1) !=
+        static_cast<std::int64_t>(body.size())) {
+      return false;
+    }
+    return header.get_string("payload_sha256") == common::sha256_hex(body);
+  } catch (const common::JsonError&) {
+    return false;
+  }
+}
+
+std::vector<ArtifactStore::BlobRef> ArtifactStore::enumerate_blobs() const {
+  std::lock_guard lock(mutex_);
+  std::vector<BlobRef> refs;
+  refs.reserve(blobs_.size());
+  for (const auto& [digest, info] : blobs_) {
+    refs.push_back({digest, info.size});
+  }
+  return refs;  // digest-sorted: blobs_ is an ordered map
+}
+
+bool ArtifactStore::contains_blob(const std::string& digest) const {
+  std::lock_guard lock(mutex_);
+  if (blobs_.count(digest) != 0) return true;
+  std::error_code ec;
+  return fs::exists(blob_path(digest), ec);
+}
+
+std::uint64_t ArtifactStore::blob_bytes(const std::string& digest) const {
+  std::lock_guard lock(mutex_);
+  const auto it = blobs_.find(digest);
+  return it == blobs_.end() ? 0 : it->second.size;
+}
+
+std::optional<std::string> ArtifactStore::read_blob(const std::string& digest) {
+  bool corrupt = false;
+  std::optional<std::string> blob;
+  {
+    std::lock_guard lock(mutex_);
+    blob = read_file(blob_path(digest));
+    if (!blob) {
+      // Evicted/removed underneath us by a sibling store: drop the
+      // stale accounting entry, as get() does.
+      const auto it = blobs_.find(digest);
+      if (it != blobs_.end()) {
+        total_bytes_ -= std::min(total_bytes_, it->second.size);
+        blobs_.erase(it);
+      }
+    } else {
+      fault::corrupts(fault::kStoreCorrupt, digest, *blob);
+      if (verify_blob(digest, *blob)) {
+        auto& info = blobs_[digest];
+        total_bytes_ -= std::min(total_bytes_, info.size);
+        info.size = blob->size();
+        total_bytes_ += info.size;
+        info.last_used = ++clock_;
+      } else {
+        // Same discipline as get(): a corrupt blob is deleted — from
+        // disk, accounting, and the persisted index — and never served.
+        corrupt = true;
+        blob.reset();
+        remove_blob_locked(digest, Event::Kind::VerifyFailure);
+        write_index_locked();
+      }
+    }
+  }
+  if (corrupt) notify(Event::Kind::VerifyFailure);
+  return blob;
+}
+
+bool ArtifactStore::adopt_blob(const std::string& digest,
+                               std::string_view blob) {
+  if (!verify_blob(digest, blob)) return false;
+  return publish_blob(digest, blob);
 }
 
 std::size_t ArtifactStore::entry_count() const {
@@ -501,14 +595,9 @@ std::shared_ptr<const DeployedApp> deployed_app_from_json(
 
 // ---- Cache tier adapters -------------------------------------------------
 
-namespace {
-constexpr const char* kSpecKind = "spec";
-constexpr const char* kTuKind = "tu";
-}  // namespace
-
 std::shared_ptr<const DeployedApp> SpecArtifactTier::load(const SpecKey& key) {
   const std::string composite = key.to_string();
-  const auto payload = store_.get(kSpecKind, composite);
+  const auto payload = store_.get(kSpecArtifactKind, composite);
   if (!payload) return nullptr;
   std::string error;
   std::shared_ptr<const DeployedApp> app;
@@ -520,7 +609,7 @@ std::shared_ptr<const DeployedApp> SpecArtifactTier::load(const SpecKey& key) {
   if (!app) {
     // Hash-valid payload that no longer deserializes (format drift or a
     // serializer bug): drop it so the next request rebuilds cleanly.
-    store_.note_corrupt(kSpecKind, composite);
+    store_.note_corrupt(kSpecArtifactKind, composite);
     return nullptr;
   }
   return app;
@@ -528,13 +617,13 @@ std::shared_ptr<const DeployedApp> SpecArtifactTier::load(const SpecKey& key) {
 
 void SpecArtifactTier::store(const SpecKey& key, const DeployedApp& app) {
   if (!app.ok) return;
-  store_.put(kSpecKind, key.to_string(), deployed_app_to_json(app).dump());
+  store_.put(kSpecArtifactKind, key.to_string(), deployed_app_to_json(app).dump());
 }
 
 std::shared_ptr<const minicc::MachineModule> TuArtifactTier::load(
     const minicc::TuKey& key) {
   const std::string composite = key.to_string();
-  const auto payload = store_.get(kTuKind, composite);
+  const auto payload = store_.get(kTuArtifactKind, composite);
   if (!payload) return nullptr;
   std::string error;
   std::optional<minicc::MachineModule> machine;
@@ -544,7 +633,7 @@ std::shared_ptr<const minicc::MachineModule> TuArtifactTier::load(
     machine = std::nullopt;
   }
   if (!machine) {
-    store_.note_corrupt(kTuKind, composite);
+    store_.note_corrupt(kTuArtifactKind, composite);
     return nullptr;
   }
   return std::make_shared<const minicc::MachineModule>(std::move(*machine));
@@ -552,7 +641,7 @@ std::shared_ptr<const minicc::MachineModule> TuArtifactTier::load(
 
 void TuArtifactTier::store(const minicc::TuKey& key,
                            const minicc::MachineModule& machine) {
-  store_.put(kTuKind, key.to_string(), machine_module_to_json(machine).dump());
+  store_.put(kTuArtifactKind, key.to_string(), machine_module_to_json(machine).dump());
 }
 
 }  // namespace xaas::service

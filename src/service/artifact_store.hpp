@@ -35,11 +35,19 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "minicc/compile_cache.hpp"
 #include "service/spec_cache.hpp"
 
 namespace xaas::service {
+
+/// Blob kinds the serving tiers persist. The kind participates in the
+/// content address (blob_digest), so "spec" and "tu" blobs never collide
+/// even for equal keys; the distribution layer uses the same constants
+/// when it resolves a cache key to a wire digest.
+inline constexpr std::string_view kSpecArtifactKind = "spec";
+inline constexpr std::string_view kTuArtifactKind = "tu";
 
 struct ArtifactStoreOptions {
   /// Root directory; created (with parents) if absent.
@@ -132,6 +140,49 @@ public:
   /// collision-free for any component content (exposed for tests).
   static std::string blob_digest(std::string_view kind, std::string_view key);
 
+  // ---- Blob-level registry surface (service/distribution.hpp) ------------
+  //
+  // The distribution protocol replicates *blobs* — the exact on-disk
+  // bytes, one-line header plus payload — between stores; digests are
+  // the wire currency and blobs stay self-describing in flight.
+
+  /// One content-addressed blob as the replication protocol sees it.
+  struct BlobRef {
+    std::string digest;       // two-level-fanout address, sha256(kind\x1fkey)
+    std::uint64_t bytes = 0;  // full blob size (header + payload)
+  };
+
+  /// Every blob currently accounted, digest-sorted (so manifests are
+  /// deterministic). Touches neither the LRU clock nor hit/miss counters.
+  std::vector<BlobRef> enumerate_blobs() const;
+
+  /// Whether `digest` is present (accounted, or published on disk by a
+  /// sibling store sharing the directory). Never counts a hit or a miss.
+  bool contains_blob(const std::string& digest) const;
+
+  /// Accounted blob size (header + payload) for `digest`, or 0 when the
+  /// digest is not in this store's accounting.
+  std::uint64_t blob_bytes(const std::string& digest) const;
+
+  /// The raw blob bytes for `digest`, verified end-to-end, or nullopt.
+  /// A blob failing verification is deleted and counted exactly as in
+  /// get(); unlike get(), read_blob() never counts disk hits/misses —
+  /// replication traffic must not skew the cache-tier statistics.
+  std::optional<std::string> read_blob(const std::string& digest);
+
+  /// Adopt a blob received from a peer: verify it end-to-end against
+  /// `digest` first, then publish it atomically (counts as a write).
+  /// Returns false when verification or the write fails; a rejected blob
+  /// never touches the store — the *distribution* layer counts the
+  /// rejection, store verify_failures only ever count corrupt blobs that
+  /// were accepted here.
+  bool adopt_blob(const std::string& digest, std::string_view blob);
+
+  /// Structural verification of raw blob bytes against their content
+  /// address: one-line JSON header, blob_digest(kind, key) == digest,
+  /// recorded payload size and sha256 match the body.
+  static bool verify_blob(const std::string& digest, std::string_view blob);
+
 private:
   struct BlobInfo {
     std::uint64_t size = 0;       // blob file size (header + payload)
@@ -139,6 +190,9 @@ private:
   };
 
   std::string blob_path(const std::string& digest) const;
+  /// Shared tail of put()/adopt_blob(): atomic write + accounting +
+  /// eviction + periodic index flush, Write/Eviction notifications.
+  bool publish_blob(const std::string& digest, std::string_view blob);
   /// Scan objects/ and merge with index.json (locked by caller).
   void recover_locked();
   /// Returns the number of blobs evicted.

@@ -1,6 +1,7 @@
 #include "service/build_farm.hpp"
 
 #include "common/hashing.hpp"
+#include "service/distribution.hpp"
 #include "service/fault.hpp"
 #include "vm/decoded.hpp"
 
@@ -11,7 +12,15 @@ BuildFarm::BuildFarm(ShardedRegistry& registry, BuildFarmOptions options)
       options_(options),
       cache_(options.cache_shards),
       pool_(options.threads) {
-  if (options_.artifact_store) {
+  if (options_.distribution) {
+    // Remote-registry level under both cache granularities: the elected
+    // builder pulls whole deployments and individual TUs from ring
+    // peers before compiling anything.
+    spec_tier_ = std::make_unique<SpecDistributionTier>(*options_.distribution,
+                                                        options_.predecode);
+    tu_tier_ = std::make_unique<TuDistributionTier>(*options_.distribution);
+    cache_.set_disk_tier(spec_tier_.get());
+  } else if (options_.artifact_store) {
     spec_tier_ = std::make_unique<SpecArtifactTier>(*options_.artifact_store,
                                                     options_.predecode);
     tu_tier_ = std::make_unique<TuArtifactTier>(*options_.artifact_store);

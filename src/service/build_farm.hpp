@@ -57,6 +57,11 @@ struct BuildFarmOptions {
   /// pointed at a populated directory warm-starts with zero compiles.
   /// Borrowed — the store must outlive the farm.
   ArtifactStore* artifact_store = nullptr;
+  /// Remote-registry level under the disk tier: when non-null, a cache
+  /// miss (whole deployment or individual TU) first tries to pull the
+  /// blob from ring peers before building. The peer must front the same
+  /// store as `artifact_store`. Borrowed.
+  DistributionPeer* distribution = nullptr;
 };
 
 /// Source-container build farm (the §4.1 path at fleet scale).
@@ -124,9 +129,10 @@ private:
   BuildFarmOptions options_;
   SpecializationCache cache_;
   // Adapters over options_.artifact_store (null when no store): installed
-  // on cache_ and on every per-image TU cache the farm creates.
-  std::unique_ptr<SpecArtifactTier> spec_tier_;
-  std::unique_ptr<TuArtifactTier> tu_tier_;
+  // on cache_ and on every per-image TU cache the farm creates. With
+  // options_.distribution set these are the *DistributionTier variants.
+  std::unique_ptr<SpecDiskTier> spec_tier_;
+  std::unique_ptr<minicc::TuDiskTier> tu_tier_;
 
   mutable std::mutex states_mutex_;
   std::map<std::string, std::shared_ptr<const ImageState>> states_;

@@ -113,6 +113,14 @@ Cluster::Cluster(std::vector<vm::NodeSpec> fleet, ClusterOptions options)
   fills_ = &metrics_.counter("cluster.fills");
   fabric_nanos_ = &metrics_.counter("cluster.fabric_nanos");
 
+  // Registry fabric first: the gateways' peers register on it in shard
+  // order, which fixes the gossip ring.
+  if (!options_.artifact_root.empty()) {
+    DistributionOptions dist_options = options_.distribution;
+    dist_options.stack = options_.fabric_stack;
+    fabric_ = std::make_unique<DistributionFabric>(std::move(dist_options));
+  }
+
   // Contiguous near-equal fleet slices, one per gateway: the first
   // (fleet % gateways) shards take one extra node.
   const std::size_t gateways = std::min(
@@ -125,6 +133,12 @@ Cluster::Cluster(std::vector<vm::NodeSpec> fleet, ClusterOptions options)
   for (std::size_t g = 0; g < gateways; ++g) {
     auto shard = std::make_unique<Shard>();
     shard->name = "gw" + std::to_string(g);
+    if (fabric_) {
+      gateway_options.artifact_dir =
+          options_.artifact_root + "/" + shard->name;
+      gateway_options.distribution = fabric_.get();
+      gateway_options.distribution_name = shard->name;
+    }
     std::size_t take = fleet.size() / gateways;
     if (g < fleet.size() % gateways) ++take;
     std::vector<vm::NodeSpec> slice;
@@ -376,8 +390,12 @@ void Cluster::serve(std::size_t shard_index, Job job, bool stolen) {
       fill = cold_here && warm.size() > 1;
     }
     if (fill) {
-      fabric_seconds +=
-          fabric::transfer_seconds(options_.fabric_stack, options_.fill_bytes);
+      // With distribution on, the registry protocol moves (and prices)
+      // the real blobs — the flat fill model would double-charge.
+      if (!fabric_) {
+        fabric_seconds += fabric::transfer_seconds(options_.fabric_stack,
+                                                   options_.fill_bytes);
+      }
       fills_->add(1);
       shard.fills->add(1);
     }
@@ -423,6 +441,61 @@ void Cluster::serve(std::size_t shard_index, Job job, bool stolen) {
   out.fabric_seconds = fabric_seconds;
   out.total_seconds = total;
   job.promise.set_value(std::move(out));
+
+  // Gossip cadence: every gossip_every-th completion on this shard
+  // advertises its hot digests to the ring successors, so peers warm up
+  // before their first request for the class.
+  if (fabric_ && options_.gossip_every > 0) {
+    const std::uint64_t n =
+        shard.completions.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (n % options_.gossip_every == 0) {
+      if (DistributionPeer* peer = shard.gateway->distribution()) {
+        peer->gossip_round();
+      }
+    }
+  }
+}
+
+void Cluster::distribution_flush() {
+  if (!fabric_) return;
+  // Sweep to quiescence: each sweep lets hints (and their blobs) hop
+  // fanout successors further around the ring; when a full sweep accepts
+  // nothing anywhere, every announced digest is replicated ring-wide.
+  // Terminates: acceptances are bounded by peers × announced blobs.
+  for (;;) {
+    std::size_t accepted = 0;
+    for (auto& shard : shards_) {
+      if (DistributionPeer* peer = shard->gateway->distribution()) {
+        accepted += peer->gossip_round();
+      }
+    }
+    if (accepted == 0) return;
+  }
+}
+
+telemetry::MetricsSnapshot Cluster::snapshot() const {
+  telemetry::MetricsSnapshot snap = metrics_.snapshot();
+  // Fabric-wide distribution totals overlay here (and only here: the
+  // per-gateway snapshots carry their per-peer slices, so summing those
+  // reconciles against these totals instead of double-counting them).
+  if (fabric_) {
+    const DistributionStats stats = fabric_->stats();
+    snap.counters["distribution.manifest_msgs"] = stats.manifest_msgs;
+    snap.counters["distribution.manifest_bytes"] = stats.manifest_bytes;
+    snap.counters["distribution.request_msgs"] = stats.request_msgs;
+    snap.counters["distribution.request_bytes"] = stats.request_bytes;
+    snap.counters["distribution.blobs_sent"] = stats.blobs_sent;
+    snap.counters["distribution.blob_bytes"] = stats.blob_bytes;
+    snap.counters["distribution.gossip_msgs"] = stats.gossip_msgs;
+    snap.counters["distribution.gossip_bytes"] = stats.gossip_bytes;
+    snap.counters["distribution.blobs_accepted"] = stats.blobs_accepted;
+    snap.counters["distribution.blobs_rejected"] = stats.blobs_rejected;
+    snap.counters["distribution.dedup_saved_bytes"] = stats.dedup_saved_bytes;
+    snap.counters["distribution.messages_total"] = stats.messages_total();
+    snap.counters["distribution.bytes_total"] = stats.bytes_total();
+    snap.counters["distribution.transfer_nanos"] = stats.transfer_nanos;
+  }
+  return snap;
 }
 
 }  // namespace xaas::service

@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "fabric/bandwidth.hpp"
+#include "service/distribution.hpp"
 #include "service/fair_queue.hpp"
 #include "service/gateway.hpp"
 #include "service/telemetry.hpp"
@@ -121,8 +122,25 @@ struct ClusterOptions {
                                 "mpich", "cxi", /*containerized=*/true};
   /// Modeled bytes of a cross-gateway cache fill (specialized artifact
   /// shipped instead of rebuilt when a sibling gateway already has the
-  /// class warm).
+  /// class warm). With artifact_root set the real registry protocol
+  /// replaces this model: fills are still counted, but the bytes and
+  /// transfer time come from the actual blob traffic on the owned
+  /// DistributionFabric.
   std::size_t fill_bytes = std::size_t{4} << 20;
+  /// Artifact distribution: when non-empty, every gateway owns a
+  /// persistent ArtifactStore under <artifact_root>/<gateway-name> and
+  /// joins an owned DistributionFabric as a registry peer — cold classes
+  /// replicate across gateways by lazy pulls (under the single-flight
+  /// leaders) and gossip pre-warming instead of rebuilding. Overrides
+  /// gateway.artifact_dir per shard. Empty = distribution off.
+  std::string artifact_root;
+  /// Gossip cadence: each shard runs one gossip round on its peer every
+  /// N completions (0 disables background gossip; distribution_flush()
+  /// still works).
+  std::size_t gossip_every = 8;
+  /// Registry protocol knobs. The stack is overridden with fabric_stack
+  /// at construction so one knob prices all inter-gateway traffic.
+  DistributionOptions distribution;
   /// Options applied to every owned gateway. worker_threads defaults to
   /// dispatchers_per_gateway (the dispatchers are the fan-out; a larger
   /// inner pool would only idle).
@@ -187,9 +205,21 @@ public:
   /// Jobs admitted to WFQs but not yet taken by a dispatcher.
   std::size_t pending() const;
 
+  /// The owned registry fabric, or nullptr when artifact_root was empty.
+  DistributionFabric* distribution_fabric() { return fabric_.get(); }
+
+  /// Drive gossip to quiescence: sweep every peer's gossip_round()
+  /// repeatedly until a full sweep accepts no new blob anywhere (every
+  /// announced hot digest is then replicated ring-wide). No-op without
+  /// distribution. Safe to call while serving, though it is intended for
+  /// drain points (benches, tests, maintenance windows).
+  void distribution_flush();
+
   /// Cluster-level metrics (per-tenant, per-gateway, steal/fill/fabric
-  /// counters). Gateway-internal metrics live in gateway(i).snapshot().
-  telemetry::MetricsSnapshot snapshot() const { return metrics_.snapshot(); }
+  /// counters, and — with distribution on — the fabric-wide
+  /// distribution.* totals). Gateway-internal metrics live in
+  /// gateway(i).snapshot().
+  telemetry::MetricsSnapshot snapshot() const;
   telemetry::MetricsRegistry& metrics() { return metrics_; }
 
 private:
@@ -216,6 +246,8 @@ private:
     telemetry::Counter* served = nullptr;
     telemetry::Counter* stolen = nullptr;  // jobs THIS gateway stole
     telemetry::Counter* fills = nullptr;
+    /// Completions on this shard (drives the gossip cadence).
+    std::atomic<std::uint64_t> completions{0};
   };
 
   void dispatcher_loop(std::size_t shard_index);
@@ -248,6 +280,11 @@ private:
 
   QuotaSet quotas_;
   Clock::time_point start_;
+
+  /// Owned registry fabric (null when artifact_root is empty). Declared
+  /// before shards_ so every gateway's peer deregisters before the
+  /// fabric dies.
+  std::unique_ptr<DistributionFabric> fabric_;
 
   /// Which gateways have each request class warm (first server builds,
   /// later gateways fill over the fabric). Guarded by warm_mutex_.

@@ -2,6 +2,7 @@
 
 #include "common/hashing.hpp"
 #include "service/build_farm.hpp"
+#include "service/distribution.hpp"
 #include "service/fault.hpp"
 #include "vm/decoded.hpp"
 
@@ -27,9 +28,17 @@ DeployScheduler::DeployScheduler(ShardedRegistry& registry, BuildFarm& farm,
 }
 
 void DeployScheduler::attach_artifact_store() {
-  if (!options_.artifact_store) return;
-  spec_tier_ = std::make_unique<SpecArtifactTier>(*options_.artifact_store,
-                                                  options_.predecode);
+  if (options_.distribution) {
+    // Remote-registry level under the disk tier: the single-flight
+    // leader pulls from ring peers before paying a lowering.
+    spec_tier_ = std::make_unique<SpecDistributionTier>(*options_.distribution,
+                                                        options_.predecode);
+  } else if (options_.artifact_store) {
+    spec_tier_ = std::make_unique<SpecArtifactTier>(*options_.artifact_store,
+                                                    options_.predecode);
+  } else {
+    return;
+  }
   cache_.set_disk_tier(spec_tier_.get());
 }
 

@@ -29,6 +29,7 @@
 namespace xaas::service {
 
 class BuildFarm;
+class DistributionPeer;
 
 struct FleetDeployRequest {
   vm::NodeSpec node;
@@ -122,6 +123,11 @@ struct DeploySchedulerOptions {
   /// (and revive from) this store across scheduler lifetimes. Borrowed —
   /// the store must outlive the scheduler.
   ArtifactStore* artifact_store = nullptr;
+  /// Remote-registry level under the disk tier: when non-null, a cache
+  /// miss first tries to pull the blob from ring peers before falling
+  /// back to a build (the single-flight leader does the one fetch). The
+  /// peer must front the same store as `artifact_store`. Borrowed.
+  DistributionPeer* distribution = nullptr;
 };
 
 /// Fleet deployment scheduler (IR path + mixed-kind routing).
@@ -184,8 +190,9 @@ private:
   ShardedRegistry& registry_;
   DeploySchedulerOptions options_;
   SpecializationCache cache_;
-  // Adapter over options_.artifact_store (null when no store).
-  std::unique_ptr<SpecArtifactTier> spec_tier_;
+  // Adapter over options_.artifact_store (null when no store); a
+  // SpecDistributionTier when options_.distribution is set.
+  std::unique_ptr<SpecDiskTier> spec_tier_;
   BuildFarm* farm_ = nullptr;  // source-kind routing; may be null
 
   std::mutex manifests_mutex_;

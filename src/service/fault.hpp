@@ -47,6 +47,7 @@ inline constexpr std::string_view kIrLower = "deploy.lower";    // IR lowering f
 inline constexpr std::string_view kStoreRead = "store.read";    // read I/O error
 inline constexpr std::string_view kStoreWrite = "store.write";  // write I/O error
 inline constexpr std::string_view kStoreCorrupt = "store.corrupt";  // bit flip
+inline constexpr std::string_view kDistTransfer = "dist.transfer";  // in-flight bit flip
 
 /// A seeded schedule of faults.
 ///

@@ -6,6 +6,7 @@
 
 #include "common/sha256.hpp"
 #include "container/image.hpp"
+#include "service/distribution.hpp"
 
 namespace xaas::service {
 
@@ -80,6 +81,15 @@ Gateway::Gateway(std::vector<vm::NodeSpec> fleet, GatewayOptions options)
         store_options.max_bytes = options_.artifact_max_bytes;
         return std::make_unique<ArtifactStore>(std::move(store_options));
       }()),
+      peer_([&]() -> std::unique_ptr<DistributionPeer> {
+        // The registry peer needs a store to serve from; without one the
+        // gateway simply stays off the fabric.
+        if (!options_.distribution || !artifact_store_) return nullptr;
+        return std::make_unique<DistributionPeer>(
+            options_.distribution_name.empty() ? "gateway"
+                                               : options_.distribution_name,
+            *artifact_store_, *options_.distribution);
+      }()),
       registry_(options_.registry_shards),
       farm_(registry_,
             [&] {
@@ -88,12 +98,14 @@ Gateway::Gateway(std::vector<vm::NodeSpec> fleet, GatewayOptions options)
               BuildFarmOptions farm_options = options_.farm;
               if (farm_options.threads == 0) farm_options.threads = 1;
               farm_options.artifact_store = artifact_store_.get();
+              farm_options.distribution = peer_.get();
               return farm_options;
             }()),
       scheduler_(registry_, farm_, [&] {
         DeploySchedulerOptions sched_options = options_.scheduler;
         if (sched_options.threads == 0) sched_options.threads = 1;
         sched_options.artifact_store = artifact_store_.get();
+        sched_options.distribution = peer_.get();
         return sched_options;
       }()) {
   // A zero bound would make every blocking submit() unsatisfiable.
@@ -472,6 +484,20 @@ telemetry::MetricsSnapshot Gateway::snapshot() const {
   const auto& domain = common::rcu::EpochDomain::instance();
   snap.counters["epoch.swaps"] = domain.retired();
   snap.counters["epoch.deferred_frees"] = domain.freed();
+  // This gateway's registry-peer counters (fabric-wide totals live in
+  // the Cluster's snapshot — overlaying them here too would double-count
+  // across gateways).
+  if (peer_) {
+    const PeerStats stats = peer_->stats();
+    snap.counters["distribution.blobs_in"] = stats.blobs_in;
+    snap.counters["distribution.bytes_in"] = stats.bytes_in;
+    snap.counters["distribution.blobs_out"] = stats.blobs_out;
+    snap.counters["distribution.bytes_out"] = stats.bytes_out;
+    snap.counters["distribution.pushed_in"] = stats.pushed_in;
+    snap.counters["distribution.prewarm_fetches"] = stats.prewarm_fetches;
+    snap.counters["distribution.lazy_fetches"] = stats.lazy_fetches;
+    snap.counters["distribution.verify_rejects"] = stats.verify_rejects;
+  }
   return snap;
 }
 

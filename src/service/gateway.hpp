@@ -47,6 +47,8 @@
 
 namespace xaas::service {
 
+class DistributionFabric;
+
 /// One unit of user work: which image, which configuration, what to run.
 struct RunRequest {
   std::string image_reference;  // tag or "sha256:..." digest
@@ -145,6 +147,16 @@ struct GatewayOptions {
   std::string artifact_dir;
   /// Byte budget for the artifact store (0 = unlimited).
   std::uint64_t artifact_max_bytes = 0;
+  /// Remote-registry membership (service/distribution.hpp): when
+  /// non-null — and artifact_dir names a store — the gateway registers a
+  /// DistributionPeer on this fabric and installs the remote tier under
+  /// both caches, so cold keys pull from ring peers before building and
+  /// fresh builds are announced for gossip pre-warming. Borrowed — the
+  /// fabric must outlive the gateway.
+  DistributionFabric* distribution = nullptr;
+  /// This gateway's peer name on the fabric (the Cluster passes its
+  /// shard name); defaults to "gateway" when empty.
+  std::string distribution_name;
   /// Forwarded to the owned DeployScheduler / BuildFarm (their `threads`
   /// fields default to 1 here — see worker_threads; their
   /// `artifact_store` pointers are overwritten with the owned store).
@@ -195,7 +207,11 @@ struct GatewayOptions {
 ///              spec_cache.{hits,disk_hits,misses,deploy_failures},
 ///              tu_cache.{hits,disk_hits,compiles},
 ///              artifact_store.{disk_hits,disk_misses,writes,evictions,
-///              verify_failures}, vm.{runs,instructions},
+///              verify_failures},
+///              distribution.{blobs_in,bytes_in,blobs_out,bytes_out,
+///              pushed_in,prewarm_fetches,lazy_fetches,verify_rejects}
+///              (overlaid by snapshot() from this gateway's peer),
+///              vm.{runs,instructions},
 ///              fault.<site> (via observe_fault_plan)
 ///              epoch.{swaps,deferred_frees} (RCU reclamation, overlaid
 ///              by snapshot() from the process-wide epoch domain)
@@ -259,6 +275,8 @@ public:
   const std::vector<vm::NodeSpec>& fleet() const { return fleet_; }
   /// The owned persistent store, or nullptr when artifact_dir was empty.
   ArtifactStore* artifact_store() { return artifact_store_.get(); }
+  /// This gateway's registry peer, or nullptr when no fabric was given.
+  DistributionPeer* distribution() { return peer_.get(); }
 
 private:
   using Clock = std::chrono::steady_clock;
@@ -374,6 +392,11 @@ private:
   // Constructed before (so destroyed after) the services whose caches
   // hold tier adapters over it.
   std::unique_ptr<ArtifactStore> artifact_store_;
+  // After the store (the peer serves out of it), before the services
+  // (their distribution tiers borrow the peer). Registered on the fabric
+  // for its whole lifetime; the Cluster quiesces cross-gateway traffic
+  // (joins its dispatchers) before any gateway dies.
+  std::unique_ptr<DistributionPeer> peer_;
   ShardedRegistry registry_;
   BuildFarm farm_;
   DeployScheduler scheduler_;

@@ -76,6 +76,10 @@ struct SpecKeyHash {
 /// a previously persisted deployment (or null), store() persists a
 /// successful one. Implementations must be safe to call from any thread
 /// and must never throw (a failing disk tier degrades to a miss).
+/// Because only the elected single-flight leader consults this tier, an
+/// implementation may stack further levels beneath the local disk — the
+/// SpecDistributionTier (service/distribution.hpp) pulls from remote
+/// registry peers here, and exactly one fetch happens per cold key.
 class SpecDiskTier {
 public:
   virtual ~SpecDiskTier() = default;

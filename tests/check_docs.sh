@@ -6,7 +6,11 @@
 #  2. every serving-layer header (src/service/*.hpp) must be documented
 #     in docs/ARCHITECTURE.md or docs/SERVICE.md — a new service module
 #     (e.g. the artifact store) fails the gate until the docs cover it;
-#  3. README.md's tier-1 quickstart command must match the "Tier-1
+#  3. every public message/class name in the distribution protocol
+#     header (src/service/distribution.hpp) must appear in
+#     docs/DISTRIBUTION.md, which README.md must link — the wire
+#     protocol doc may not silently drift from the header;
+#  4. README.md's tier-1 quickstart command must match the "Tier-1
 #     verify:" line in ROADMAP.md verbatim.
 # Runnable from any CWD and via symlink: the repo root is resolved from
 # this script's own location, never from $PWD.
@@ -59,6 +63,37 @@ for header in "$ROOT"/src/service/*.hpp "$ROOT"/src/common/*.hpp \
     fail=1
   fi
 done
+
+# The distribution wire-protocol doc must name every public struct,
+# class, and enum the header declares at namespace scope. Offending
+# names are listed one per line so the failure says exactly what to
+# document.
+DIST_HEADER="$ROOT/src/service/distribution.hpp"
+DIST_DOC="$ROOT/docs/DISTRIBUTION.md"
+if [[ ! -f "$DIST_DOC" ]]; then
+  echo "missing docs/DISTRIBUTION.md (required by src/service/distribution.hpp)" >&2
+  fail=1
+else
+  missing=()
+  while read -r name; do
+    [[ -z "$name" ]] && continue
+    if ! grep -q "\b$name\b" "$DIST_DOC"; then
+      missing+=("$name")
+    fi
+  done < <(sed -n -E \
+      's/^(struct|class|enum class) ([A-Za-z_][A-Za-z0-9_]*).*/\2/p' \
+      "$DIST_HEADER" | sort -u)
+  if (( ${#missing[@]} > 0 )); then
+    echo "docs/DISTRIBUTION.md: public names from" \
+         "src/service/distribution.hpp are undocumented:" >&2
+    printf '  %s\n' "${missing[@]}" >&2
+    fail=1
+  fi
+  if ! grep -q "docs/DISTRIBUTION.md" "$ROOT/README.md"; then
+    echo "README.md: does not link docs/DISTRIBUTION.md" >&2
+    fail=1
+  fi
+fi
 
 tier1="$(sed -n 's/.*Tier-1 verify:\*\* `\(.*\)`.*/\1/p' "$ROOT/ROADMAP.md")"
 if [[ -z "$tier1" ]]; then

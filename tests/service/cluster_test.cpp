@@ -5,7 +5,10 @@
 // perturb the victims' results (bit-identical to a no-flood reference)
 // and every cluster counter must reconcile exactly after drain.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <atomic>
+#include <filesystem>
 #include <map>
 #include <set>
 #include <string>
@@ -19,6 +22,26 @@
 
 namespace xaas::service {
 namespace {
+
+/// Unique scratch directory, removed on scope exit.
+class TempDir {
+public:
+  explicit TempDir(const std::string& tag) {
+    static std::atomic<int> counter{0};
+    path_ = std::filesystem::temp_directory_path() /
+            ("xaas-cluster-" + tag + "-" + std::to_string(::getpid()) + "-" +
+             std::to_string(counter.fetch_add(1)));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  std::string str() const { return path_.string(); }
+
+private:
+  std::filesystem::path path_;
+};
 
 // ---- ConsistentHashRing properties -----------------------------------------
 
@@ -264,6 +287,76 @@ TEST(Cluster, QuotaDenialIsImmediateAndRetryable) {
                 snap.counter("cluster.rejected") +
                 snap.counter("cluster.shed") +
                 snap.counter("cluster.quota_denied"));
+}
+
+// With artifact_root set, the gateways' stores form a registry ring:
+// after one gateway builds a class and gossip drains, the sibling serves
+// the same class from pre-warmed blobs — zero lowerings, zero TU
+// compiles, bit-identical numerics — and both snapshot layers carry the
+// distribution counters.
+TEST(Cluster, DistributionReplicatesAcrossGateways) {
+  const Application app = make_app();
+  TempDir root("dist");
+  ClusterOptions options = small_cluster_options();
+  options.steal = false;  // pin the class to its hash home
+  options.artifact_root = root.str();
+  Cluster cluster(vm::simulated_fleet(vm::node("ault23"), 4, "node-"),
+                  options);
+  cluster.push(make_ir_image(app), "spcl/minimd:ir");
+  ASSERT_NE(cluster.distribution_fabric(), nullptr);
+
+  // Serve one class: its hash home builds (and announces) the artifacts.
+  const auto first = cluster.submit(tenant_request("t", "AVX_512")).get();
+  ASSERT_TRUE(first.result.ok) << first.result.error;
+  const std::string home = first.gateway;
+
+  // Drain gossip: every announced blob replicates ring-wide.
+  cluster.distribution_flush();
+
+  // The *other* gateway serves the same class straight from its
+  // pre-warmed store.
+  Gateway* sibling = nullptr;
+  std::string sibling_name;
+  for (std::size_t g = 0; g < cluster.gateway_count(); ++g) {
+    if (cluster.gateway_name(g) == home) continue;
+    sibling = &cluster.gateway(g);
+    sibling_name = cluster.gateway_name(g);
+    break;
+  }
+  ASSERT_NE(sibling, nullptr);
+  ASSERT_EQ(sibling->scheduler().cache().lowerings(), 0u);
+
+  const auto replayed = sibling->submit(tenant_request("t", "AVX_512")).get();
+  ASSERT_TRUE(replayed.ok) << replayed.error;
+  EXPECT_EQ(replayed.numerics_digest, first.result.numerics_digest);
+  EXPECT_EQ(sibling->scheduler().cache().lowerings(), 0u);
+  EXPECT_EQ(sibling->farm().tu_compiles(), 0u);
+  EXPECT_EQ(sibling->scheduler().cache().disk_hits(), 1u);
+
+  // Telemetry: the sibling's gateway snapshot shows the pre-warm
+  // arrivals, the cluster snapshot carries the fabric-wide totals, and
+  // the identities reconcile with zero rejects.
+  const auto sibling_snap = sibling->snapshot();
+  EXPECT_GT(sibling_snap.counter("distribution.prewarm_fetches"), 0u);
+  EXPECT_EQ(sibling_snap.counter("distribution.verify_rejects"), 0u);
+  const auto snap = cluster.snapshot();
+  EXPECT_GT(snap.counter("distribution.blobs_accepted"), 0u);
+  EXPECT_EQ(snap.counter("distribution.blobs_sent"),
+            snap.counter("distribution.blobs_accepted") +
+                snap.counter("distribution.blobs_rejected"));
+  EXPECT_EQ(snap.counter("distribution.blobs_rejected"), 0u);
+  EXPECT_EQ(snap.counter("distribution.bytes_total"),
+            snap.counter("distribution.manifest_bytes") +
+                snap.counter("distribution.request_bytes") +
+                snap.counter("distribution.blob_bytes") +
+                snap.counter("distribution.gossip_bytes"));
+  EXPECT_GT(snap.counter("distribution.transfer_nanos"), 0u);
+  // Per-peer acceptances sum to the fabric total.
+  std::uint64_t accepted = 0;
+  for (std::size_t g = 0; g < cluster.gateway_count(); ++g) {
+    accepted += cluster.gateway(g).snapshot().counter("distribution.blobs_in");
+  }
+  EXPECT_EQ(snap.counter("distribution.blobs_accepted"), accepted);
 }
 
 // ---- ClusterStress: fair-share isolation under flood (stress label) --------

@@ -1,0 +1,524 @@
+#include "service/distribution.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <random>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/minimd.hpp"
+#include "service/build_farm.hpp"
+#include "service/fault.hpp"
+
+namespace xaas::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Unique scratch directory, removed on scope exit.
+class TempDir {
+public:
+  explicit TempDir(const std::string& tag) {
+    static std::atomic<int> counter{0};
+    path_ = fs::temp_directory_path() /
+            ("xaas-dist-" + tag + "-" + std::to_string(::getpid()) + "-" +
+             std::to_string(counter.fetch_add(1)));
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  std::string str() const { return path_.string(); }
+
+private:
+  fs::path path_;
+};
+
+std::set<std::string> digests_of(ArtifactStore& store) {
+  std::set<std::string> digests;
+  for (const auto& ref : store.enumerate_blobs()) digests.insert(ref.digest);
+  return digests;
+}
+
+/// Assert the fabric-wide reconciliation identities against the peers'
+/// own counters (docs/DISTRIBUTION.md): every sent envelope was accepted
+/// or rejected, and every acceptance is classified by exactly one source.
+void expect_identities(const DistributionFabric& fabric,
+                       const std::vector<DistributionPeer*>& peers) {
+  const DistributionStats stats = fabric.stats();
+  EXPECT_EQ(stats.blobs_sent, stats.blobs_accepted + stats.blobs_rejected);
+  EXPECT_EQ(stats.bytes_total(), stats.manifest_bytes + stats.request_bytes +
+                                     stats.blob_bytes + stats.gossip_bytes);
+  EXPECT_EQ(stats.messages_total(), stats.manifest_msgs + stats.request_msgs +
+                                        stats.blobs_sent + stats.gossip_msgs);
+  std::uint64_t accepted = 0;
+  std::uint64_t sent = 0;
+  for (const DistributionPeer* peer : peers) {
+    const PeerStats ps = peer->stats();
+    EXPECT_EQ(ps.blobs_in, ps.pushed_in + ps.prewarm_fetches + ps.lazy_fetches);
+    accepted += ps.blobs_in;
+    sent += ps.blobs_out;
+  }
+  EXPECT_EQ(stats.blobs_accepted, accepted);
+  EXPECT_EQ(stats.blobs_sent, sent);
+}
+
+// ---- Blob registry surface on the store ------------------------------------
+
+TEST(Distribution, BlobRegistryRoundTrip) {
+  TempDir src_dir("blob-src");
+  TempDir dst_dir("blob-dst");
+  ArtifactStore src({src_dir.str(), 0});
+  ArtifactStore dst({dst_dir.str(), 0});
+
+  ASSERT_TRUE(src.put("tu", "k1", "payload one"));
+  ASSERT_TRUE(src.put("spec", "k2", std::string(300, 's')));
+
+  // enumerate_blobs is digest-sorted and matches the store contents.
+  const auto blobs = src.enumerate_blobs();
+  ASSERT_EQ(blobs.size(), 2u);
+  EXPECT_LT(blobs[0].digest, blobs[1].digest);
+  for (const auto& ref : blobs) {
+    EXPECT_TRUE(src.contains_blob(ref.digest));
+    EXPECT_EQ(src.blob_bytes(ref.digest), ref.bytes);
+    EXPECT_GT(ref.bytes, 0u);
+  }
+  EXPECT_FALSE(src.contains_blob(std::string(64, '0')));
+  EXPECT_EQ(src.blob_bytes(std::string(64, '0')), 0u);
+
+  // read_blob returns the verified raw on-disk bytes; adopt_blob
+  // re-verifies and publishes them under another store.
+  const std::string digest = ArtifactStore::blob_digest("tu", "k1");
+  const auto raw = src.read_blob(digest);
+  ASSERT_TRUE(raw.has_value());
+  EXPECT_TRUE(ArtifactStore::verify_blob(digest, *raw));
+  ASSERT_TRUE(dst.adopt_blob(digest, *raw));
+  EXPECT_EQ(*dst.get("tu", "k1"), "payload one");
+
+  // A tampered blob is rejected before any write: flipping a payload
+  // byte or grafting onto the wrong digest both fail verification.
+  std::string tampered = *raw;
+  tampered.back() = static_cast<char>(tampered.back() ^ 0x01);
+  EXPECT_FALSE(ArtifactStore::verify_blob(digest, tampered));
+  EXPECT_FALSE(dst.adopt_blob(digest, tampered));
+  EXPECT_FALSE(dst.adopt_blob(std::string(64, 'a'), *raw));
+  EXPECT_EQ(dst.entry_count(), 1u);
+  // Rejection is the distribution layer's business, not a store-level
+  // verify failure (which would trip the serving gates).
+  EXPECT_EQ(dst.verify_failures(), 0u);
+
+  // The registry probes never perturb the cache telemetry.
+  EXPECT_EQ(src.disk_hits(), 0u);
+  EXPECT_EQ(src.disk_misses(), 0u);
+}
+
+// ---- Delta negotiation -----------------------------------------------------
+
+// Pushing image B after image A ships exactly digests(B) \ digests(A),
+// whatever order the blobs were inserted in (seeded property).
+TEST(Distribution, DeltaPushShipsExactlyTheMissingDigests) {
+  // Image A: six TUs. Image B: shares three of them, adds four new.
+  const std::vector<std::pair<std::string, std::string>> image_a = {
+      {"tu-a0", std::string(100, 'a')}, {"tu-a1", std::string(140, 'b')},
+      {"tu-a2", std::string(180, 'c')}, {"tu-a3", std::string(220, 'd')},
+      {"tu-a4", std::string(260, 'e')}, {"tu-a5", std::string(300, 'f')},
+  };
+  const std::vector<std::pair<std::string, std::string>> image_b = {
+      {"tu-a0", std::string(100, 'a')}, {"tu-a1", std::string(140, 'b')},
+      {"tu-a2", std::string(180, 'c')}, {"tu-b0", std::string(111, 'w')},
+      {"tu-b1", std::string(133, 'x')}, {"tu-b2", std::string(155, 'y')},
+      {"tu-b3", std::string(177, 'z')},
+  };
+
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    TempDir src_dir("delta-src");
+    TempDir dst_dir("delta-dst");
+    ArtifactStore src_store({src_dir.str(), 0});
+    ArtifactStore dst_store({dst_dir.str(), 0});
+    DistributionFabric fabric;
+    DistributionPeer src("src", src_store, fabric);
+    DistributionPeer dst("dst", dst_store, fabric);
+
+    // Insertion order must not matter: shuffle per seed.
+    auto a = image_a;
+    auto b = image_b;
+    std::mt19937 rng(seed);
+    std::shuffle(a.begin(), a.end(), rng);
+    std::shuffle(b.begin(), b.end(), rng);
+
+    for (const auto& [key, payload] : a) {
+      ASSERT_TRUE(src_store.put("tu", key, payload));
+    }
+    const auto after_a = src.push_to(dst);
+    EXPECT_EQ(after_a.shipped, image_a.size());  // cold target: all ship
+    EXPECT_EQ(after_a.skipped, 0u);
+    EXPECT_EQ(after_a.saved_bytes, 0u);
+    EXPECT_EQ(digests_of(dst_store), digests_of(src_store));
+
+    for (const auto& [key, payload] : b) {
+      ASSERT_TRUE(src_store.put("tu", key, payload));
+    }
+    const auto digests_before = digests_of(dst_store);
+    const auto push = src.push_to(dst);
+
+    // Exactly the four digests unique to B travel; the shared layers are
+    // dedup-skipped and their full blob bytes counted as savings.
+    EXPECT_EQ(push.shipped, 4u);
+    EXPECT_EQ(push.skipped, image_a.size());
+    std::uint64_t shared_bytes = 0;
+    for (const auto& [key, payload] : image_a) {
+      shared_bytes += src_store.blob_bytes(ArtifactStore::blob_digest("tu", key));
+    }
+    EXPECT_EQ(push.saved_bytes, shared_bytes);
+    EXPECT_EQ(digests_of(dst_store), digests_of(src_store));
+
+    // The shipped set is precisely digests(B-after) minus digests(A).
+    std::set<std::string> arrived;
+    for (const auto& digest : digests_of(dst_store)) {
+      if (digests_before.count(digest) == 0) arrived.insert(digest);
+    }
+    std::set<std::string> expected;
+    for (const std::string key : {"tu-b0", "tu-b1", "tu-b2", "tu-b3"}) {
+      expected.insert(ArtifactStore::blob_digest("tu", key));
+    }
+    EXPECT_EQ(arrived, expected) << "seed " << seed;
+
+    // A re-push is a pure no-op on the wire's envelope channel.
+    const auto again = src.push_to(dst);
+    EXPECT_EQ(again.shipped, 0u);
+    EXPECT_EQ(again.skipped, src_store.entry_count());
+
+    expect_identities(fabric, fabric.peers());
+    const auto stats = fabric.stats();
+    EXPECT_EQ(stats.manifest_msgs, 3u);  // one per push_to
+    EXPECT_EQ(stats.request_msgs, 3u);
+    EXPECT_EQ(stats.blobs_rejected, 0u);
+    EXPECT_GT(stats.transfer_nanos, 0u);
+  }
+}
+
+// Full replication ships every blob every time — the baseline the delta
+// protocol is measured against (bench/cold_fleet.cpp).
+TEST(Distribution, FullPushIgnoresWhatTheTargetHas) {
+  TempDir src_dir("full-src");
+  TempDir dst_dir("full-dst");
+  ArtifactStore src_store({src_dir.str(), 0});
+  ArtifactStore dst_store({dst_dir.str(), 0});
+  DistributionFabric fabric;
+  DistributionPeer src("src", src_store, fabric);
+  DistributionPeer dst("dst", dst_store, fabric);
+
+  for (int i = 0; i < 5; ++i) {
+    std::string key = "k";
+    key += std::to_string(i);
+    ASSERT_TRUE(src_store.put("tu", key, std::string(100, 'p') + key));
+  }
+  const auto first = src.push_full(dst);
+  EXPECT_EQ(first.shipped, 5u);
+  const auto second = src.push_full(dst);  // target already has everything
+  EXPECT_EQ(second.shipped, 5u);           // ...and naive ships it anyway
+  EXPECT_EQ(fabric.stats().dedup_saved_bytes, 0u);
+  EXPECT_EQ(fabric.stats().manifest_msgs, 0u);  // no negotiation at all
+  expect_identities(fabric, fabric.peers());
+}
+
+// ---- Failure semantics -----------------------------------------------------
+
+/// Find a seed whose (dist.transfer, digest) schedule fires on the first
+/// draw but not the second: the first serving peer corrupts in flight,
+/// the retry from the next peer arrives clean.
+std::uint64_t corrupting_seed(const std::string& digest) {
+  for (std::uint64_t seed = 1; seed < 50000; ++seed) {
+    fault::FaultPlan probe(seed);
+    probe.set_probability(fault::kDistTransfer, 0.5);
+    if (probe.fires(fault::kDistTransfer, digest) &&
+        !probe.fires(fault::kDistTransfer, digest)) {
+      return seed;
+    }
+  }
+  ADD_FAILURE() << "no seed found for digest " << digest;
+  return 0;
+}
+
+TEST(Distribution, CorruptBlobInFlightIsRejectedAndRefetched) {
+  TempDir a_dir("corrupt-a");
+  TempDir b_dir("corrupt-b");
+  TempDir c_dir("corrupt-c");
+  ArtifactStore a_store({a_dir.str(), 0});
+  ArtifactStore b_store({b_dir.str(), 0});
+  ArtifactStore c_store({c_dir.str(), 0});
+
+  const std::string payload(200, 'q');
+  ASSERT_TRUE(a_store.put("spec", "hot-key", payload));
+  ASSERT_TRUE(b_store.put("spec", "hot-key", payload));
+  const std::string digest = ArtifactStore::blob_digest("spec", "hot-key");
+
+  fault::FaultPlan plan(corrupting_seed(digest));
+  plan.set_probability(fault::kDistTransfer, 0.5);
+  fault::ScopedFaultPlan guard(plan);
+
+  DistributionFabric fabric;
+  DistributionPeer a("a", a_store, fabric);
+  DistributionPeer b("b", b_store, fabric);
+  DistributionPeer c("c", c_store, fabric);
+
+  // c's ring walk asks a first (corrupted in flight: rejected, never
+  // written), then b (clean: adopted). The fault can cost a re-fetch,
+  // never a wrong artifact.
+  EXPECT_TRUE(c.ensure_local("spec", "hot-key"));
+  EXPECT_EQ(plan.injected(fault::kDistTransfer), 1u);
+  EXPECT_EQ(*c_store.get("spec", "hot-key"), payload);  // bit-identical
+
+  const PeerStats cs = c.stats();
+  EXPECT_EQ(cs.verify_rejects, 1u);
+  EXPECT_EQ(cs.lazy_fetches, 1u);
+  EXPECT_EQ(cs.blobs_in, 1u);
+  EXPECT_EQ(a.stats().blobs_out, 1u);
+  EXPECT_EQ(b.stats().blobs_out, 1u);
+
+  const DistributionStats stats = fabric.stats();
+  EXPECT_EQ(stats.blobs_sent, 2u);
+  EXPECT_EQ(stats.blobs_accepted, 1u);
+  EXPECT_EQ(stats.blobs_rejected, 1u);
+  EXPECT_EQ(stats.request_msgs, 2u);  // one 1-digest request per attempt
+  expect_identities(fabric, {&a, &b, &c});
+
+  // The rejected envelope never touched c's store-level verify counter:
+  // a transfer fault is a distribution event, not a disk corruption.
+  EXPECT_EQ(c_store.verify_failures(), 0u);
+}
+
+TEST(Distribution, EnsureLocalFailsCleanlyWhenNoPeerHasTheBlob) {
+  TempDir a_dir("missing-a");
+  TempDir b_dir("missing-b");
+  ArtifactStore a_store({a_dir.str(), 0});
+  ArtifactStore b_store({b_dir.str(), 0});
+  DistributionFabric fabric;
+  DistributionPeer a("a", a_store, fabric);
+  DistributionPeer b("b", b_store, fabric);
+
+  EXPECT_FALSE(a.ensure_local("spec", "nobody-has-this"));
+  const DistributionStats stats = fabric.stats();
+  EXPECT_EQ(stats.blobs_sent, 0u);
+  EXPECT_GT(stats.request_msgs, 0u);  // the ask still cost wire bytes
+  expect_identities(fabric, {&a, &b});
+}
+
+// ---- Gossip pre-warming ----------------------------------------------------
+
+TEST(Distribution, GossipPrewarmsTheRing) {
+  constexpr std::size_t kPeers = 4;
+  std::vector<std::unique_ptr<TempDir>> dirs;
+  std::vector<std::unique_ptr<ArtifactStore>> stores;
+  DistributionOptions options;
+  options.gossip_fanout = 2;
+  DistributionFabric fabric(options);
+  std::vector<std::unique_ptr<DistributionPeer>> peers;
+  for (std::size_t i = 0; i < kPeers; ++i) {
+    dirs.push_back(std::make_unique<TempDir>("gossip-" + std::to_string(i)));
+    stores.push_back(
+        std::make_unique<ArtifactStore>(ArtifactStoreOptions{dirs[i]->str(), 0}));
+    peers.push_back(std::make_unique<DistributionPeer>(
+        "peer-" + std::to_string(i), *stores[i], fabric));
+  }
+
+  // Peer 0 builds two hot artifacts and announces them.
+  ASSERT_TRUE(stores[0]->put("spec", "hot-1", std::string(150, 'h')));
+  ASSERT_TRUE(stores[0]->put("spec", "hot-2", std::string(250, 'i')));
+  peers[0]->announce("spec", "hot-1");
+  peers[0]->announce("spec", "hot-2");
+
+  // A peer that has nothing gossips nothing (advertise-only-what-you-have).
+  EXPECT_EQ(peers[1]->gossip_round(), 0u);
+  EXPECT_EQ(fabric.stats().gossip_msgs, 0u);
+
+  // Round 1: peer 0 advertises to its two successors, which pull both
+  // blobs each. Because receivers merge the hints, a sweep of everyone's
+  // gossip_round floods the rest of the ring.
+  EXPECT_EQ(peers[0]->gossip_round(), 4u);  // 2 blobs x 2 successors
+  for (std::size_t sweep = 0; sweep < kPeers; ++sweep) {
+    for (auto& peer : peers) peer->gossip_round();
+  }
+  for (std::size_t i = 0; i < kPeers; ++i) {
+    EXPECT_EQ(*stores[i]->get("spec", "hot-1"), std::string(150, 'h')) << i;
+    EXPECT_EQ(*stores[i]->get("spec", "hot-2"), std::string(250, 'i')) << i;
+  }
+
+  // Quiescence: once everyone has everything, gossip keeps costing
+  // message bytes but moves no blobs.
+  const auto blobs_before = fabric.stats().blobs_sent;
+  for (auto& peer : peers) EXPECT_EQ(peer->gossip_round(), 0u);
+  EXPECT_EQ(fabric.stats().blobs_sent, blobs_before);
+
+  // All movement was pre-warming; nothing was pushed or lazily pulled.
+  std::uint64_t prewarmed = 0;
+  for (auto& peer : peers) {
+    const PeerStats stats = peer->stats();
+    EXPECT_EQ(stats.pushed_in, 0u);
+    EXPECT_EQ(stats.lazy_fetches, 0u);
+    prewarmed += stats.prewarm_fetches;
+  }
+  EXPECT_EQ(prewarmed, 2u * (kPeers - 1));  // each blob lands once per peer
+  expect_identities(fabric, fabric.peers());
+}
+
+// ---- The remote tier under the real caches ---------------------------------
+
+SourceDeployOptions explicit_selection(const std::string& simd,
+                                       const std::string& fft) {
+  SourceDeployOptions options;
+  options.auto_specialize = false;
+  options.selections = {{"MD_SIMD", simd}, {"MD_FFT", fft}};
+  return options;
+}
+
+container::Image small_minimd_image() {
+  apps::MinimdOptions options;
+  options.module_count = 6;
+  options.gpu_module_count = 1;
+  return build_source_image(apps::make_minimd(options), isa::Arch::X86_64);
+}
+
+// A farm whose disk tier sits on the distribution fabric serves a cold
+// node from its peers: zero lowerings, zero TU compiles, one lazy fetch
+// per specialization (the single-flight leaders fetch; everyone else
+// waits), bit-identical artifacts.
+TEST(Distribution, ColdFarmServesFromRemotePeerWithZeroBuilds) {
+  TempDir builder_dir("farm-builder");
+  TempDir cold_dir("farm-cold");
+  ArtifactStore builder_store({builder_dir.str(), 0});
+  ArtifactStore cold_store({cold_dir.str(), 0});
+  DistributionFabric fabric;
+  DistributionPeer builder_peer("builder", builder_store, fabric);
+  DistributionPeer cold_peer("cold", cold_store, fabric);
+
+  const auto image = small_minimd_image();
+  ShardedRegistry registry;
+  registry.push(image, "spcl/minimd:src");
+
+  const std::vector<std::pair<std::string, SourceDeployOptions>> groups = {
+      {"ault23", explicit_selection("AVX_512", "fftw3")},
+      {"devbox", explicit_selection("AVX2_256", "fftpack")},
+  };
+  const auto requests_for = [&] {
+    std::vector<SourceDeployRequest> requests;
+    for (const auto& [base, options] : groups) {
+      for (auto& node : vm::simulated_fleet(vm::node(base), 2, base + "-w-")) {
+        requests.push_back({std::move(node), "spcl/minimd:src", options});
+      }
+    }
+    return requests;
+  };
+
+  // The builder node builds for real, persisting into its own store.
+  std::vector<std::string> reference_digests;
+  {
+    BuildFarmOptions farm_options;
+    farm_options.threads = 2;
+    farm_options.distribution = &builder_peer;
+    BuildFarm builder(registry, farm_options);
+    const auto results = builder.deploy_batch(requests_for());
+    for (const auto& r : results) {
+      ASSERT_TRUE(r.ok) << r.error;
+      reference_digests.push_back(r.app->image_digest);
+    }
+    EXPECT_EQ(builder.cache().lowerings(), groups.size());
+    // Nothing crossed the wire yet: the builder's loads found no peer
+    // with the blobs, and its stores only announced.
+    EXPECT_EQ(fabric.stats().blobs_sent, 0u);
+  }
+
+  // A cold node on an empty store serves the same classes entirely from
+  // the remote registry.
+  BuildFarmOptions farm_options;
+  farm_options.threads = 2;
+  farm_options.distribution = &cold_peer;
+  BuildFarm cold(registry, farm_options);
+  const auto results = cold.deploy_batch(requests_for());
+  ASSERT_EQ(results.size(), reference_digests.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok) << results[i].error;
+    EXPECT_EQ(results[i].app->image_digest, reference_digests[i]);
+  }
+  EXPECT_EQ(cold.cache().lowerings(), 0u);
+  EXPECT_EQ(cold.tu_compiles(), 0u);
+  EXPECT_EQ(cold.cache().disk_hits(), groups.size());
+
+  // Single-flight held through the remote tier: one lazy fetch per
+  // specialization (the whole DeployedApp revives from the spec blob, so
+  // the TU blobs never even travel).
+  EXPECT_EQ(cold_peer.stats().lazy_fetches, groups.size());
+  EXPECT_EQ(cold_peer.stats().verify_rejects, 0u);
+  expect_identities(fabric, {&builder_peer, &cold_peer});
+}
+
+// ---- Stress (runs under TSan/ASan via the stress label) --------------------
+
+TEST(DistributionStress, ConcurrentPullsAndGossip) {
+  constexpr std::size_t kPeers = 4;
+  constexpr int kBlobs = 12;
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 30;
+
+  std::vector<std::unique_ptr<TempDir>> dirs;
+  std::vector<std::unique_ptr<ArtifactStore>> stores;
+  DistributionFabric fabric;
+  std::vector<std::unique_ptr<DistributionPeer>> peers;
+  for (std::size_t i = 0; i < kPeers; ++i) {
+    dirs.push_back(std::make_unique<TempDir>("stress-" + std::to_string(i)));
+    stores.push_back(
+        std::make_unique<ArtifactStore>(ArtifactStoreOptions{dirs[i]->str(), 0}));
+    peers.push_back(std::make_unique<DistributionPeer>(
+        "peer-" + std::to_string(i), *stores[i], fabric));
+  }
+
+  const auto payload_for = [](int blob) {
+    return std::string("blob-") + std::to_string(blob) + "-" +
+           std::string(64 + blob, 'z');
+  };
+  for (int blob = 0; blob < kBlobs; ++blob) {
+    const std::string key = "key-" + std::to_string(blob);
+    ASSERT_TRUE(stores[0]->put("tu", key, payload_for(blob)));
+    peers[0]->announce("tu", key);
+  }
+
+  std::atomic<int> bad{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937 rng(static_cast<std::uint32_t>(t) + 7);
+      for (int round = 0; round < kRounds; ++round) {
+        const std::size_t p = 1 + rng() % (kPeers - 1);
+        if (round % 5 == 0) {
+          peers[rng() % kPeers]->gossip_round();
+          continue;
+        }
+        const int blob = static_cast<int>(rng() % kBlobs);
+        const std::string key = "key-" + std::to_string(blob);
+        if (!peers[p]->ensure_local("tu", key)) bad.fetch_add(1);
+        const auto got = stores[p]->get("tu", key);
+        if (!got || *got != payload_for(blob)) bad.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(bad.load(), 0);
+
+  // Everything announced on peer 0 eventually lands everywhere the
+  // threads touched it; identities reconcile exactly after drain.
+  expect_identities(fabric, fabric.peers());
+  EXPECT_EQ(fabric.stats().blobs_rejected, 0u);
+  for (std::size_t i = 0; i < kPeers; ++i) {
+    EXPECT_EQ(stores[i]->verify_failures(), 0u) << i;
+  }
+}
+
+}  // namespace
+}  // namespace xaas::service
